@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the host-side algorithms: the sequential
+//! greedy baseline (Algorithm 1) under different orderings, and the CPU
+//! parallel GM (Algorithm 2) / JP (Algorithm 3) implementations. These are
+//! real wall-clock measurements (not simulator time) — the native-Rust
+//! counterpart of the paper's Xeon E5-2670 baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcol_core::{gm, jp, seq};
+use gcol_graph::gen::{self, RmatParams};
+use gcol_graph::ordering::Ordering;
+use std::hint::black_box;
+
+fn bench_sequential_orderings(c: &mut Criterion) {
+    let g = gen::rmat(RmatParams::erdos_renyi(14, 16), 1);
+    let mut group = c.benchmark_group("seq-greedy");
+    group.sample_size(20);
+    for (name, ord) in [
+        ("natural", Ordering::Natural),
+        ("largest-degree-first", Ordering::LargestDegreeFirst),
+        ("smallest-degree-last", Ordering::SmallestDegreeLast),
+        ("random", Ordering::Random(7)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ord, |b, &ord| {
+            b.iter(|| seq::greedy_seq(black_box(&g), ord).num_colors)
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_cpu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu-parallel");
+    group.sample_size(15);
+    for scale in [12u32, 14] {
+        let g = gen::rmat(RmatParams::erdos_renyi(scale, 16), 2);
+        group.bench_with_input(BenchmarkId::new("seq", scale), &g, |b, g| {
+            b.iter(|| seq::greedy_seq(black_box(g), Ordering::Natural).num_colors)
+        });
+        group.bench_with_input(BenchmarkId::new("gm", scale), &g, |b, g| {
+            b.iter(|| gm::gm_parallel(black_box(g), 10_000).num_colors)
+        });
+        group.bench_with_input(BenchmarkId::new("jp", scale), &g, |b, g| {
+            b.iter(|| jp::jp_parallel(black_box(g), 3, 10_000).num_colors)
+        });
+    }
+    group.finish();
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("rmat-er-2^14", |b| {
+        b.iter(|| gen::rmat(RmatParams::erdos_renyi(14, 16), black_box(3)))
+    });
+    group.bench_function("rmat-skewed-2^14", |b| {
+        b.iter(|| gen::rmat(RmatParams::skewed(14, 16), black_box(3)))
+    });
+    group.bench_function("grid3d-26^3", |b| {
+        b.iter(|| gen::grid3d(black_box(26), 26, 26))
+    });
+    group.bench_function("mesh2d-128x128", |b| {
+        b.iter(|| gen::mesh2d(black_box(128), 128, 0.1, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sequential_orderings,
+    bench_parallel_cpu,
+    bench_graph_generation
+);
+criterion_main!(benches);

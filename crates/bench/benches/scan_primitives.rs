@@ -1,0 +1,39 @@
+//! Criterion benchmarks for the prefix-sum substrate: the primitive whose
+//! cost the paper's "Atomic Operation Reduction" optimization (§III-C,
+//! Fig. 5) trades against per-element atomics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gcol_scan::{blelloch_exclusive_scan, compact_flagged, exclusive_scan, par_exclusive_scan};
+use std::hint::black_box;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exclusive-scan");
+    for size in [1usize << 12, 1 << 16, 1 << 20] {
+        let xs: Vec<u32> = (0..size as u32).map(|i| i % 7).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", size), &xs, |b, xs| {
+            b.iter(|| exclusive_scan(black_box(xs)).1)
+        });
+        group.bench_with_input(BenchmarkId::new("blelloch", size), &xs, |b, xs| {
+            b.iter(|| {
+                let mut v = xs.clone();
+                blelloch_exclusive_scan(black_box(&mut v))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", size), &xs, |b, xs| {
+            b.iter(|| par_exclusive_scan(black_box(xs)).1)
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let n = 1usize << 18;
+    let xs: Vec<u32> = (0..n as u32).collect();
+    let flags: Vec<bool> = xs.iter().map(|&x| x % 5 == 0).collect();
+    c.bench_function("compact-flagged-2^18", |b| {
+        b.iter(|| compact_flagged(black_box(&xs), black_box(&flags)).len())
+    });
+}
+
+criterion_group!(benches, bench_scans, bench_compaction);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Calibration check: how the CPU cost model (the modeled Xeon E5-2670
+//! sequential baseline every speedup is normalized to) compares against
+//! the *actual* wall-clock of this crate's Rust sequential implementation
+//! on the current host. The two need not match — different CPU, different
+//! compiler — but they should be the same order of magnitude; this
+//! experiment makes the calibration visible instead of hiding it.
+
+use super::ExpConfig;
+use crate::report::{f, maybe_write_json, Table};
+use crate::suite::build_suite;
+use gcol_core::seq::greedy_seq;
+use gcol_graph::ordering::Ordering;
+use gcol_simt::CpuModel;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    graph: String,
+    modeled_ms: f64,
+    wall_ms: f64,
+    ratio: f64,
+    ns_per_edge_wall: f64,
+}
+
+/// Runs the calibration experiment.
+pub fn run(cfg: &ExpConfig) -> String {
+    let model = CpuModel::xeon_e5_2670();
+    let suite = build_suite(cfg.scale);
+    let mut table = Table::new(vec![
+        "graph",
+        "modeled ms",
+        "wall ms",
+        "model/wall",
+        "ns/edge (wall)",
+    ]);
+    let mut rows = Vec::new();
+    for e in &suite {
+        let modeled = model.greedy_sweep_ms(e.graph.num_vertices(), e.graph.num_edges());
+        // Median of three wall-clock runs.
+        let mut walls: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                let r = greedy_seq(&e.graph, Ordering::Natural);
+                std::hint::black_box(r.num_colors);
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        walls.sort_by(f64::total_cmp);
+        let wall = walls[1];
+        let ratio = modeled / wall;
+        table.row(vec![
+            e.name.to_string(),
+            f(modeled, 3),
+            f(wall, 3),
+            f(ratio, 2),
+            f(wall * 1e6 / e.graph.num_edges() as f64, 2),
+        ]);
+        rows.push(Row {
+            graph: e.name.to_string(),
+            modeled_ms: modeled,
+            wall_ms: wall,
+            ratio,
+            ns_per_edge_wall: wall * 1e6 / e.graph.num_edges() as f64,
+        });
+    }
+    maybe_write_json(cfg.json.as_deref(), &rows).expect("json write");
+    format!(
+        "CPU-model calibration — modeled Xeon E5-2670 vs measured wall\n\
+         clock of the Rust sequential greedy on this host. Ratios within\n\
+         roughly 0.3x–3x indicate a sane model.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_is_same_order_of_magnitude() {
+        let cfg = ExpConfig {
+            scale: 13,
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.contains("model/wall"));
+    }
+}

@@ -1,0 +1,50 @@
+//! Fig. 1 (motivation): the two pre-existing GPU implementations — 3-step
+//! GM and csrcolor — against the sequential baseline. Expected shape:
+//! (a) 3-step GM slower than sequential while csrcolor gets real speedup;
+//! (b) 3-step GM's colors ≈ sequential while csrcolor's balloon.
+
+use super::{ExpConfig, GraphResults};
+use crate::report::{maybe_write_json, speedup, Table};
+use gcol_core::Scheme;
+
+/// Renders the Fig. 1 report from precomputed runs.
+pub fn render(results: &[GraphResults]) -> String {
+    let mut table = Table::new(vec![
+        "graph",
+        "3-step GM speedup",
+        "csrcolor speedup",
+        "seq colors",
+        "3-step GM colors",
+        "csrcolor colors",
+    ]);
+    for g in results {
+        let find = |s: Scheme| g.runs.iter().find(|r| r.scheme == s).unwrap();
+        let seq = find(Scheme::Sequential);
+        let ts = find(Scheme::ThreeStepGm);
+        let csr = find(Scheme::CsrColor);
+        table.row(vec![
+            g.graph.clone(),
+            speedup(ts.speedup),
+            speedup(csr.speedup),
+            seq.num_colors.to_string(),
+            ts.num_colors.to_string(),
+            csr.num_colors.to_string(),
+        ]);
+    }
+    format!(
+        "Fig. 1 — the motivation: existing GPU implementations.\n\
+         Expected shape: (a) 3-step GM < 1x, csrcolor > 1x;\n\
+         (b) 3-step GM colors ≈ sequential, csrcolor several times more.\n\n{}",
+        table.render()
+    )
+}
+
+/// Runs the experiment standalone.
+pub fn run(cfg: &ExpConfig) -> String {
+    let results = super::run_suite_schemes(
+        cfg,
+        &[Scheme::Sequential, Scheme::ThreeStepGm, Scheme::CsrColor],
+    );
+    maybe_write_json(cfg.json.as_deref(), &results).expect("json write");
+    render(&results)
+}

@@ -1,0 +1,45 @@
+//! Fig. 6: number of colors used by each of the seven schemes per graph.
+//! Expected shape: the six SGR-derived schemes cluster within a few colors
+//! of the sequential count; csrcolor needs several times more (the paper
+//! reports 4.9×–23×).
+
+use super::{ExpConfig, GraphResults};
+use crate::report::{f, maybe_write_json, Table};
+use gcol_core::Scheme;
+
+/// Renders the Fig. 6 report from precomputed runs.
+pub fn render(results: &[GraphResults]) -> String {
+    let schemes = Scheme::paper_seven();
+    let mut header: Vec<String> = vec!["graph".into()];
+    header.extend(schemes.iter().map(|s| s.name().to_string()));
+    header.push("csrcolor/seq".into());
+    let mut table = Table::new(header);
+    for g in results {
+        let mut cells = vec![g.graph.clone()];
+        let mut seq_colors = 1usize;
+        let mut csr_colors = 1usize;
+        for run in &g.runs {
+            cells.push(run.num_colors.to_string());
+            match run.scheme {
+                Scheme::Sequential => seq_colors = run.num_colors,
+                Scheme::CsrColor => csr_colors = run.num_colors,
+                _ => {}
+            }
+        }
+        cells.push(f(csr_colors as f64 / seq_colors.max(1) as f64, 1));
+        table.row(cells);
+    }
+    format!(
+        "Fig. 6 — colors per scheme (fewer is better).\n\
+         Expected shape: SGR schemes ≈ sequential; csrcolor several times\n\
+         more (paper: 4.9x–23x).\n\n{}",
+        table.render()
+    )
+}
+
+/// Runs the experiment standalone.
+pub fn run(cfg: &ExpConfig) -> String {
+    let results = super::run_suite_all_schemes(cfg);
+    maybe_write_json(cfg.json.as_deref(), &results).expect("json write");
+    render(&results)
+}

@@ -1,0 +1,60 @@
+//! Fig. 7: runtime speedup of every scheme, normalized to the sequential
+//! implementation. Expected shape: 3-step GM *below* 1× (≈0.66× average);
+//! the topology-driven schemes ≈2× average; the data-driven schemes ≈3×
+//! average and ≈1.5× over csrcolor; ldg helps a little on some graphs;
+//! G3_circuit is the weak spot of the proposed schemes.
+
+use super::{geomean, ExpConfig, GraphResults};
+use crate::report::{maybe_write_json, speedup, Table};
+use gcol_core::Scheme;
+
+/// Renders the Fig. 7 report from precomputed runs.
+pub fn render(results: &[GraphResults]) -> String {
+    let schemes = Scheme::paper_seven();
+    let mut header: Vec<String> = vec!["graph".into(), "seq ms".into()];
+    header.extend(schemes.iter().map(|s| s.name().to_string()));
+    let mut table = Table::new(header);
+    for g in results {
+        let mut cells = vec![g.graph.clone(), format!("{:.2}", g.seq_ms)];
+        cells.extend(g.runs.iter().map(|r| speedup(r.speedup)));
+        table.row(cells);
+    }
+    // Geometric means per scheme across the suite.
+    let mut mean_cells = vec!["geomean".to_string(), String::new()];
+    for (i, _) in schemes.iter().enumerate() {
+        let m = geomean(results.iter().map(|g| g.runs[i].speedup));
+        mean_cells.push(speedup(m));
+    }
+    table.row(mean_cells);
+
+    // Headline ratios the paper reports.
+    let idx = |s: Scheme| schemes.iter().position(|&x| x == s).unwrap();
+    let d_ldg = geomean(results.iter().map(|g| g.runs[idx(Scheme::DataLdg)].speedup));
+    let csr = geomean(
+        results
+            .iter()
+            .map(|g| g.runs[idx(Scheme::CsrColor)].speedup),
+    );
+    let threestep = geomean(
+        results
+            .iter()
+            .map(|g| g.runs[idx(Scheme::ThreeStepGm)].speedup),
+    );
+    format!(
+        "Fig. 7 — speedup over the sequential implementation (higher is\n\
+         better). Expected shape: 3-step GM < 1x; T ≈ 2x; D ≈ 3x;\n\
+         D vs csrcolor ≈ 1.5x.\n\n{}\n\
+         headline: D-ldg/csrcolor = {:.2}x (paper ≈ 1.5x), \
+         3-step GM = {:.2}x (paper ≈ 0.66x)\n",
+        table.render(),
+        d_ldg / csr,
+        threestep,
+    )
+}
+
+/// Runs the experiment standalone.
+pub fn run(cfg: &ExpConfig) -> String {
+    let results = super::run_suite_all_schemes(cfg);
+    maybe_write_json(cfg.json.as_deref(), &results).expect("json write");
+    render(&results)
+}

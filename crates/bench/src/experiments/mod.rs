@@ -1,0 +1,188 @@
+//! One module per table/figure of the paper's evaluation (§IV), plus a
+//! CPU-model calibration check. Each experiment renders a text report with
+//! paper-expected values alongside the measured ones, and can dump JSON.
+
+pub mod ablation;
+pub mod archsweep;
+pub mod calibrate;
+pub mod convergence;
+pub mod fig1;
+pub mod fig3;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod hashsweep;
+pub mod profile;
+pub mod quality;
+pub mod relabel;
+pub mod scaling;
+pub mod variance;
+pub mod table1;
+
+use crate::suite::{build_suite, SuiteEntry};
+use gcol_core::{ColorOptions, Scheme};
+use gcol_simt::{Device, ExecMode};
+use serde::Serialize;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// log2-equivalent suite scale; the paper's runs correspond to 20.
+    pub scale: u32,
+    /// Thread block size for GPU schemes (paper default 128).
+    pub block_size: u32,
+    /// Simulator execution mode.
+    pub exec_mode: ExecMode,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 15,
+            block_size: 128,
+            exec_mode: ExecMode::Deterministic,
+            json: None,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Coloring options derived from this configuration.
+    pub fn color_options(&self) -> ColorOptions {
+        ColorOptions {
+            block_size: self.block_size,
+            exec_mode: self.exec_mode,
+            ..ColorOptions::default()
+        }
+    }
+}
+
+/// Result of one scheme on one graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchemeRun {
+    /// Which scheme.
+    pub scheme: Scheme,
+    /// Colors used.
+    pub num_colors: usize,
+    /// Rounds/sweeps executed.
+    pub iterations: usize,
+    /// Modeled milliseconds.
+    pub ms: f64,
+    /// Speedup over the sequential baseline of the same graph.
+    pub speedup: f64,
+}
+
+/// All schemes on one graph.
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphResults {
+    /// Graph name (Table I).
+    pub graph: String,
+    /// Sequential baseline time in ms.
+    pub seq_ms: f64,
+    /// Per-scheme outcomes, in `Scheme::paper_seven()` order.
+    pub runs: Vec<SchemeRun>,
+}
+
+/// Runs the paper's seven schemes over the whole suite. This is the
+/// workhorse shared by Figs. 1, 6 and 7 (and reused by `all` so the suite
+/// is colored once, not three times).
+pub fn run_suite_all_schemes(cfg: &ExpConfig) -> Vec<GraphResults> {
+    run_suite_schemes(cfg, &Scheme::paper_seven())
+}
+
+/// Runs a chosen set of schemes over the whole suite.
+pub fn run_suite_schemes(cfg: &ExpConfig, schemes: &[Scheme]) -> Vec<GraphResults> {
+    let dev = Device::k20c();
+    let opts = cfg.color_options();
+    let suite = build_suite(cfg.scale);
+    suite
+        .iter()
+        .map(|entry| run_graph_schemes(entry, &dev, &opts, schemes))
+        .collect()
+}
+
+/// Runs the given schemes on one suite entry, verifying every coloring.
+pub fn run_graph_schemes(
+    entry: &SuiteEntry,
+    dev: &Device,
+    opts: &ColorOptions,
+    schemes: &[Scheme],
+) -> GraphResults {
+    let seq_ms = Scheme::Sequential.color(&entry.graph, dev, opts).total_ms();
+    let runs = schemes
+        .iter()
+        .map(|&scheme| {
+            let r = scheme.color(&entry.graph, dev, opts);
+            gcol_core::verify_coloring(&entry.graph, &r.colors).unwrap_or_else(|e| {
+                panic!(
+                    "{} produced an invalid coloring on {}: {e}",
+                    scheme, entry.name
+                )
+            });
+            let ms = r.total_ms();
+            SchemeRun {
+                scheme,
+                num_colors: r.num_colors,
+                iterations: r.iterations,
+                ms,
+                speedup: seq_ms / ms,
+            }
+        })
+        .collect();
+    GraphResults {
+        graph: entry.name.to_string(),
+        seq_ms,
+        runs,
+    }
+}
+
+/// Geometric mean of positive values (how the paper averages speedups).
+pub fn geomean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for x in xs {
+        assert!(x > 0.0, "geomean needs positive values");
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([3.0]) - 3.0).abs() < 1e-12);
+        assert_eq!(geomean([]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean([1.0, 0.0]);
+    }
+
+    #[test]
+    fn small_scale_run_produces_consistent_results() {
+        let cfg = ExpConfig {
+            scale: 10,
+            ..ExpConfig::default()
+        };
+        let results = run_suite_schemes(&cfg, &[Scheme::Sequential, Scheme::DataBase]);
+        assert_eq!(results.len(), 6);
+        for g in &results {
+            assert_eq!(g.runs.len(), 2);
+            // Sequential speedup over itself is exactly 1.
+            assert!((g.runs[0].speedup - 1.0).abs() < 1e-9);
+            assert!(g.runs[1].num_colors >= 1);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Timeline profiler: runs one scheme on one suite graph and prints every
+//! phase of the modeled execution — kernel launches with their occupancy,
+//! traffic, cache and stall statistics, PCIe transfers, host work. The
+//! `nvprof`-style view behind Figs. 3, 7 and 8.
+
+use super::ExpConfig;
+use crate::report::{f, Table};
+use crate::suite::build_graph;
+use gcol_core::Scheme;
+use gcol_simt::{Device, Phase};
+
+/// Parses a scheme by its paper name.
+pub fn parse_scheme(name: &str) -> Option<Scheme> {
+    let all = [
+        Scheme::Sequential,
+        Scheme::ThreeStepGm,
+        Scheme::TopoBase,
+        Scheme::TopoLdg,
+        Scheme::DataBase,
+        Scheme::DataLdg,
+        Scheme::CsrColor,
+        Scheme::CpuGm,
+        Scheme::CpuJp,
+        Scheme::DataAtomic,
+        Scheme::TopoEdge,
+        Scheme::CpuRokos,
+        Scheme::CpuJpLlf,
+        Scheme::CpuJpSl,
+    ];
+    all.into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+}
+
+/// Runs the profiler for `(graph, scheme)`.
+pub fn run(cfg: &ExpConfig, graph: &str, scheme: Scheme) -> String {
+    let g = build_graph(graph, cfg.scale);
+    let dev = Device::k20c();
+    let r = scheme.color(&g, &dev, &cfg.color_options());
+    gcol_core::verify_coloring(&g, &r.colors).expect("invalid coloring");
+
+    let mut table = Table::new(vec![
+        "phase",
+        "ms",
+        "grid",
+        "occ %",
+        "instr",
+        "txns",
+        "KB dram",
+        "l2 hit%",
+        "ro hit%",
+        "atomics",
+        "simd%",
+        "mem stall%",
+    ]);
+    for p in &r.profile.phases {
+        match p {
+            Phase::Kernel(k) => {
+                let l2_total = k.l2_hits + k.l2_misses;
+                let ro_total = k.ro_hits + k.ro_misses;
+                table.row(vec![
+                    k.name.clone(),
+                    f(k.time_ms, 4),
+                    k.grid.to_string(),
+                    f(k.occupancy.fraction * 100.0, 0),
+                    k.instructions.to_string(),
+                    k.mem_transactions.to_string(),
+                    f(k.dram_bytes as f64 / 1024.0, 0),
+                    if l2_total > 0 {
+                        f(k.l2_hits as f64 / l2_total as f64 * 100.0, 0)
+                    } else {
+                        "-".into()
+                    },
+                    if ro_total > 0 {
+                        f(k.ro_hits as f64 / ro_total as f64 * 100.0, 0)
+                    } else {
+                        "-".into()
+                    },
+                    k.atomics.to_string(),
+                    f(k.simd_efficiency * 100.0, 0),
+                    f(k.stalls.memory_dependency * 100.0, 0),
+                ]);
+            }
+            Phase::Transfer { label, bytes, ms } => {
+                table.row(vec![
+                    format!("[pcie] {label}"),
+                    f(*ms, 4),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    f(*bytes as f64 / 1024.0, 0),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+            Phase::Host { label, ms } => {
+                table.row(vec![
+                    format!("[host] {label}"),
+                    f(*ms, 4),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "profile: {} on {} (scale {}) — {} colors, {} iterations, \
+         total {:.3} ms\n\n{}",
+        scheme,
+        graph,
+        cfg.scale,
+        r.num_colors,
+        r.iterations,
+        r.total_ms(),
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scheme_names() {
+        assert_eq!(parse_scheme("D-ldg"), Some(Scheme::DataLdg));
+        assert_eq!(parse_scheme("csrcolor"), Some(Scheme::CsrColor));
+        assert_eq!(parse_scheme("nope"), None);
+    }
+
+    #[test]
+    fn profiles_a_small_run() {
+        let cfg = ExpConfig {
+            scale: 10,
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg, "rmat-er", Scheme::DataBase);
+        assert!(out.contains("data-color"));
+        assert!(out.contains("detect-compact"));
+    }
+}

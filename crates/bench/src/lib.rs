@@ -1,0 +1,26 @@
+//! # gcol-bench — the paper's experiment harness
+//!
+//! Regenerates every table and figure of the evaluation section (§IV):
+//!
+//! | Command | Paper artifact |
+//! |---|---|
+//! | `table1` | Table I — the six-graph benchmark suite |
+//! | `fig1` | Fig. 1 — 3-step GM and csrcolor vs sequential |
+//! | `fig3` | Fig. 3 — achieved-of-peak + stall breakdown |
+//! | `fig6` | Fig. 6 — colors per scheme |
+//! | `fig7` | Fig. 7 — speedups per scheme |
+//! | `fig8` | Fig. 8 — thread-block-size sweep |
+//! | `calibrate` | CPU-cost-model sanity check |
+//! | `all` | everything above (suite colored once, reused) |
+//!
+//! Run via `cargo run --release -p gcol-bench -- <command> [--scale N]`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod suite;
+
+pub use experiments::{ExpConfig, GraphResults, SchemeRun};
+pub use suite::{build_graph, build_suite, SuiteEntry};

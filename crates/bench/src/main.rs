@@ -1,0 +1,147 @@
+//! CLI entry point for the experiment harness.
+
+use gcol_bench::experiments::{
+    self, ablation, archsweep, calibrate, convergence, fig1, fig3, fig6, fig7, fig8, hashsweep,
+    profile, quality, relabel, scaling, table1, variance, ExpConfig,
+};
+use gcol_simt::ExecMode;
+
+const USAGE: &str = "\
+gcol-bench — regenerate the paper's tables and figures
+
+USAGE:
+    gcol-bench <COMMAND> [OPTIONS]
+
+COMMANDS:
+    table1      Table I  — benchmark-graph statistics
+    fig1        Fig. 1   — existing GPU implementations vs sequential
+    fig3        Fig. 3   — kernel characterization (latency-bound)
+    fig6        Fig. 6   — colors per scheme
+    fig7        Fig. 7   — speedup per scheme
+    fig8        Fig. 8   — thread-block-size sweep
+    calibrate   CPU-cost-model sanity check
+    profile G S nvprof-style timeline of scheme S on suite graph G
+    ablation    design-choice ablations (atomics, ldg, task mapping, balance)
+    archsweep   Kepler vs Fermi: why __ldg is a Kepler-specific win
+    hashsweep   csrcolor quality/speed trade vs hash count N
+    convergence per-round worklist drain of the speculative scheme
+    quality     color-count league table across every scheme + bounds
+    scaling     headline speedups vs suite scale
+    relabel     RCM locality-preprocessing ablation (the choice of SIII-C)
+    variance    seed-robustness study (the paper's 10-run averaging analogue)
+    all         run every experiment (colors the suite once)
+
+OPTIONS:
+    --scale N     log2-equivalent suite scale (default 15; the paper's
+                  experiments correspond to 20 — expect long runtimes on a
+                  laptop at that size)
+    --block N     thread block size for GPU schemes (default 128)
+    --parallel    simulate SMs on multiple host threads (results may vary
+                  across runs where the algorithm itself races)
+    --json PATH   also write the raw results as JSON
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprint!("{USAGE}");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let command = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs an integer"));
+                i += 2;
+            }
+            "--block" => {
+                cfg.block_size = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--block needs an integer"));
+                i += 2;
+            }
+            "--parallel" => {
+                cfg.exec_mode = ExecMode::Parallel;
+                i += 1;
+            }
+            "--json" => {
+                cfg.json = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("--json needs a path")),
+                );
+                i += 2;
+            }
+            other if !other.starts_with('-') => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+            other => die(&format!("unknown option {other:?}")),
+        }
+    }
+    let _ = &positional;
+
+    let t0 = std::time::Instant::now();
+    match command.as_str() {
+        "table1" => println!("{}", table1::run(&cfg)),
+        "fig1" => println!("{}", fig1::run(&cfg)),
+        "fig3" => println!("{}", fig3::run(&cfg)),
+        "fig6" => println!("{}", fig6::run(&cfg)),
+        "fig7" => println!("{}", fig7::run(&cfg)),
+        "fig8" => println!("{}", fig8::run(&cfg)),
+        "calibrate" => println!("{}", calibrate::run(&cfg)),
+        "ablation" => println!("{}", ablation::run(&cfg)),
+        "archsweep" => println!("{}", archsweep::run(&cfg)),
+        "hashsweep" => println!("{}", hashsweep::run(&cfg)),
+        "convergence" => println!("{}", convergence::run(&cfg)),
+        "quality" => println!("{}", quality::run(&cfg)),
+        "scaling" => println!("{}", scaling::run(&cfg)),
+        "relabel" => println!("{}", relabel::run(&cfg)),
+        "variance" => println!("{}", variance::run(&cfg)),
+        "profile" => {
+            let graph = positional
+                .first()
+                .cloned()
+                .unwrap_or_else(|| die("profile needs: profile <graph> <scheme>"));
+            let scheme = positional
+                .get(1)
+                .and_then(|s| profile::parse_scheme(s))
+                .unwrap_or_else(|| die("profile needs a valid scheme name"));
+            println!("{}", profile::run(&cfg, &graph, scheme));
+        }
+        "all" => {
+            println!("{}", table1::run(&cfg));
+            println!("{}", calibrate::run(&cfg));
+            // Color the suite once for Figs. 1, 6 and 7.
+            let results = experiments::run_suite_all_schemes(&cfg);
+            gcol_bench::report::maybe_write_json(cfg.json.as_deref(), &results)
+                .expect("json write");
+            println!("{}", fig1::render(&results));
+            println!("{}", fig6::render(&results));
+            println!("{}", fig7::render(&results));
+            println!("{}", fig3::run(&cfg));
+            println!("{}", fig8::run(&cfg));
+            println!("{}", ablation::run(&cfg));
+            println!("{}", archsweep::run(&cfg));
+            println!("{}", hashsweep::run(&cfg));
+            println!("{}", convergence::run(&cfg));
+            println!("{}", quality::run(&cfg));
+            println!("{}", relabel::run(&cfg));
+            println!("{}", variance::run(&cfg));
+        }
+        other => die(&format!("unknown command {other:?}")),
+    }
+    eprintln!("[{command} done in {:.1}s]", t0.elapsed().as_secs_f64());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}

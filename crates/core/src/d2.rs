@@ -1,0 +1,248 @@
+//! Distance-2 coloring — the problem the Gebremedhin–Manne line of work
+//! (the paper's refs \[9\]/\[10\]) was originally built for: estimating
+//! sparse Jacobians/Hessians, where two columns can share a finite-
+//! difference evaluation only if no row touches both. On the adjacency
+//! graph that is exactly "no two vertices within distance 2 share a
+//! color".
+//!
+//! Both the sequential greedy and the speculative-parallel variants reuse
+//! this crate's machinery: the mask covers the two-hop neighborhood, and
+//! the GM-style conflict detection re-queues the smaller endpoint of any
+//! violating pair.
+
+use gcol_graph::check::Color;
+use gcol_graph::{Csr, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering as AtOrd};
+
+/// Result of a distance-2 coloring run.
+#[derive(Debug, Clone)]
+pub struct D2Result {
+    /// Per-vertex colors, 1-based.
+    pub colors: Vec<Color>,
+    /// Number of colors used.
+    pub num_colors: usize,
+    /// Speculative rounds (1 for the sequential algorithm).
+    pub rounds: usize,
+}
+
+/// Verifies a distance-2 coloring: every vertex is colored and no two
+/// distinct vertices at distance ≤ 2 share a color. Returns the first
+/// violating pair.
+pub fn verify_d2_coloring(
+    g: &Csr,
+    colors: &[Color],
+) -> Result<(), (VertexId, VertexId)> {
+    assert_eq!(colors.len(), g.num_vertices());
+    let bad = (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .find_map_any(|v| {
+            if colors[v as usize] == 0 {
+                return Some((v, v));
+            }
+            // Distance 1.
+            for &w in g.neighbors(v) {
+                if w != v && colors[w as usize] == colors[v as usize] {
+                    return Some((v, w));
+                }
+                // Distance 2 through w.
+                for &x in g.neighbors(w) {
+                    if x != v && colors[x as usize] == colors[v as usize] {
+                        return Some((v, x));
+                    }
+                }
+            }
+            None
+        });
+    match bad {
+        Some(pair) => Err(pair),
+        None => Ok(()),
+    }
+}
+
+/// Sequential greedy distance-2 coloring (first fit over the two-hop
+/// neighborhood). Uses at most `Δ² + 1` colors.
+pub fn greedy_d2_seq(g: &Csr) -> D2Result {
+    let n = g.num_vertices();
+    let mut colors = vec![0 as Color; n];
+    // Two-hop degree can reach Δ²; mask sized accordingly (lazily grown).
+    let mut mask: Vec<u64> = vec![0; g.max_degree() + 2];
+    let mut num_colors = 0usize;
+    for v in 0..n as VertexId {
+        let marker = v as u64 + 1;
+        let mark = |mask: &mut Vec<u64>, c: Color| {
+            let c = c as usize;
+            if c >= mask.len() {
+                mask.resize(c + 1, 0);
+            }
+            mask[c] = marker;
+        };
+        for &w in g.neighbors(v) {
+            mark(&mut mask, colors[w as usize]);
+            for &x in g.neighbors(w) {
+                if x != v {
+                    mark(&mut mask, colors[x as usize]);
+                }
+            }
+        }
+        let mut c = 1usize;
+        while c < mask.len() && mask[c] == marker {
+            c += 1;
+        }
+        colors[v as usize] = c as Color;
+        num_colors = num_colors.max(c);
+    }
+    D2Result {
+        colors,
+        num_colors,
+        rounds: 1,
+    }
+}
+
+/// Speculative-parallel distance-2 coloring: GM rounds with a two-hop
+/// mask and two-hop conflict detection (re-queue the smaller endpoint of
+/// any violating pair, matching this crate's `v < w` convention).
+pub fn gm_d2_parallel(g: &Csr, max_rounds: usize) -> D2Result {
+    let n = g.num_vertices();
+    let colors: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let mut worklist: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut rounds = 0usize;
+
+    while !worklist.is_empty() {
+        rounds += 1;
+        assert!(
+            rounds <= max_rounds,
+            "distance-2 GM did not converge within {max_rounds} rounds"
+        );
+        let pass = rounds as u64;
+        worklist.par_chunks(256).for_each_init(Vec::new, |mask, chunk| {
+            for &v in chunk {
+                let marker = pass * (n as u64 + 1) + v as u64 + 1;
+                let mark = |mask: &mut Vec<u64>, c: u32| {
+                    let c = c as usize;
+                    if c >= mask.len() {
+                        mask.resize(c + 1, 0);
+                    }
+                    mask[c] = marker;
+                };
+                for &w in g.neighbors(v) {
+                    mark(mask, colors[w as usize].load(AtOrd::Relaxed));
+                    for &x in g.neighbors(w) {
+                        if x != v {
+                            mark(
+                                mask,
+                                colors[x as usize].load(AtOrd::Relaxed),
+                            );
+                        }
+                    }
+                }
+                let mut c = 1usize;
+                while c < mask.len() && mask[c] == marker {
+                    c += 1;
+                }
+                colors[v as usize].store(c as u32, AtOrd::Relaxed);
+            }
+        });
+        // Two-hop conflict detection over the just-colored worklist.
+        worklist = worklist
+            .par_iter()
+            .copied()
+            .filter(|&v| {
+                let cv = colors[v as usize].load(AtOrd::Relaxed);
+                g.neighbors(v).iter().any(|&w| {
+                    (v < w && cv == colors[w as usize].load(AtOrd::Relaxed))
+                        || g.neighbors(w).iter().any(|&x| {
+                            v < x
+                                && x != v
+                                && cv == colors[x as usize]
+                                    .load(AtOrd::Relaxed)
+                        })
+                })
+            })
+            .collect();
+    }
+
+    let colors: Vec<Color> = colors.into_iter().map(AtomicU32::into_inner).collect();
+    let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
+    D2Result {
+        colors,
+        num_colors,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcol_graph::gen::simple::{complete, cycle, erdos_renyi, path, star};
+    use gcol_graph::gen::{grid2d, StencilKind};
+
+    #[test]
+    fn d2_on_path_needs_three() {
+        // Distance-2 on a path: every 3 consecutive vertices differ.
+        let r = greedy_d2_seq(&path(20));
+        verify_d2_coloring(&path(20), &r.colors).unwrap();
+        assert_eq!(r.num_colors, 3);
+    }
+
+    #[test]
+    fn d2_on_star_needs_n() {
+        // All leaves are pairwise at distance 2 through the hub.
+        let g = star(12);
+        let r = greedy_d2_seq(&g);
+        verify_d2_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.num_colors, 12);
+    }
+
+    #[test]
+    fn d2_is_stricter_than_d1() {
+        let g = grid2d(12, 12, StencilKind::FivePoint);
+        let d1 = crate::seq::greedy_seq(&g, gcol_graph::ordering::Ordering::Natural);
+        let d2 = greedy_d2_seq(&g);
+        verify_d2_coloring(&g, &d2.colors).unwrap();
+        assert!(
+            d2.num_colors > d1.num_colors,
+            "d2 {} should exceed d1 {}",
+            d2.num_colors,
+            d1.num_colors
+        );
+        // A d2 coloring is in particular a proper d1 coloring.
+        gcol_graph::check::verify_coloring(&g, &d2.colors).unwrap();
+    }
+
+    #[test]
+    fn verifier_rejects_distance_two_violations() {
+        // Path 0-1-2: colors (1, 2, 1) are d1-proper but d2-invalid.
+        let g = path(3);
+        gcol_graph::check::verify_coloring(&g, &[1, 2, 1]).unwrap();
+        assert!(verify_d2_coloring(&g, &[1, 2, 1]).is_err());
+        verify_d2_coloring(&g, &[1, 2, 3]).unwrap();
+    }
+
+    #[test]
+    fn parallel_d2_matches_sequential_quality_band() {
+        for g in [
+            cycle(40),
+            complete(10),
+            erdos_renyi(400, 1600, 3),
+            grid2d(15, 15, StencilKind::FivePoint),
+        ] {
+            let seq = greedy_d2_seq(&g);
+            let par = gm_d2_parallel(&g, 10_000);
+            verify_d2_coloring(&g, &par.colors).unwrap();
+            assert!(
+                par.num_colors <= seq.num_colors + 4,
+                "par {} vs seq {}",
+                par.num_colors,
+                seq.num_colors
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(0);
+        assert_eq!(greedy_d2_seq(&g).num_colors, 0);
+        assert_eq!(gm_d2_parallel(&g, 5).num_colors, 0);
+    }
+}

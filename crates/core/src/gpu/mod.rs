@@ -1,0 +1,132 @@
+//! The GPU (simulated) implementations: the paper's own contribution.
+//!
+//! * [`topo`] — Algorithm 4, topology-driven (T-base / T-ldg).
+//! * [`data`] — Algorithm 5, data-driven with prefix-sum worklists
+//!   (D-base / D-ldg).
+//! * [`csrcolor`] — the cuSPARSE multi-hash MIS coloring (§II-C).
+//! * [`threestep`] — Grosset et al.'s 3-step GM baseline (§II-C).
+
+pub mod csrcolor;
+pub mod data;
+pub mod data_atomic;
+pub mod threestep;
+pub mod topo;
+pub mod topo_edge;
+
+use gcol_graph::Csr;
+use gcol_simt::mem::Buffer;
+use gcol_simt::{Device, GpuMem, ThreadCtx};
+
+/// The CSR arrays of Fig. 2 resident in device memory.
+#[derive(Clone, Copy, Debug)]
+pub struct GpuGraph {
+    /// Row offsets `R` (n + 1 entries).
+    pub r: Buffer<u32>,
+    /// Column indices `C` (m entries).
+    pub c: Buffer<u32>,
+    /// Vertex count.
+    pub n: usize,
+    /// Stored (directed) edge count.
+    pub m: usize,
+    /// Maximum degree (sizes the per-thread `colorMask`).
+    pub max_degree: usize,
+}
+
+impl GpuGraph {
+    /// Copies `g`'s CSR arrays into device memory.
+    pub fn upload(mem: &mut GpuMem, g: &Csr) -> Self {
+        let r = mem.alloc_from_slice(g.row_offsets());
+        let c = mem.alloc_from_slice(g.col_indices());
+        Self {
+            r,
+            c,
+            n: g.num_vertices(),
+            m: g.num_edges(),
+            max_degree: g.max_degree(),
+        }
+    }
+
+    /// Bytes of the uploaded arrays (for transfer charging).
+    pub fn bytes(&self) -> usize {
+        (self.r.len() + self.c.len()) * 4
+    }
+
+    /// Loads `R[i]`, honoring the ld/ldg choice — the exact optimization
+    /// of Fig. 4 (the `R` and `C` arrays are read-only for the lifetime of
+    /// every coloring kernel).
+    #[inline]
+    pub fn load_r(&self, t: &mut ThreadCtx<'_>, i: usize, use_ldg: bool) -> u32 {
+        if use_ldg {
+            t.ldg(self.r, i)
+        } else {
+            t.ld(self.r, i)
+        }
+    }
+
+    /// Loads `C[e]`, honoring the ld/ldg choice.
+    #[inline]
+    pub fn load_c(&self, t: &mut ThreadCtx<'_>, e: usize, use_ldg: bool) -> u32 {
+        if use_ldg {
+            t.ldg(self.c, e)
+        } else {
+            t.ld(self.c, e)
+        }
+    }
+}
+
+/// Shared inner loop of every greedy kernel: mark the colors of `v`'s
+/// neighbors in the thread-local `colorMask` (marker-tagged, so the mask is
+/// never cleared), then first-fit-scan for the smallest permissible color.
+/// Callers write the result with `st_warp` so color visibility is
+/// warp-synchronous (SIMT lockstep semantics — the source of the
+/// deterministic speculation conflicts the GM scheme resolves).
+///
+/// `marker` must be unique per (pass, vertex) — see the module docs of
+/// [`crate::gm`] for why pass-tagging keeps the no-reinit trick sound.
+/// Returns the chosen color (1-based).
+#[inline]
+pub fn speculative_first_fit(
+    t: &mut ThreadCtx<'_>,
+    g: &GpuGraph,
+    color: Buffer<u32>,
+    v: u32,
+    marker: u32,
+    use_ldg: bool,
+) -> u32 {
+    let start = g.load_r(t, v as usize, use_ldg) as usize;
+    let end = g.load_r(t, v as usize + 1, use_ldg) as usize;
+    t.local_reserve(g.max_degree + 2);
+    for e in start..end {
+        let w = g.load_c(t, e, use_ldg);
+        let cw = t.ld(color, w as usize);
+        t.alu(2); // loop bookkeeping + index math
+        t.local_st(cw as usize, marker);
+    }
+    // min { i > 0 : colorMask[i] != marker }
+    let mut c = 1usize;
+    while t.local_ld(c) == marker {
+        t.alu(1);
+        c += 1;
+    }
+    c as u32
+}
+
+/// Marker for (pass, vertex): unique modulo 2^32, which keeps stale-mark
+/// collisions vanishingly rare (and any collision only *forbids* an extra
+/// color — the coloring stays proper).
+#[inline]
+pub fn pass_marker(pass: u32, n: usize, v: u32) -> u32 {
+    pass.wrapping_mul(n as u32).wrapping_add(v).wrapping_add(1)
+}
+
+/// Reads the 4-byte `changed` flag back to the host, charging the PCIe
+/// round trip the real implementation pays for its `cudaMemcpy`.
+pub fn read_flag(
+    mem: &GpuMem,
+    dev: &Device,
+    profile: &mut gcol_simt::RunProfile,
+    flag: Buffer<u32>,
+) -> u32 {
+    profile.transfer("changed flag d2h", 4, gcol_simt::xfer::transfer_ms(dev, 4));
+    mem.load(flag, 0)
+}

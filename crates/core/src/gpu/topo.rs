@@ -1,0 +1,268 @@
+//! Algorithm 4: topology-driven GPU graph coloring (T-base / T-ldg).
+//!
+//! One thread per vertex every iteration; a thread whose vertex is already
+//! colored immediately exits (the work-inefficiency the data-driven variant
+//! removes). A global `changed` flag, set by any thread that colors a
+//! vertex, drives the host-side do/while loop.
+
+use super::{pass_marker, read_flag, speculative_first_fit, GpuGraph};
+use crate::{ColorOptions, Coloring, Scheme};
+use gcol_graph::Csr;
+use gcol_simt::mem::Buffer;
+use gcol_simt::{grid_for, launch, Device, GpuMem, Kernel, RunProfile, ThreadCtx};
+
+/// Lines 4–14 of Algorithm 4: color every not-yet-colored vertex.
+struct TopoColor {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    colored: Buffer<u32>,
+    changed: Buffer<u32>,
+    pass: u32,
+    use_ldg: bool,
+}
+
+impl Kernel for TopoColor {
+    fn name(&self) -> &'static str {
+        if self.use_ldg {
+            "topo-color-ldg"
+        } else {
+            "topo-color"
+        }
+    }
+
+    fn run(&self, t: &mut ThreadCtx<'_>) {
+        let v = t.global_id();
+        if v as usize >= self.g.n {
+            return;
+        }
+        t.alu(2);
+        if t.ld(self.colored, v as usize) != 0 {
+            return;
+        }
+        let marker = pass_marker(self.pass, self.g.n, v);
+        let c = speculative_first_fit(t, &self.g, self.color, v, marker, self.use_ldg);
+        t.st_warp(self.color, v as usize, c);
+        t.st(self.colored, v as usize, 1);
+        t.st(self.changed, 0, 1);
+    }
+}
+
+/// Lines 15–21 of Algorithm 4: clear `colored[v]` for the smaller endpoint
+/// of every monochromatic edge.
+struct TopoDetect {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    colored: Buffer<u32>,
+    use_ldg: bool,
+}
+
+impl Kernel for TopoDetect {
+    fn name(&self) -> &'static str {
+        if self.use_ldg {
+            "topo-detect-ldg"
+        } else {
+            "topo-detect"
+        }
+    }
+
+    fn run(&self, t: &mut ThreadCtx<'_>) {
+        let v = t.global_id();
+        if v as usize >= self.g.n {
+            return;
+        }
+        let cv = t.ld(self.color, v as usize);
+        if cv == 0 {
+            return;
+        }
+        let start = self.g.load_r(t, v as usize, self.use_ldg) as usize;
+        let end = self.g.load_r(t, v as usize + 1, self.use_ldg) as usize;
+        for e in start..end {
+            let w = self.g.load_c(t, e, self.use_ldg);
+            t.alu(3); // compare color, compare ids, loop bookkeeping
+            if v < w && cv == t.ld(self.color, w as usize) {
+                t.st(self.colored, v as usize, 0);
+                return; // first conflict suffices
+            }
+        }
+    }
+}
+
+/// Runs the full topology-driven scheme on the simulated device.
+pub fn color_topo(g: &Csr, dev: &Device, opts: &ColorOptions, use_ldg: bool) -> Coloring {
+    let mut mem = GpuMem::new();
+    let gg = GpuGraph::upload(&mut mem, g);
+    let color = mem.alloc::<u32>(g.num_vertices().max(1));
+    let colored = mem.alloc::<u32>(g.num_vertices().max(1));
+    let changed = mem.alloc::<u32>(1);
+
+    let mut profile = RunProfile::new();
+    if opts.charge_h2d {
+        let bytes = gg.bytes() + color.len() * 8;
+        profile.transfer("graph h2d", bytes, gcol_simt::xfer::transfer_ms(dev, bytes));
+    }
+
+    let grid = grid_for(g.num_vertices(), opts.block_size);
+    let mut pass = 0u32;
+    loop {
+        pass += 1;
+        assert!(
+            (pass as usize) <= opts.max_iterations,
+            "topology-driven coloring did not converge within {} passes",
+            opts.max_iterations
+        );
+        mem.store(changed, 0, 0);
+        let stats = launch(
+            &mem,
+            dev,
+            opts.exec_mode,
+            grid,
+            opts.block_size,
+            &TopoColor {
+                g: gg,
+                color,
+                colored,
+                changed,
+                pass,
+                use_ldg,
+            },
+        );
+        profile.kernel(stats);
+        let stats = launch(
+            &mem,
+            dev,
+            opts.exec_mode,
+            grid,
+            opts.block_size,
+            &TopoDetect {
+                g: gg,
+                color,
+                colored,
+                use_ldg,
+            },
+        );
+        profile.kernel(stats);
+        if read_flag(&mem, dev, &mut profile, changed) == 0 {
+            break;
+        }
+    }
+
+    let colors = if g.num_vertices() == 0 {
+        Vec::new()
+    } else {
+        mem.read_vec(color)
+    };
+    let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
+    Coloring {
+        scheme: if use_ldg {
+            Scheme::TopoLdg
+        } else {
+            Scheme::TopoBase
+        },
+        colors,
+        num_colors,
+        iterations: pass as usize,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcol_graph::check::verify_coloring;
+    use gcol_graph::gen::simple::{complete, cycle, erdos_renyi, star};
+    use gcol_graph::gen::{grid3d, rmat, RmatParams};
+    use gcol_simt::ExecMode;
+
+    fn opts() -> ColorOptions {
+        ColorOptions {
+            exec_mode: ExecMode::Deterministic,
+            ..ColorOptions::default()
+        }
+    }
+
+    #[test]
+    fn valid_on_assorted_graphs() {
+        let dev = Device::tiny();
+        for g in [
+            cycle(77),
+            complete(17),
+            star(300),
+            erdos_renyi(800, 4000, 1),
+            grid3d(8, 8, 4),
+        ] {
+            for use_ldg in [false, true] {
+                let r = color_topo(&g, &dev, &opts(), use_ldg);
+                verify_coloring(&g, &r.colors).unwrap();
+                assert!(r.num_colors <= g.max_degree() + 1);
+                assert!(r.iterations >= 1);
+                assert!(r.profile.total_ms() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quality_close_to_sequential() {
+        let dev = Device::tiny();
+        let g = rmat(RmatParams::erdos_renyi(10, 12), 3);
+        let seq = crate::seq::greedy_seq(&g, gcol_graph::ordering::Ordering::Natural);
+        let r = color_topo(&g, &dev, &opts(), false);
+        assert!(
+            (r.num_colors as i64 - seq.num_colors as i64).abs() <= 3,
+            "topo {} vs seq {}",
+            r.num_colors,
+            seq.num_colors
+        );
+    }
+
+    #[test]
+    fn ldg_reduces_latency_not_correctness() {
+        let dev = Device::tiny();
+        let g = erdos_renyi(1000, 6000, 5);
+        let base = color_topo(&g, &dev, &opts(), false);
+        let ldg = color_topo(&g, &dev, &opts(), true);
+        verify_coloring(&g, &ldg.colors).unwrap();
+        // Deterministic mode: identical functional behavior.
+        assert_eq!(base.colors, ldg.colors);
+        // The ldg variant must hit the read-only cache.
+        let ro_hits: u64 = ldg
+            .profile
+            .phases
+            .iter()
+            .filter_map(|p| match p {
+                gcol_simt::Phase::Kernel(k) => Some(k.ro_hits),
+                _ => None,
+            })
+            .sum();
+        assert!(ro_hits > 0, "ldg path never hit the RO cache");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let dev = Device::tiny();
+        let r = color_topo(&Csr::empty(0), &dev, &opts(), false);
+        assert_eq!(r.num_colors, 0);
+        assert!(r.colors.is_empty());
+    }
+
+    #[test]
+    fn deterministic_mode_is_reproducible() {
+        let dev = Device::tiny();
+        let g = erdos_renyi(500, 3000, 9);
+        let a = color_topo(&g, &dev, &opts(), false);
+        let b = color_topo(&g, &dev, &opts(), false);
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.profile.total_ms(), b.profile.total_ms());
+    }
+
+    #[test]
+    fn parallel_mode_still_valid() {
+        let dev = Device::tiny();
+        let g = erdos_renyi(2000, 12_000, 11);
+        let o = ColorOptions {
+            exec_mode: ExecMode::Parallel,
+            ..ColorOptions::default()
+        };
+        let r = color_topo(&g, &dev, &o, true);
+        verify_coloring(&g, &r.colors).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! Algorithm 1: the sequential greedy coloring — the baseline every
+//! speedup in the paper is normalized to.
+//!
+//! `colorMask` is a color-indexed array; marking impermissible colors with
+//! the current vertex id (rather than a boolean) means the mask never needs
+//! re-initialization across vertices — the trick §II-A highlights.
+
+use gcol_graph::check::Color;
+use gcol_graph::ordering::{order_vertices, Ordering};
+use gcol_graph::Csr;
+
+/// Result of a sequential greedy run.
+#[derive(Debug, Clone)]
+pub struct SeqResult {
+    /// Per-vertex colors, 1-based.
+    pub colors: Vec<Color>,
+    /// Largest color used (== number of colors, since first-fit colors are
+    /// contiguous from 1).
+    pub num_colors: usize,
+}
+
+/// First-fit greedy coloring in the given vertex order (Algorithm 1; the
+/// paper's FF uses [`Ordering::Natural`]).
+pub fn greedy_seq(g: &Csr, order: Ordering) -> SeqResult {
+    let n = g.num_vertices();
+    let mut colors = vec![0 as Color; n];
+    // Colors are 1-based and at most max_degree + 1 are ever needed, so
+    // mask indices range over 0..=max_degree + 1.
+    let mut mask: Vec<u32> = vec![u32::MAX; g.max_degree() + 2];
+    let order = order_vertices(g, order);
+    let mut num_colors = 0usize;
+    for v in order {
+        // Mark neighbor colors as impermissible using v as the marker.
+        for &w in g.neighbors(v) {
+            mask[colors[w as usize] as usize] = v;
+        }
+        // Smallest positive index not marked by v.
+        let mut c = 1usize;
+        while mask[c] == v {
+            c += 1;
+        }
+        colors[v as usize] = c as Color;
+        num_colors = num_colors.max(c);
+    }
+    SeqResult { colors, num_colors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcol_graph::check::verify_coloring;
+    use gcol_graph::gen::simple::{complete, cycle, path, star};
+    use gcol_graph::gen::{rmat, RmatParams};
+
+    #[test]
+    fn colors_path_with_two() {
+        let r = greedy_seq(&path(10), Ordering::Natural);
+        verify_coloring(&path(10), &r.colors).unwrap();
+        assert_eq!(r.num_colors, 2);
+    }
+
+    #[test]
+    fn colors_even_cycle_with_two_odd_with_three() {
+        let even = greedy_seq(&cycle(8), Ordering::Natural);
+        assert_eq!(even.num_colors, 2);
+        let odd = greedy_seq(&cycle(9), Ordering::Natural);
+        assert_eq!(odd.num_colors, 3);
+        verify_coloring(&cycle(9), &odd.colors).unwrap();
+    }
+
+    #[test]
+    fn complete_graph_needs_n() {
+        let g = complete(7);
+        let r = greedy_seq(&g, Ordering::Natural);
+        verify_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.num_colors, 7);
+    }
+
+    #[test]
+    fn star_needs_two() {
+        let g = star(50);
+        let r = greedy_seq(&g, Ordering::Natural);
+        verify_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.num_colors, 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = Csr::empty(0);
+        assert_eq!(greedy_seq(&g, Ordering::Natural).num_colors, 0);
+        let g = Csr::empty(5);
+        let r = greedy_seq(&g, Ordering::Natural);
+        assert_eq!(r.num_colors, 1);
+        assert!(r.colors.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn greedy_respects_brooks_like_bound() {
+        let g = rmat(RmatParams::skewed(10, 8), 3);
+        let r = greedy_seq(&g, Ordering::Natural);
+        verify_coloring(&g, &r.colors).unwrap();
+        assert!(r.num_colors <= g.max_degree() + 1);
+    }
+
+    #[test]
+    fn sdl_ordering_never_worse_than_degeneracy_bound() {
+        let g = rmat(RmatParams::erdos_renyi(10, 8), 5);
+        let r = greedy_seq(&g, Ordering::SmallestDegreeLast);
+        verify_coloring(&g, &r.colors).unwrap();
+        assert!(r.num_colors <= gcol_graph::ordering::degeneracy(&g) + 1);
+    }
+
+    #[test]
+    fn num_colors_equals_max_color() {
+        let g = rmat(RmatParams::erdos_renyi(9, 6), 7);
+        let r = greedy_seq(&g, Ordering::Natural);
+        assert_eq!(r.num_colors as u32, r.colors.iter().copied().max().unwrap());
+    }
+}

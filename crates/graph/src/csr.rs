@@ -1,0 +1,389 @@
+//! Compressed sparse row (CSR) graph storage.
+//!
+//! This is the exact representation of §III-C / Fig. 2 of the paper: the
+//! column-indices array `C` is the concatenation of all adjacency lists, and
+//! the row-offsets array `R` has `n + 1` entries with `R[v]` the index in `C`
+//! where `v`'s adjacency list begins. Graphs are stored in the order they are
+//! defined — like the paper, we perform no locality- or balance-improving
+//! preprocessing.
+
+use std::fmt;
+
+/// Vertex identifier. The paper's graphs have ~1.6M vertices; `u32` matches
+/// the CUDA kernels' `int` indices and halves memory traffic vs `usize`.
+pub type VertexId = u32;
+
+/// An immutable graph in CSR form.
+///
+/// ```
+/// use gcol_graph::Csr;
+/// // The 5-vertex example of the paper's Fig. 2.
+/// let g = Csr::new(
+///     vec![0, 2, 6, 9, 11, 14],
+///     vec![1, 2, 0, 2, 3, 4, 0, 1, 4, 1, 4, 1, 2, 3],
+/// );
+/// assert_eq!(g.neighbors(1), &[0, 2, 3, 4]);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.is_symmetric());
+/// ```
+///
+/// Invariants (upheld by [`crate::builder::CsrBuilder`] and checked by
+/// [`Csr::validate`]):
+///
+/// * `row_offsets.len() == num_vertices + 1`
+/// * `row_offsets[0] == 0`, `row_offsets` is non-decreasing,
+///   `row_offsets[n] == col_indices.len()`
+/// * every entry of `col_indices` is `< num_vertices`
+#[derive(Clone, PartialEq, Eq)]
+pub struct Csr {
+    row_offsets: Vec<u32>,
+    col_indices: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Builds a CSR graph from raw arrays, validating the invariants.
+    ///
+    /// # Panics
+    /// Panics if the arrays do not form a valid CSR structure; use
+    /// [`Csr::try_new`] for a fallible variant.
+    pub fn new(row_offsets: Vec<u32>, col_indices: Vec<VertexId>) -> Self {
+        Self::try_new(row_offsets, col_indices).expect("invalid CSR arrays")
+    }
+
+    /// Fallible constructor; returns a description of the violated invariant.
+    pub fn try_new(row_offsets: Vec<u32>, col_indices: Vec<VertexId>) -> Result<Self, CsrError> {
+        if row_offsets.is_empty() {
+            return Err(CsrError::EmptyOffsets);
+        }
+        if row_offsets[0] != 0 {
+            return Err(CsrError::FirstOffsetNonZero(row_offsets[0]));
+        }
+        if *row_offsets.last().unwrap() as usize != col_indices.len() {
+            return Err(CsrError::LastOffsetMismatch {
+                last: *row_offsets.last().unwrap(),
+                edges: col_indices.len(),
+            });
+        }
+        if let Some(i) = row_offsets.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CsrError::DecreasingOffsets(i));
+        }
+        let n = (row_offsets.len() - 1) as u32;
+        if let Some(&w) = col_indices.iter().find(|&&w| w >= n) {
+            return Err(CsrError::NeighborOutOfRange { neighbor: w, n });
+        }
+        Ok(Self {
+            row_offsets,
+            col_indices,
+        })
+    }
+
+    /// The empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            row_offsets: vec![0; n + 1],
+            col_indices: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Number of stored directed edges `m` (for a symmetric graph this is
+    /// twice the undirected edge count; it equals the "non-zero elements"
+    /// column of Table I).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.col_indices.len()
+    }
+
+    /// The row-offsets array `R` (length `n + 1`).
+    #[inline]
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// The column-indices array `C` (length `m`).
+    #[inline]
+    pub fn col_indices(&self) -> &[VertexId] {
+        &self.col_indices
+    }
+
+    /// Adjacency list of vertex `v` (the paper's `adj(v)`).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.row_offsets[v as usize] as usize;
+        let hi = self.row_offsets[v as usize + 1] as usize;
+        &self.col_indices[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.row_offsets[v as usize + 1] - self.row_offsets[v as usize]) as usize
+    }
+
+    /// Maximum degree Δ over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over all directed edges `(u, v)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices()
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// Whether the edge `(u, v)` is present (binary search; adjacency lists
+    /// produced by [`crate::builder::CsrBuilder`] are sorted).
+    pub fn has_edge_sorted(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// True if for every stored edge `(u, v)` the reverse `(v, u)` is also
+    /// stored — the structural-symmetry notion used throughout the paper
+    /// (undirected graphs stored as symmetric sparsity patterns).
+    pub fn is_symmetric(&self) -> bool {
+        self.edges().all(|(u, v)| self.has_edge_sorted(v, u))
+    }
+
+    /// True if no vertex lists itself as a neighbor.
+    pub fn has_no_self_loops(&self) -> bool {
+        self.edges().all(|(u, v)| u != v)
+    }
+
+    /// True if every adjacency list is strictly increasing (sorted, no
+    /// duplicates).
+    pub fn has_sorted_unique_neighbors(&self) -> bool {
+        self.vertices()
+            .all(|v| self.neighbors(v).windows(2).all(|w| w[0] < w[1]))
+    }
+
+    /// Re-checks all structural invariants; useful after IO.
+    pub fn validate(&self) -> Result<(), CsrError> {
+        Self::try_new(self.row_offsets.clone(), self.col_indices.clone()).map(|_| ())
+    }
+
+    /// Returns the transpose graph (reverse of every edge). For symmetric
+    /// graphs this is an expensive identity, used in tests as an oracle.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut counts = vec![0u32; n + 1];
+        for &v in &self.col_indices {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cols = vec![0 as VertexId; self.num_edges()];
+        let mut cursor = counts;
+        for (u, v) in self.edges() {
+            let slot = cursor[v as usize] as usize;
+            cols[slot] = u;
+            cursor[v as usize] += 1;
+        }
+        // Transposing preserves sortedness of lists only per-source order;
+        // re-sort each list to restore the sorted-unique invariant.
+        let mut out = Csr {
+            row_offsets: offsets,
+            col_indices: cols,
+        };
+        out.sort_neighbor_lists();
+        out
+    }
+
+    /// Sorts every adjacency list in place.
+    pub fn sort_neighbor_lists(&mut self) {
+        for v in 0..self.num_vertices() {
+            let lo = self.row_offsets[v] as usize;
+            let hi = self.row_offsets[v + 1] as usize;
+            self.col_indices[lo..hi].sort_unstable();
+        }
+    }
+
+    /// Memory footprint in bytes of the two CSR arrays (what the kernels
+    /// stream from DRAM).
+    pub fn footprint_bytes(&self) -> usize {
+        self.row_offsets.len() * 4 + self.col_indices.len() * 4
+    }
+}
+
+impl fmt::Debug for Csr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Csr {{ n: {}, m: {} }}",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+/// Structural errors a raw CSR pair can exhibit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// The offsets array was empty (must have at least one entry).
+    EmptyOffsets,
+    /// `row_offsets[0]` was not zero.
+    FirstOffsetNonZero(u32),
+    /// `row_offsets[n]` disagreed with `col_indices.len()`.
+    LastOffsetMismatch {
+        /// The final offset entry.
+        last: u32,
+        /// The actual number of column indices.
+        edges: usize,
+    },
+    /// Offsets decreased at the given window index.
+    DecreasingOffsets(usize),
+    /// A neighbor index was `>= n`.
+    NeighborOutOfRange {
+        /// The offending neighbor id.
+        neighbor: VertexId,
+        /// The vertex count.
+        n: u32,
+    },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::EmptyOffsets => write!(f, "row_offsets is empty"),
+            CsrError::FirstOffsetNonZero(x) => {
+                write!(f, "row_offsets[0] = {x}, expected 0")
+            }
+            CsrError::LastOffsetMismatch { last, edges } => write!(
+                f,
+                "row_offsets ends at {last} but there are {edges} column indices"
+            ),
+            CsrError::DecreasingOffsets(i) => {
+                write!(f, "row_offsets decreases at index {i}")
+            }
+            CsrError::NeighborOutOfRange { neighbor, n } => {
+                write!(f, "neighbor {neighbor} out of range (n = {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The example graph from Fig. 2 of the paper: 5 vertices,
+    /// R = [0, 2, 6, 9, 11, 14], C as concatenated adjacency lists.
+    fn fig2_graph() -> Csr {
+        Csr::new(
+            vec![0, 2, 6, 9, 11, 14],
+            vec![1, 2, 0, 2, 3, 4, 0, 1, 4, 1, 4, 1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn fig2_shape() {
+        let g = fig2_graph();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 14);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2, 3, 4]);
+        assert_eq!(g.degree(1), 4);
+        assert_eq!(g.max_degree(), 4);
+        assert!(g.is_symmetric());
+        assert!(g.has_no_self_loops());
+        assert!(g.has_sorted_unique_neighbors());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert!(g.neighbors(3).is_empty());
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Csr::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.vertices().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert_eq!(
+            Csr::try_new(vec![], vec![]).unwrap_err(),
+            CsrError::EmptyOffsets
+        );
+        assert_eq!(
+            Csr::try_new(vec![1, 1], vec![0]).unwrap_err(),
+            CsrError::FirstOffsetNonZero(1)
+        );
+        assert!(matches!(
+            Csr::try_new(vec![0, 2], vec![0]).unwrap_err(),
+            CsrError::LastOffsetMismatch { .. }
+        ));
+        assert_eq!(
+            Csr::try_new(vec![0, 2, 1, 3], vec![0, 0, 0]).unwrap_err(),
+            CsrError::DecreasingOffsets(1)
+        );
+        assert!(matches!(
+            Csr::try_new(vec![0, 1], vec![5]).unwrap_err(),
+            CsrError::NeighborOutOfRange { neighbor: 5, n: 1 }
+        ));
+    }
+
+    #[test]
+    fn edges_iterator_matches_neighbors() {
+        let g = fig2_graph();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.num_edges());
+        assert_eq!(edges[0], (0, 1));
+        assert_eq!(edges[2], (1, 0));
+        assert_eq!(*edges.last().unwrap(), (4, 3));
+    }
+
+    #[test]
+    fn transpose_of_symmetric_graph_is_identity() {
+        let g = fig2_graph();
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        // Directed path 0 -> 1 -> 2.
+        let g = Csr::new(vec![0, 1, 2, 2], vec![1, 2]);
+        let t = g.transpose();
+        assert_eq!(t.neighbors(0), &[] as &[VertexId]);
+        assert_eq!(t.neighbors(1), &[0]);
+        assert_eq!(t.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn has_edge_sorted_works() {
+        let g = fig2_graph();
+        assert!(g.has_edge_sorted(0, 1));
+        assert!(!g.has_edge_sorted(0, 3));
+        assert!(g.has_edge_sorted(4, 3));
+    }
+
+    #[test]
+    fn footprint_counts_both_arrays() {
+        let g = fig2_graph();
+        assert_eq!(g.footprint_bytes(), 6 * 4 + 14 * 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! Deterministic graph generators.
+//!
+//! * [`rmat()`] — the R-MAT generator used for the paper's two synthetic
+//!   graphs (rmat-er and rmat-g, §IV).
+//! * [`mod@grid`] — 2-D/3-D stencil graphs (stand-ins for the `atmosmodd` and
+//!   `G3_circuit` matrices of Table I).
+//! * [`mod@mesh`] — unstructured-mesh-like graphs (stand-in for `thermal2`).
+//! * [`mod@circuit`] — banded + long-range circuit graphs (stand-in for
+//!   `Hamrle3`).
+//! * [`simple`] — tiny classical graphs used throughout the test suites.
+
+pub mod circuit;
+pub mod grid;
+pub mod mesh;
+pub mod rmat;
+pub mod simple;
+
+pub use circuit::circuit_graph;
+pub use grid::{grid2d, grid3d, StencilKind};
+pub use mesh::mesh2d;
+pub use rmat::{rmat, RmatParams};
+pub use simple::{complete, cycle, erdos_renyi, path, random_bipartite, random_regular, star};

@@ -1,0 +1,218 @@
+//! Small classical graphs with known chromatic structure, used as test
+//! oracles throughout the workspace (a path is 2-colorable, an odd cycle
+//! needs 3 colors, `K_n` needs `n`, …).
+
+use crate::builder::{from_undirected_edges, CsrBuilder};
+use crate::csr::{Csr, VertexId};
+use crate::rng::Xoshiro256;
+
+/// Path graph `P_n`: 0 — 1 — … — (n-1). Chromatic number 2 for `n ≥ 2`.
+pub fn path(n: usize) -> Csr {
+    from_undirected_edges(
+        n,
+        (0..n.saturating_sub(1)).map(|i| (i as VertexId, i as VertexId + 1)),
+    )
+}
+
+/// Cycle graph `C_n`. Chromatic number 2 if `n` even, 3 if odd (`n ≥ 3`).
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    from_undirected_edges(
+        n,
+        (0..n).map(|i| (i as VertexId, ((i + 1) % n) as VertexId)),
+    )
+}
+
+/// Complete graph `K_n`. Chromatic number `n`.
+pub fn complete(n: usize) -> Csr {
+    let mut b = CsrBuilder::with_capacity(n, n * n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.symmetrize().build()
+}
+
+/// Star graph `S_n`: vertex 0 joined to vertices 1..n. Chromatic number 2.
+/// The worst case for topology-driven load balance (one hub thread scans
+/// `n - 1` neighbors while every leaf scans 1).
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 2, "star needs at least 2 vertices");
+    from_undirected_edges(n, (1..n).map(|i| (0, i as VertexId)))
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` undirected edges sampled uniformly (with
+/// replacement, then deduplicated).
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(n >= 2, "need at least 2 vertices");
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = CsrBuilder::with_capacity(n, m * 2);
+    for _ in 0..m {
+        let u = rng.gen_index(n) as VertexId;
+        let mut v = rng.gen_index(n) as VertexId;
+        while v == u {
+            v = rng.gen_index(n) as VertexId;
+        }
+        b.add_edge(u, v);
+    }
+    b.symmetrize().build()
+}
+
+/// Random `d`-regular-ish graph via the configuration model (pair random
+/// stubs; self-loops and duplicates dropped, so degrees can fall slightly
+/// below `d`).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Csr {
+    assert!((n * d).is_multiple_of(2), "n * d must be even");
+    assert!(d < n, "degree must be below n");
+    let mut stubs: Vec<VertexId> = (0..n)
+        .flat_map(|v| std::iter::repeat_n(v as VertexId, d))
+        .collect();
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    rng.shuffle(&mut stubs);
+    let mut b = CsrBuilder::with_capacity(n, n * d);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            b.add_edge(pair[0], pair[1]);
+        }
+    }
+    b.symmetrize().build()
+}
+
+/// Random bipartite graph between parts `{0..n1}` and `{n1..n1+n2}` with
+/// `m` sampled cross edges. Chromatic number ≤ 2.
+pub fn random_bipartite(n1: usize, n2: usize, m: usize, seed: u64) -> Csr {
+    assert!(n1 > 0 && n2 > 0);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut b = CsrBuilder::with_capacity(n1 + n2, m * 2);
+    for _ in 0..m {
+        let u = rng.gen_index(n1) as VertexId;
+        let v = (n1 + rng.gen_index(n2)) as VertexId;
+        b.add_edge(u, v);
+    }
+    b.symmetrize().build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices with probability proportional to their degree,
+/// yielding the hub-dominated power-law structure that stresses the
+/// load-balance behavior of vertex-parallel kernels (an alternative to
+/// R-MAT's skew).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Csr {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xBA12_ABA5);
+    let mut b = CsrBuilder::with_capacity(n, n * m * 2);
+    // Stub list: each edge endpoint appears once, so sampling a uniform
+    // stub is degree-proportional sampling.
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    // Seed clique on the first m + 1 vertices.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_edge(u as VertexId, v as VertexId);
+            stubs.push(u as VertexId);
+            stubs.push(v as VertexId);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(m);
+        // Rejection-sample m distinct degree-proportional targets.
+        while chosen.len() < m {
+            let t = stubs[rng.gen_index(stubs.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v as VertexId, t);
+            stubs.push(v as VertexId);
+            stubs.push(t);
+        }
+    }
+    b.symmetrize().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::verify_coloring;
+    use crate::stats::DegreeStats;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        // Parity 2-coloring is proper.
+        let colors: Vec<u32> = (0..5).map(|i| (i % 2 + 1) as u32).collect();
+        verify_coloring(&g, &colors).unwrap();
+    }
+
+    #[test]
+    fn path_edge_cases() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let g = complete(7);
+        assert!(g.vertices().all(|v| g.degree(v) == 6));
+        assert_eq!(g.num_edges(), 42);
+    }
+
+    #[test]
+    fn complete_trivial_sizes() {
+        assert_eq!(complete(0).num_vertices(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn star_hub_and_leaves() {
+        let g = star(100);
+        assert_eq!(g.degree(0), 99);
+        assert!((1..100).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn erdos_renyi_size() {
+        let g = erdos_renyi(500, 2000, 3);
+        assert_eq!(g.num_vertices(), 500);
+        // Dedup can only shrink: at most 4000 directed edges.
+        assert!(g.num_edges() <= 4000);
+        assert!(g.num_edges() > 3000, "dedup removed too much");
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn random_regular_close_to_regular() {
+        let g = random_regular(1000, 8, 5);
+        let s = DegreeStats::compute(&g);
+        assert!(s.avg_degree > 7.5, "avg {}", s.avg_degree);
+        assert!(s.max_degree <= 8);
+    }
+
+    #[test]
+    fn bipartite_is_two_colorable() {
+        let g = random_bipartite(50, 70, 400, 9);
+        let colors: Vec<u32> = (0..120).map(|i| if i < 50 { 1 } else { 2 }).collect();
+        verify_coloring(&g, &colors).unwrap();
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(erdos_renyi(100, 300, 1), erdos_renyi(100, 300, 1));
+        assert_eq!(random_regular(100, 4, 2), random_regular(100, 4, 2));
+        assert_eq!(
+            random_bipartite(30, 30, 100, 3),
+            random_bipartite(30, 30, 100, 3)
+        );
+    }
+}

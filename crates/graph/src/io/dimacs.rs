@@ -1,0 +1,246 @@
+//! DIMACS graph-coloring format (`.col`): the standard interchange format
+//! of the coloring-benchmark community (the DIMACS implementation
+//! challenges). Lines are `c` comments, one `p edge <n> <m>` problem line,
+//! and `e <u> <v>` edges with 1-based vertex ids.
+
+use crate::builder::CsrBuilder;
+use crate::csr::{Csr, VertexId};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors while parsing a DIMACS `.col` stream.
+#[derive(Debug)]
+pub enum DimacsError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// No `p edge` problem line before the first edge.
+    MissingProblemLine,
+    /// Two problem lines.
+    DuplicateProblemLine {
+        /// 1-based line number of the duplicate.
+        line: usize,
+    },
+    /// An unparsable line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A vertex id outside `1..=n`.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending id.
+        id: usize,
+        /// The declared vertex count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "io error: {e}"),
+            DimacsError::MissingProblemLine => {
+                write!(f, "missing `p edge <n> <m>` problem line")
+            }
+            DimacsError::DuplicateProblemLine { line } => {
+                write!(f, "duplicate problem line at line {line}")
+            }
+            DimacsError::BadLine { line, text } => {
+                write!(f, "unparsable line {line}: {text:?}")
+            }
+            DimacsError::VertexOutOfRange { line, id, n } => {
+                write!(f, "vertex {id} out of range 1..={n} at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl From<std::io::Error> for DimacsError {
+    fn from(e: std::io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+/// Parses a DIMACS `.col` stream into a symmetric CSR graph (self loops
+/// dropped, duplicate edges merged).
+pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Csr, DimacsError> {
+    let mut builder: Option<CsrBuilder> = None;
+    let mut n = 0usize;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('c') {
+            continue;
+        }
+        let mut it = text.split_whitespace();
+        match it.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(DimacsError::DuplicateProblemLine { line: idx + 1 });
+                }
+                // Format name is typically "edge" (sometimes "col").
+                let _format = it.next();
+                let parse = |s: Option<&str>| -> Option<usize> { s.and_then(|x| x.parse().ok()) };
+                let (nn, mm) = match (parse(it.next()), parse(it.next())) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => {
+                        return Err(DimacsError::BadLine {
+                            line: idx + 1,
+                            text: text.into(),
+                        })
+                    }
+                };
+                n = nn;
+                builder = Some(CsrBuilder::with_capacity(n, mm * 2));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or(DimacsError::MissingProblemLine)?;
+                let parse = |s: Option<&str>| -> Result<usize, DimacsError> {
+                    s.and_then(|x| x.parse().ok()).ok_or(DimacsError::BadLine {
+                        line: idx + 1,
+                        text: text.into(),
+                    })
+                };
+                let u = parse(it.next())?;
+                let v = parse(it.next())?;
+                for id in [u, v] {
+                    if id == 0 || id > n {
+                        return Err(DimacsError::VertexOutOfRange {
+                            line: idx + 1,
+                            id,
+                            n,
+                        });
+                    }
+                }
+                b.add_edge((u - 1) as VertexId, (v - 1) as VertexId);
+            }
+            // Unknown directives (n = node lines with weights, x, d, …) are
+            // tolerated, like most DIMACS readers.
+            Some(_) => continue,
+            None => continue,
+        }
+    }
+    match builder {
+        Some(mut b) => Ok(b.symmetrize().build()),
+        None => Err(DimacsError::MissingProblemLine),
+    }
+}
+
+/// Writes `g` as a DIMACS `.col` file (each undirected edge once).
+pub fn write_dimacs<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "c written by gcol-graph")?;
+    writeln!(w, "p edge {} {}", g.num_vertices(), g.num_edges() / 2)?;
+    for (u, v) in g.edges() {
+        if u < v {
+            writeln!(w, "e {} {}", u + 1, v + 1)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<Csr, DimacsError> {
+        read_dimacs(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_the_classic_example() {
+        // myciel3-style header + a triangle.
+        let g = parse(
+            "c the odd cycle C3\n\
+             p edge 3 3\n\
+             e 1 2\n\
+             e 2 3\n\
+             e 3 1\n",
+        )
+        .unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn tolerates_unknown_directives_and_blank_lines() {
+        let g = parse(
+            "p edge 2 1\n\
+             n 1 5\n\
+             \n\
+             e 1 2\n",
+        )
+        .unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn rejects_edge_before_problem_line() {
+        assert!(matches!(
+            parse("e 1 2\n"),
+            Err(DimacsError::MissingProblemLine)
+        ));
+        assert!(matches!(parse(""), Err(DimacsError::MissingProblemLine)));
+    }
+
+    #[test]
+    fn rejects_duplicate_problem_line() {
+        assert!(matches!(
+            parse("p edge 2 0\np edge 3 0\n"),
+            Err(DimacsError::DuplicateProblemLine { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        assert!(matches!(
+            parse("p edge 2 1\ne 1 5\n"),
+            Err(DimacsError::VertexOutOfRange { id: 5, .. })
+        ));
+        assert!(matches!(
+            parse("p edge 2 1\ne 0 1\n"),
+            Err(DimacsError::VertexOutOfRange { id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_lines() {
+        assert!(matches!(
+            parse("p edge x y\n"),
+            Err(DimacsError::BadLine { .. })
+        ));
+        assert!(matches!(
+            parse("p edge 2 1\ne one two\n"),
+            Err(DimacsError::BadLine { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::gen::simple::erdos_renyi(60, 200, 9);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let g2 = read_dimacs(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn self_loops_dropped_duplicates_merged() {
+        let g = parse(
+            "p edge 3 4\n\
+             e 1 1\n\
+             e 1 2\n\
+             e 2 1\n\
+             e 2 3\n",
+        )
+        .unwrap();
+        assert!(g.has_no_self_loops());
+        assert_eq!(g.num_edges(), 4);
+    }
+}

@@ -1,0 +1,108 @@
+//! Plain whitespace-separated edge lists (`u v` per line, `#` comments).
+
+use crate::builder::CsrBuilder;
+use crate::csr::{Csr, VertexId};
+use std::io::{BufRead, Write};
+
+/// Reads an edge list with 0-based vertex ids; the graph is symmetrized.
+/// `n` is inferred as `max id + 1` unless `num_vertices` is given.
+pub fn read_edge_list<R: BufRead>(reader: R, num_vertices: Option<usize>) -> std::io::Result<Csr> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id = 0 as VertexId;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') || text.starts_with('%') {
+            continue;
+        }
+        let mut it = text.split_whitespace();
+        let parse = |s: Option<&str>| -> std::io::Result<VertexId> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("bad edge at line {}: {text:?}", idx + 1),
+                )
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = num_vertices.unwrap_or_else(|| {
+        if edges.is_empty() {
+            0
+        } else {
+            max_id as usize + 1
+        }
+    });
+    if let Some((u, v)) = edges
+        .iter()
+        .find(|&&(u, v)| u as usize >= n || v as usize >= n)
+    {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("edge ({u}, {v}) out of range for {n} vertices"),
+        ));
+    }
+    let mut b = CsrBuilder::with_capacity(n, edges.len() * 2);
+    b.add_edges(edges);
+    Ok(b.symmetrize().build())
+}
+
+/// Writes each stored edge `(u, v)` with `u < v` once, 0-based.
+pub fn write_edge_list<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "# gcol edge list: {} vertices", g.num_vertices())?;
+    for (u, v) in g.edges() {
+        if u < v {
+            writeln!(w, "{u} {v}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn reads_simple_list() {
+        let g = read_edge_list(BufReader::new("# comment\n0 1\n1 2\n\n".as_bytes()), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn explicit_vertex_count_allows_isolated_tail() {
+        let g = read_edge_list(BufReader::new("0 1\n".as_bytes()), Some(5)).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.degree(4), 0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_for_explicit_count() {
+        assert!(read_edge_list(BufReader::new("0 9\n".as_bytes()), Some(3)).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_edge_list(BufReader::new("zero one\n".as_bytes()), None).is_err());
+        assert!(read_edge_list(BufReader::new("0\n".as_bytes()), None).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edge_list(BufReader::new("".as_bytes()), None).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::gen::simple::erdos_renyi(30, 80, 2);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(BufReader::new(buf.as_slice()), Some(g.num_vertices())).unwrap();
+        assert_eq!(g, g2);
+    }
+}

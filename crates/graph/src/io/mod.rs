@@ -1,0 +1,13 @@
+//! Graph IO: MatrixMarket (the format the University of Florida collection
+//! ships), DIMACS `.col` (the coloring community's benchmark format) and
+//! plain edge lists. Having the real loaders means the benchmark
+//! suite can run on the paper's actual matrices when they are available,
+//! falling back to structural stand-ins otherwise.
+
+pub mod dimacs;
+pub mod edgelist;
+pub mod mtx;
+
+pub use dimacs::{read_dimacs, write_dimacs, DimacsError};
+pub use edgelist::{read_edge_list, write_edge_list};
+pub use mtx::{read_matrix_market, write_matrix_market, MtxError};

@@ -1,0 +1,312 @@
+//! MatrixMarket coordinate-format reader/writer.
+//!
+//! Supports the subset the SuiteSparse graphs need: `matrix coordinate
+//! {pattern|real|integer|complex} {general|symmetric|skew-symmetric}`.
+//! Numeric values are parsed and discarded (coloring only needs the
+//! sparsity pattern); diagonal entries become self-loops and are dropped by
+//! the builder, matching how graph-coloring treats matrices.
+
+use crate::builder::CsrBuilder;
+use crate::csr::{Csr, VertexId};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors while parsing a MatrixMarket stream.
+#[derive(Debug)]
+pub enum MtxError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The `%%MatrixMarket` banner was missing or malformed.
+    BadHeader(String),
+    /// The matrix is not square (graphs need n == m).
+    NotSquare {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+    /// A data line did not parse.
+    BadEntry {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An index was outside `1..=n`.
+    IndexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending index.
+        index: usize,
+        /// Matrix dimension.
+        n: usize,
+    },
+    /// Fewer data lines than the header promised.
+    TruncatedData {
+        /// Entries promised by the size line.
+        expected: usize,
+        /// Entries actually present.
+        got: usize,
+    },
+}
+
+impl fmt::Display for MtxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "io error: {e}"),
+            MtxError::BadHeader(h) => write!(f, "bad MatrixMarket header: {h}"),
+            MtxError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            MtxError::BadEntry { line, text } => {
+                write!(f, "unparsable entry at line {line}: {text:?}")
+            }
+            MtxError::IndexOutOfRange { line, index, n } => {
+                write!(f, "index {index} out of range 1..={n} at line {line}")
+            }
+            MtxError::TruncatedData { expected, got } => {
+                write!(f, "expected {expected} entries, found {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+/// Parses a MatrixMarket coordinate stream into a symmetric CSR graph.
+///
+/// `general` matrices are symmetrized (the paper colors the graph of
+/// `A + Aᵀ`, the standard treatment for nonsymmetric patterns);
+/// `symmetric`/`skew-symmetric` ones store one triangle which we mirror.
+/// Self-loops (diagonal entries) are dropped.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MtxError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Banner.
+    let (_, banner) = lines
+        .next()
+        .ok_or_else(|| MtxError::BadHeader("empty input".into()))?;
+    let banner = banner?;
+    let lower = banner.to_ascii_lowercase();
+    let fields: Vec<&str> = lower.split_whitespace().collect();
+    if fields.len() < 5
+        || fields[0] != "%%matrixmarket"
+        || fields[1] != "matrix"
+        || fields[2] != "coordinate"
+    {
+        return Err(MtxError::BadHeader(banner));
+    }
+    let value_kind = fields[3];
+    if !matches!(value_kind, "pattern" | "real" | "integer" | "complex") {
+        return Err(MtxError::BadHeader(banner));
+    }
+    let symmetry = fields[4];
+    if !matches!(
+        symmetry,
+        "general" | "symmetric" | "skew-symmetric" | "hermitian"
+    ) {
+        return Err(MtxError::BadHeader(banner));
+    }
+
+    // Size line (first non-comment line).
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut builder: Option<CsrBuilder> = None;
+    let mut entries_read = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('%') {
+            continue;
+        }
+        let mut it = text.split_whitespace();
+        if size.is_none() {
+            let parse = |s: Option<&str>| -> Option<usize> { s.and_then(|x| x.parse().ok()) };
+            let (rows, cols, nnz) = match (parse(it.next()), parse(it.next()), parse(it.next())) {
+                (Some(r), Some(c), Some(z)) => (r, c, z),
+                _ => {
+                    return Err(MtxError::BadEntry {
+                        line: idx + 1,
+                        text: text.into(),
+                    })
+                }
+            };
+            if rows != cols {
+                return Err(MtxError::NotSquare { rows, cols });
+            }
+            size = Some((rows, cols, nnz));
+            builder = Some(CsrBuilder::with_capacity(rows, nnz * 2));
+            continue;
+        }
+        let (n, _, nnz) = size.unwrap();
+        let parse_idx = |s: Option<&str>| -> Result<usize, MtxError> {
+            s.and_then(|x| x.parse().ok()).ok_or(MtxError::BadEntry {
+                line: idx + 1,
+                text: text.into(),
+            })
+        };
+        let i = parse_idx(it.next())?;
+        let j = parse_idx(it.next())?;
+        for (label, v) in [("row", i), ("col", j)] {
+            let _ = label;
+            if v == 0 || v > n {
+                return Err(MtxError::IndexOutOfRange {
+                    line: idx + 1,
+                    index: v,
+                    n,
+                });
+            }
+        }
+        entries_read += 1;
+        if entries_read > nnz {
+            // Extra entries: treat like the reference readers — error out.
+            return Err(MtxError::BadEntry {
+                line: idx + 1,
+                text: format!("entry #{entries_read} exceeds nnz {nnz}"),
+            });
+        }
+        let b = builder.as_mut().unwrap();
+        b.add_edge((i - 1) as VertexId, (j - 1) as VertexId);
+    }
+
+    let (_, _, nnz) = size.ok_or_else(|| MtxError::BadHeader("missing size line".into()))?;
+    if entries_read != nnz {
+        return Err(MtxError::TruncatedData {
+            expected: nnz,
+            got: entries_read,
+        });
+    }
+    // Both general and symmetric inputs go through symmetrize(): general
+    // patterns become A + Aᵀ, one-triangle symmetric storage is mirrored.
+    Ok(builder.unwrap().symmetrize().build())
+}
+
+/// Writes `g` in `pattern general` coordinate format (one directed entry
+/// per stored edge).
+pub fn write_matrix_market<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern general")?;
+    writeln!(w, "% written by gcol-graph")?;
+    writeln!(
+        w,
+        "{} {} {}",
+        g.num_vertices(),
+        g.num_vertices(),
+        g.num_edges()
+    )?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{} {}", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<Csr, MtxError> {
+        read_matrix_market(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_symmetric_pattern() {
+        let g = parse(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n\
+             % a comment\n\
+             3 3 3\n\
+             2 1\n\
+             3 1\n\
+             3 2\n",
+        )
+        .unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 6); // mirrored triangle
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn parses_general_real_and_symmetrizes() {
+        let g = parse(
+            "%%MatrixMarket matrix coordinate real general\n\
+             2 2 3\n\
+             1 2 0.5\n\
+             2 1 -1.0\n\
+             1 1 3.25\n",
+        )
+        .unwrap();
+        // Self-loop (1,1) dropped; (1,2)+(2,1) dedup to one undirected edge.
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(matches!(
+            parse("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n"),
+            Err(MtxError::NotSquare { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        assert!(matches!(
+            parse("%%MatrixMarket matrix array real general\n"),
+            Err(MtxError::BadHeader(_))
+        ));
+        assert!(matches!(parse(""), Err(MtxError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        assert!(matches!(
+            parse("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n"),
+            Err(MtxError::IndexOutOfRange { index: 9, .. })
+        ));
+        assert!(matches!(
+            parse("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"),
+            Err(MtxError::IndexOutOfRange { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        assert!(matches!(
+            parse("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n"),
+            Err(MtxError::TruncatedData {
+                expected: 2,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_excess_data() {
+        assert!(matches!(
+            parse(
+                "%%MatrixMarket matrix coordinate pattern general\n\
+                 2 2 1\n1 2\n2 1\n"
+            ),
+            Err(MtxError::BadEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let g = crate::gen::simple::erdos_renyi(40, 100, 5);
+        let mut buf = Vec::new();
+        write_matrix_market(&g, &mut buf).unwrap();
+        let g2 = read_matrix_market(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn case_insensitive_banner() {
+        let g = parse("%%MatrixMarket MATRIX Coordinate Pattern General\n1 1 0\n").unwrap();
+        assert_eq!(g.num_vertices(), 1);
+    }
+}

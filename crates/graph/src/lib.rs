@@ -1,0 +1,43 @@
+//! # gcol-graph — graph substrate
+//!
+//! Compressed-sparse-row (CSR) graph storage plus everything the paper's
+//! evaluation needs around it:
+//!
+//! * [`Csr`] / [`CsrBuilder`] — the `R` (row offsets) and `C` (column
+//!   indices) arrays of §III-C, Fig. 2 of the paper.
+//! * [`gen`] — deterministic generators: R-MAT (§IV), plus structural
+//!   stand-ins for the four University-of-Florida matrices of Table I.
+//! * [`io`] — MatrixMarket and edge-list readers/writers so the real
+//!   SuiteSparse files can be dropped in.
+//! * [`stats`] — the degree statistics reported in Table I.
+//! * [`ordering`] — vertex ordering heuristics (first-fit order, largest
+//!   degree first, smallest degree last, random).
+//! * [`partition`] — the block partitioning + boundary-vertex detection used
+//!   by the 3-step GM baseline (Grosset et al.).
+//! * [`check`] — coloring validity checks shared by every algorithm.
+//! * [`traverse`] — BFS, connected components and bipartiteness (the
+//!   structural oracles the test suites verify colorings against).
+//!
+//! The crate is dependency-light and fully deterministic: generators are
+//! seeded with an in-house [`rng`] (splitmix64 / xoshiro256**) so the
+//! benchmark suite is bit-stable across platforms and crate versions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod check;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod ordering;
+pub mod partition;
+pub mod relabel;
+pub mod rng;
+pub mod stats;
+pub mod traverse;
+
+pub use builder::CsrBuilder;
+pub use check::{verify_coloring, Color, ColoringViolation};
+pub use csr::{Csr, VertexId};
+pub use stats::DegreeStats;

@@ -1,0 +1,282 @@
+//! Vertex ordering heuristics.
+//!
+//! §II of the paper discusses the classical trade-off between First Fit
+//! (natural order, fastest) and degree-based orderings (fewer colors,
+//! slower). The sequential and CPU-parallel algorithms accept any of these
+//! orders; the GPU kernels implicitly use natural order (thread id = vertex
+//! id), which is what the paper evaluates.
+
+use crate::csr::{Csr, VertexId};
+use crate::rng::Xoshiro256;
+
+/// A vertex visitation order for greedy coloring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// Natural order `0..n` — the paper's First Fit (FF).
+    Natural,
+    /// Largest degree first (Welsh–Powell / the paper's LF).
+    LargestDegreeFirst,
+    /// Smallest degree last (Matula–Beck): repeatedly remove a minimum-
+    /// degree vertex; color in reverse removal order. Uses colors ≤
+    /// degeneracy + 1.
+    SmallestDegreeLast,
+    /// Uniformly random permutation (seeded).
+    Random(u64),
+}
+
+/// Computes the permutation of vertices induced by `ord`.
+pub fn order_vertices(g: &Csr, ord: Ordering) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    match ord {
+        Ordering::Natural => (0..n as VertexId).collect(),
+        Ordering::LargestDegreeFirst => {
+            let mut vs: Vec<VertexId> = (0..n as VertexId).collect();
+            // Stable sort keeps natural order within equal degrees, so the
+            // result is deterministic.
+            vs.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+            vs
+        }
+        Ordering::SmallestDegreeLast => smallest_degree_last(g),
+        Ordering::Random(seed) => {
+            let mut vs: Vec<VertexId> = (0..n as VertexId).collect();
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            rng.shuffle(&mut vs);
+            vs
+        }
+    }
+}
+
+/// Matula–Beck smallest-degree-last ordering via bucketed degeneracy
+/// peeling; O(n + m).
+fn smallest_degree_last(g: &Csr) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_deg = g.max_degree();
+    let mut degree: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    // Bucket queue keyed by current degree.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n as VertexId {
+        buckets[degree[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut removal_order = Vec::with_capacity(n);
+    let mut cursor = 0usize;
+    while removal_order.len() < n {
+        // Find the lowest non-empty bucket; cursor can move back by at most
+        // one per removal, so total work is O(n + m).
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = loop {
+            let Some(v) = buckets[cursor].pop() else {
+                cursor += 1;
+                continue;
+            };
+            // Lazily skip entries whose degree has since changed.
+            if !removed[v as usize] && degree[v as usize] == cursor {
+                break v;
+            }
+        };
+        removed[v as usize] = true;
+        removal_order.push(v);
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                let d = degree[w as usize];
+                degree[w as usize] = d - 1;
+                buckets[d - 1].push(w);
+                if d - 1 < cursor {
+                    cursor = d - 1;
+                }
+            }
+        }
+    }
+    removal_order.reverse();
+    removal_order
+}
+
+/// Core number of every vertex (k-core decomposition): the largest `k`
+/// such that the vertex survives in the subgraph where every vertex has
+/// degree ≥ `k`. Computed with the same O(n + m) bucket peeling as the
+/// smallest-degree-last order; the maximum core number is the degeneracy.
+/// Used by the JP-SL parallel ordering heuristic (Hasenplaugh et al.),
+/// whose priority levels are exactly these.
+pub fn core_numbers(g: &Csr) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_deg = g.max_degree();
+    let mut degree: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n as VertexId {
+        buckets[degree[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut core = vec![0u32; n];
+    let mut current_core = 0usize;
+    let mut cursor = 0usize;
+    let mut processed = 0usize;
+    while processed < n {
+        while cursor < buckets.len() && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        let v = loop {
+            let Some(v) = buckets[cursor].pop() else {
+                cursor += 1;
+                continue;
+            };
+            if !removed[v as usize] && degree[v as usize] == cursor {
+                break v;
+            }
+        };
+        current_core = current_core.max(cursor);
+        core[v as usize] = current_core as u32;
+        removed[v as usize] = true;
+        processed += 1;
+        for &w in g.neighbors(v) {
+            if !removed[w as usize] {
+                let d = degree[w as usize];
+                if d > cursor {
+                    degree[w as usize] = d - 1;
+                    buckets[d - 1].push(w);
+                    if d - 1 < cursor {
+                        cursor = d - 1;
+                    }
+                }
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy of `g` (max over the peeling of the min degree at removal
+/// time); greedy coloring in smallest-degree-last order uses at most
+/// `degeneracy + 1` colors.
+pub fn degeneracy(g: &Csr) -> usize {
+    let order = smallest_degree_last(g);
+    let n = g.num_vertices();
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    // Degeneracy = max back-degree in the SDL order (neighbors earlier in
+    // the order).
+    (0..n)
+        .map(|i| {
+            let v = order[i];
+            g.neighbors(v)
+                .iter()
+                .filter(|&&w| pos[w as usize] < i)
+                .count()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::simple::{complete, cycle, path, star};
+
+    #[test]
+    fn natural_is_identity() {
+        let g = path(5);
+        assert_eq!(order_vertices(&g, Ordering::Natural), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ldf_puts_hub_first() {
+        let g = star(10);
+        let ord = order_vertices(&g, Ordering::LargestDegreeFirst);
+        assert_eq!(ord[0], 0);
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let g = crate::gen::simple::erdos_renyi(200, 600, 1);
+        for ord in [
+            Ordering::Natural,
+            Ordering::LargestDegreeFirst,
+            Ordering::SmallestDegreeLast,
+            Ordering::Random(42),
+        ] {
+            let mut p = order_vertices(&g, ord);
+            p.sort_unstable();
+            assert_eq!(p, (0..200).collect::<Vec<_>>(), "order {ord:?}");
+        }
+    }
+
+    #[test]
+    fn random_order_is_seed_deterministic() {
+        let g = path(50);
+        assert_eq!(
+            order_vertices(&g, Ordering::Random(7)),
+            order_vertices(&g, Ordering::Random(7))
+        );
+        assert_ne!(
+            order_vertices(&g, Ordering::Random(7)),
+            order_vertices(&g, Ordering::Random(8))
+        );
+    }
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        assert_eq!(degeneracy(&path(10)), 1);
+        assert_eq!(degeneracy(&cycle(10)), 2);
+        assert_eq!(degeneracy(&complete(6)), 5);
+        assert_eq!(degeneracy(&star(20)), 1);
+    }
+
+    #[test]
+    fn sdl_of_star_colors_hub_early() {
+        // SDL peels leaves; the hub is removed only once its degree drops
+        // to 1, i.e. it is one of the last two removals, so it appears in
+        // the first two positions of the reversed (coloring) order.
+        let g = star(8);
+        let ord = order_vertices(&g, Ordering::SmallestDegreeLast);
+        let hub_pos = ord.iter().position(|&v| v == 0).unwrap();
+        assert!(hub_pos <= 1, "hub at position {hub_pos}");
+    }
+
+    #[test]
+    fn degeneracy_of_empty_graph() {
+        let g = crate::csr::Csr::empty(5);
+        assert_eq!(degeneracy(&g), 0);
+        assert_eq!(order_vertices(&g, Ordering::SmallestDegreeLast).len(), 5);
+    }
+
+    #[test]
+    fn core_numbers_of_known_graphs() {
+        // Path: every vertex is 1-core.
+        assert!(core_numbers(&path(6)).iter().all(|&c| c == 1));
+        // Cycle: 2-core everywhere.
+        assert!(core_numbers(&cycle(7)).iter().all(|&c| c == 2));
+        // K5: 4-core everywhere.
+        assert!(core_numbers(&complete(5)).iter().all(|&c| c == 4));
+        // Star: hub and leaves are all 1-core.
+        assert!(core_numbers(&star(9)).iter().all(|&c| c == 1));
+        // Empty graph: no cores.
+        assert!(core_numbers(&crate::csr::Csr::empty(0)).is_empty());
+        assert!(core_numbers(&crate::csr::Csr::empty(4))
+            .iter()
+            .all(|&c| c == 0));
+    }
+
+    #[test]
+    fn max_core_equals_degeneracy() {
+        let g = crate::gen::simple::erdos_renyi(300, 1500, 5);
+        let cores = core_numbers(&g);
+        let max_core = cores.iter().copied().max().unwrap() as usize;
+        assert_eq!(max_core, degeneracy(&g));
+    }
+
+    #[test]
+    fn triangle_with_tail_has_two_core_levels() {
+        // Triangle 0-1-2 plus pendant 3 attached to 0.
+        let g = crate::builder::from_undirected_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)]);
+        let cores = core_numbers(&g);
+        assert_eq!(cores, vec![2, 2, 2, 1]);
+    }
+}

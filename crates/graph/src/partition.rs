@@ -1,0 +1,126 @@
+//! Contiguous block partitioning with boundary-vertex detection.
+//!
+//! The 3-step GM baseline (Grosset et al., §II-C of the paper) partitions
+//! the graph into per-thread-block subgraphs and distinguishes *interior*
+//! vertices (all neighbors in the same partition — colorable without
+//! cross-partition conflicts) from *boundary* vertices (at least one
+//! neighbor elsewhere — these are where speculative conflicts can appear).
+//! Grosset's framework uses simple contiguous index ranges; we reproduce
+//! that, not a min-cut partitioner.
+
+use crate::csr::{Csr, VertexId};
+use rayon::prelude::*;
+
+/// A contiguous-range partitioning of the vertex set.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// Partition id of each vertex.
+    pub part_of: Vec<u32>,
+    /// Half-open vertex ranges `[start, end)` per partition.
+    pub ranges: Vec<(VertexId, VertexId)>,
+    /// `true` for vertices with at least one neighbor in another partition.
+    pub boundary: Vec<bool>,
+}
+
+impl Partitioning {
+    /// Splits `g` into `k` near-equal contiguous vertex ranges and flags
+    /// boundary vertices.
+    pub fn contiguous(g: &Csr, k: usize) -> Self {
+        assert!(k > 0, "need at least one partition");
+        let n = g.num_vertices();
+        let per = n.div_ceil(k.min(n.max(1)));
+        let mut ranges = Vec::new();
+        let mut part_of = vec![0u32; n];
+        let mut start = 0usize;
+        let mut pid = 0u32;
+        while start < n {
+            let end = (start + per).min(n);
+            ranges.push((start as VertexId, end as VertexId));
+            part_of[start..end].fill(pid);
+            start = end;
+            pid += 1;
+        }
+        if ranges.is_empty() {
+            ranges.push((0, 0));
+        }
+        let boundary: Vec<bool> = (0..n as VertexId)
+            .into_par_iter()
+            .map(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&w| part_of[w as usize] != part_of[v as usize])
+            })
+            .collect();
+        Self {
+            part_of,
+            ranges,
+            boundary,
+        }
+    }
+
+    /// Number of partitions actually created.
+    pub fn num_parts(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of boundary vertices.
+    pub fn num_boundary(&self) -> usize {
+        self.boundary.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::simple::{complete, path};
+
+    #[test]
+    fn partitions_cover_all_vertices_evenly() {
+        let g = path(10);
+        let p = Partitioning::contiguous(&g, 3);
+        assert_eq!(p.num_parts(), 3);
+        assert_eq!(p.ranges, vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(p.part_of, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn path_boundaries_are_cut_endpoints() {
+        let g = path(10);
+        let p = Partitioning::contiguous(&g, 3);
+        // Cuts at 3-4 and 7-8.
+        let expected: Vec<bool> = (0..10).map(|v| matches!(v, 3 | 4 | 7 | 8)).collect();
+        assert_eq!(p.boundary, expected);
+        assert_eq!(p.num_boundary(), 4);
+    }
+
+    #[test]
+    fn complete_graph_is_all_boundary() {
+        let g = complete(8);
+        let p = Partitioning::contiguous(&g, 2);
+        assert!(p.boundary.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn single_partition_has_no_boundary() {
+        let g = complete(8);
+        let p = Partitioning::contiguous(&g, 1);
+        assert_eq!(p.num_parts(), 1);
+        assert_eq!(p.num_boundary(), 0);
+    }
+
+    #[test]
+    fn more_parts_than_vertices() {
+        let g = path(3);
+        let p = Partitioning::contiguous(&g, 10);
+        assert_eq!(p.num_parts(), 3);
+        assert!(p.boundary.iter().all(|&b| b), "every vertex is a cut");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::empty(0);
+        let p = Partitioning::contiguous(&g, 4);
+        assert_eq!(p.part_of.len(), 0);
+        assert_eq!(p.num_boundary(), 0);
+    }
+}

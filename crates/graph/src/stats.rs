@@ -1,0 +1,119 @@
+//! Degree statistics — the columns of Table I.
+
+use crate::csr::Csr;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The per-graph summary the paper reports in Table I: vertex/edge counts,
+/// min/max/average degree and the (population) variance of the degree
+/// distribution, plus structural symmetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of vertices (rows).
+    pub num_vertices: usize,
+    /// Number of stored directed edges (non-zero elements).
+    pub num_edges: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub avg_degree: f64,
+    /// Population variance of the degree distribution.
+    pub variance: f64,
+    /// Whether the sparsity pattern is structurally symmetric.
+    pub symmetric: bool,
+}
+
+impl DegreeStats {
+    /// Computes the statistics for `g`. Runs the per-vertex reductions in
+    /// parallel; symmetry is checked with the sorted-adjacency membership
+    /// test.
+    pub fn compute(g: &Csr) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Self {
+                num_vertices: 0,
+                num_edges: 0,
+                min_degree: 0,
+                max_degree: 0,
+                avg_degree: 0.0,
+                variance: 0.0,
+                symmetric: true,
+            };
+        }
+        let degrees: Vec<usize> = (0..n as u32).into_par_iter().map(|v| g.degree(v)).collect();
+        let min_degree = degrees.par_iter().copied().min().unwrap();
+        let max_degree = degrees.par_iter().copied().max().unwrap();
+        let sum: usize = degrees.par_iter().sum();
+        let avg = sum as f64 / n as f64;
+        let var = degrees
+            .par_iter()
+            .map(|&d| {
+                let diff = d as f64 - avg;
+                diff * diff
+            })
+            .sum::<f64>()
+            / n as f64;
+        let symmetric = (0..n as u32)
+            .into_par_iter()
+            .all(|u| g.neighbors(u).iter().all(|&v| g.has_edge_sorted(v, u)));
+        Self {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            min_degree,
+            max_degree,
+            avg_degree: avg,
+            variance: var,
+            symmetric,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_undirected_edges;
+
+    #[test]
+    fn stats_of_fig2_graph() {
+        let g = from_undirected_edges(5, [(0, 1), (0, 2), (1, 2), (1, 3), (1, 4), (2, 4), (3, 4)]);
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 14);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.avg_degree - 2.8).abs() < 1e-12);
+        assert!(s.symmetric);
+        // degrees: [2, 4, 3, 2, 3]; mean 2.8; variance = (0.64+1.44+0.04+0.64+0.04)/5
+        assert!((s.variance - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = Csr::empty(0);
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.variance, 0.0);
+        assert!(s.symmetric);
+    }
+
+    #[test]
+    fn stats_flags_asymmetric_graph() {
+        let g = Csr::new(vec![0, 1, 1], vec![1]);
+        let s = DegreeStats::compute(&g);
+        assert!(!s.symmetric);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 1);
+    }
+
+    #[test]
+    fn regular_graph_has_zero_variance() {
+        // A 4-cycle: every degree is 2.
+        let g = from_undirected_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let s = DegreeStats::compute(&g);
+        assert_eq!(s.min_degree, 2);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.variance, 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Breadth-first traversal utilities: connected components, BFS layers
+//! and bipartiteness. These serve as *oracles* in the test suites — a
+//! bipartite graph must 2-color, per-component color counts are
+//! independent, BFS layering bounds the diameter-related behavior of the
+//! iterative schemes — and as diagnostics for the benchmark suite.
+
+use crate::csr::{Csr, VertexId};
+
+/// Connected-component labeling.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per vertex (ids are dense, 0-based, in order of
+    /// first-vertex discovery).
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+/// Labels connected components with an iterative BFS (no recursion, safe
+/// for million-vertex graphs).
+pub fn connected_components(g: &Csr) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    let mut count = 0u32;
+    for start in 0..n as VertexId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = count;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &w in g.neighbors(v) {
+                if label[w as usize] == u32::MAX {
+                    label[w as usize] = count;
+                    queue.push(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        label,
+        count: count as usize,
+    }
+}
+
+/// BFS distances from `source` (`u32::MAX` for unreachable vertices).
+pub fn bfs_distances(g: &Csr, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u32::MAX; n];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut next = Vec::new();
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        for &v in &frontier {
+            for &w in g.neighbors(v) {
+                if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = d;
+                    next.push(w);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+/// If `g` is bipartite, returns a proper 2-coloring (colors 1/2, isolated
+/// vertices colored 1); otherwise `None` (an odd cycle exists).
+pub fn bipartition(g: &Csr) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    let mut side = vec![0u32; n]; // 0 = unvisited, else 1/2
+    let mut queue: Vec<VertexId> = Vec::new();
+    for start in 0..n as VertexId {
+        if side[start as usize] != 0 {
+            continue;
+        }
+        side[start as usize] = 1;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            let opposite = 3 - side[v as usize];
+            for &w in g.neighbors(v) {
+                match side[w as usize] {
+                    0 => {
+                        side[w as usize] = opposite;
+                        queue.push(w);
+                    }
+                    s if s == side[v as usize] && w != v => return None,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// Eccentricity of `source` (longest BFS distance within its component).
+pub fn eccentricity(g: &Csr, source: VertexId) -> u32 {
+    bfs_distances(g, source)
+        .into_iter()
+        .filter(|&d| d != u32::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_undirected_edges;
+    use crate::check::verify_coloring;
+    use crate::gen::simple::{complete, cycle, path, star};
+    use crate::gen::{grid2d, grid3d, StencilKind};
+
+    #[test]
+    fn single_component_path() {
+        let g = path(10);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert!(c.label.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn disjoint_pieces_are_separate_components() {
+        // Two triangles + an isolated vertex.
+        let g = from_undirected_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_ne!(c.label[0], c.label[3]);
+        assert_ne!(c.label[3], c.label[6]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(6);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(bfs_distances(&g, 3), vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = from_undirected_edges(4, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn bipartition_of_bipartite_graphs() {
+        for g in [
+            path(17),
+            cycle(20),
+            star(30),
+            grid2d(9, 7, StencilKind::FivePoint),
+            grid3d(4, 5, 6),
+        ] {
+            let side = bipartition(&g).expect("bipartite");
+            verify_coloring(&g, &side).unwrap();
+        }
+    }
+
+    #[test]
+    fn odd_structures_are_not_bipartite() {
+        assert!(bipartition(&cycle(9)).is_none());
+        assert!(bipartition(&complete(3)).is_none());
+        // 9-point stencil contains triangles.
+        assert!(bipartition(&grid2d(4, 4, StencilKind::NinePoint)).is_none());
+    }
+
+    #[test]
+    fn eccentricity_of_known_shapes() {
+        assert_eq!(eccentricity(&path(10), 0), 9);
+        assert_eq!(eccentricity(&path(10), 5), 5);
+        assert_eq!(eccentricity(&star(50), 0), 1);
+        assert_eq!(eccentricity(&star(50), 1), 2);
+        assert_eq!(eccentricity(&complete(8), 3), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = Csr::empty(3);
+        assert_eq!(connected_components(&g).count, 3);
+        assert!(bipartition(&g).is_some());
+    }
+}

@@ -1,0 +1,87 @@
+//! Work-efficient exclusive scan (Blelloch 1989) — the algorithm GPU block
+//! scans implement in shared memory, implemented here over a power-of-two
+//! padded tree. This is the *reference semantics* implementation (single
+//! threaded, mirroring the up-sweep/down-sweep structure exactly); the
+//! multicore production path is [`crate::par`].
+
+/// Exclusive scan via up-sweep (reduce) and down-sweep phases; returns the
+/// total. O(n) work, O(log n) depth.
+pub fn blelloch_exclusive_scan(xs: &mut Vec<u32>) -> u32 {
+    let n = xs.len();
+    if n == 0 {
+        return 0;
+    }
+    let padded = n.next_power_of_two();
+    xs.resize(padded, 0);
+
+    // Up-sweep: xs[k + 2^(d+1) - 1] += xs[k + 2^d - 1].
+    let mut stride = 1usize;
+    while stride < padded {
+        let step = stride * 2;
+        for k in (0..padded).step_by(step) {
+            xs[k + step - 1] += xs[k + stride - 1];
+        }
+        stride = step;
+    }
+
+    let total = xs[padded - 1];
+    xs[padded - 1] = 0;
+
+    // Down-sweep.
+    let mut stride = padded / 2;
+    while stride >= 1 {
+        let step = stride * 2;
+        for k in (0..padded).step_by(step) {
+            let t = xs[k + stride - 1];
+            xs[k + stride - 1] = xs[k + step - 1];
+            xs[k + step - 1] += t;
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+
+    xs.truncate(n);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::exclusive_scan;
+
+    #[test]
+    fn matches_sequential_on_powers_of_two() {
+        let xs: Vec<u32> = (0..64).map(|i| (i * 7 + 3) % 13).collect();
+        let (expect, total) = exclusive_scan(&xs);
+        let mut got = xs;
+        assert_eq!(blelloch_exclusive_scan(&mut got), total);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn matches_sequential_on_ragged_lengths() {
+        for n in [0usize, 1, 2, 3, 5, 31, 33, 100, 255, 257] {
+            let xs: Vec<u32> = (0..n as u32).map(|i| i % 5).collect();
+            let (expect, total) = exclusive_scan(&xs);
+            let mut got = xs;
+            assert_eq!(blelloch_exclusive_scan(&mut got), total, "n = {n}");
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn all_zeros() {
+        let mut xs = vec![0u32; 17];
+        assert_eq!(blelloch_exclusive_scan(&mut xs), 0);
+        assert!(xs.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn single_element() {
+        let mut xs = vec![42u32];
+        assert_eq!(blelloch_exclusive_scan(&mut xs), 42);
+        assert_eq!(xs, vec![0]);
+    }
+}

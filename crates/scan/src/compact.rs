@@ -1,0 +1,80 @@
+//! Stream compaction: gather the flagged subset of a sequence into a dense
+//! output, preserving input order — exactly the worklist-assembly pattern
+//! of Fig. 5 in the paper.
+
+use rayon::prelude::*;
+
+/// Returns the elements of `xs` whose flag is set, in input order.
+pub fn compact_flagged<T: Copy + Send + Sync>(xs: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(xs.len(), flags.len(), "flags must match items");
+    let reqs: Vec<u32> = flags.par_iter().map(|&f| f as u32).collect();
+    let (offsets, total) = crate::par::par_exclusive_scan(&reqs);
+    let mut out = vec![None; total as usize];
+    // Scatter in parallel: offsets are unique for flagged items.
+    let slots: Vec<(usize, T)> = xs
+        .par_iter()
+        .zip(flags.par_iter())
+        .zip(offsets.par_iter())
+        .filter_map(|((&x, &f), &o)| f.then_some((o as usize, x)))
+        .collect();
+    for (o, x) in slots {
+        out[o] = Some(x);
+    }
+    out.into_iter()
+        .map(|x| x.expect("scan produced dense offsets"))
+        .collect()
+}
+
+/// Returns the *indices* whose flag is set, in increasing order — the
+/// shape of "put conflicting vertices into the remaining worklist".
+pub fn compact_indices(flags: &[bool]) -> Vec<u32> {
+    let ids: Vec<u32> = (0..flags.len() as u32).collect();
+    compact_flagged(&ids, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_compaction_preserves_order() {
+        let xs = [10, 20, 30, 40, 50];
+        let flags = [true, false, true, true, false];
+        assert_eq!(compact_flagged(&xs, &flags), vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn indices_variant() {
+        assert_eq!(
+            compact_indices(&[false, true, true, false, true]),
+            vec![1, 2, 4]
+        );
+    }
+
+    #[test]
+    fn all_and_none() {
+        let xs = [1, 2, 3];
+        assert_eq!(compact_flagged(&xs, &[true; 3]), vec![1, 2, 3]);
+        assert!(compact_flagged(&xs, &[false; 3]).is_empty());
+    }
+
+    #[test]
+    fn empty() {
+        assert!(compact_flagged::<u32>(&[], &[]).is_empty());
+        assert!(compact_indices(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "flags must match items")]
+    fn mismatched_lengths_panic() {
+        compact_flagged(&[1, 2], &[true]);
+    }
+
+    #[test]
+    fn large_input_matches_filter() {
+        let xs: Vec<u32> = (0..100_000).collect();
+        let flags: Vec<bool> = xs.iter().map(|&x| x % 3 == 0).collect();
+        let expect: Vec<u32> = xs.iter().copied().filter(|&x| x % 3 == 0).collect();
+        assert_eq!(compact_flagged(&xs, &flags), expect);
+    }
+}

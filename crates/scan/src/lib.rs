@@ -1,0 +1,45 @@
+//! # gcol-scan — prefix-sum and compaction primitives
+//!
+//! The paper (§III-C, Fig. 5) relies on parallel prefix sum — via NVIDIA's
+//! CUB library — to turn per-thread "I want to emit k items" requests into
+//! scatter offsets, replacing per-item atomic queue pushes with one global
+//! atomic per thread block. This crate provides that primitive family on
+//! the host:
+//!
+//! * [`seq`] — straightforward sequential scans (the correctness oracle).
+//! * [`blelloch`] — the work-efficient up-sweep/down-sweep scan
+//!   (Blelloch 1989, ref. \[32\] of the paper).
+//! * [`par`] — a chunked two-pass multicore scan built on rayon.
+//! * [`compact`] — stream compaction (select-if) built on scan.
+//! * [`reduce`] — parallel reductions and histograms.
+//!
+//! The device-side (simulated GPU) block scan lives in `gcol-simt`; its
+//! tests use this crate as the reference.
+//!
+//! ```
+//! use gcol_scan::{exclusive_scan, compact_flagged};
+//!
+//! // Fig. 5 of the paper: allocation requests → scatter offsets.
+//! let requests = [2u32, 1, 0, 3];
+//! let (offsets, total) = exclusive_scan(&requests);
+//! assert_eq!(offsets, vec![0, 2, 3, 3]);
+//! assert_eq!(total, 6);
+//!
+//! // Order-preserving compaction (worklist assembly).
+//! let kept = compact_flagged(&[10, 20, 30], &[true, false, true]);
+//! assert_eq!(kept, vec![10, 30]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod blelloch;
+pub mod compact;
+pub mod par;
+pub mod reduce;
+pub mod seq;
+
+pub use blelloch::blelloch_exclusive_scan;
+pub use compact::{compact_flagged, compact_indices};
+pub use par::{par_exclusive_scan, par_inclusive_scan};
+pub use seq::{exclusive_scan, inclusive_scan};

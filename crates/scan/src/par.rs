@@ -1,0 +1,74 @@
+//! Chunked two-pass multicore scan.
+//!
+//! Pass 1 sums each chunk in parallel; a small sequential scan over the
+//! chunk totals yields per-chunk base offsets; pass 2 rewrites each chunk
+//! in parallel. This is the standard decomposition CUB's `DeviceScan` uses
+//! across thread blocks, here across rayon tasks.
+
+use rayon::prelude::*;
+
+/// Minimum work per rayon task; below this a sequential scan wins.
+const CHUNK: usize = 1 << 14;
+
+/// Parallel exclusive prefix sum; returns `(offsets, total)`.
+pub fn par_exclusive_scan(xs: &[u32]) -> (Vec<u32>, u32) {
+    if xs.len() <= CHUNK {
+        return crate::seq::exclusive_scan(xs);
+    }
+    let sums: Vec<u32> = xs.par_chunks(CHUNK).map(|c| c.iter().sum()).collect();
+    let (bases, total) = crate::seq::exclusive_scan(&sums);
+    let mut out = vec![0u32; xs.len()];
+    out.par_chunks_mut(CHUNK)
+        .zip(xs.par_chunks(CHUNK))
+        .zip(bases.par_iter())
+        .for_each(|((o, c), &base)| {
+            let mut acc = base;
+            for (oi, &ci) in o.iter_mut().zip(c) {
+                *oi = acc;
+                acc += ci;
+            }
+        });
+    (out, total)
+}
+
+/// Parallel inclusive prefix sum.
+pub fn par_inclusive_scan(xs: &[u32]) -> Vec<u32> {
+    let (mut out, _) = par_exclusive_scan(xs);
+    out.par_iter_mut()
+        .zip(xs.par_iter())
+        .for_each(|(o, &x)| *o += x);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{exclusive_scan, inclusive_scan};
+
+    #[test]
+    fn small_input_falls_through() {
+        let xs = [1u32, 2, 3];
+        assert_eq!(par_exclusive_scan(&xs), exclusive_scan(&xs));
+    }
+
+    #[test]
+    fn large_input_matches_sequential() {
+        let xs: Vec<u32> = (0..200_000u32).map(|i| i % 7).collect();
+        assert_eq!(par_exclusive_scan(&xs), exclusive_scan(&xs));
+        assert_eq!(par_inclusive_scan(&xs), inclusive_scan(&xs));
+    }
+
+    #[test]
+    fn chunk_boundary_lengths() {
+        for n in [CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK + 17] {
+            let xs: Vec<u32> = (0..n as u32).map(|i| (i * 31) % 11).collect();
+            assert_eq!(par_exclusive_scan(&xs), exclusive_scan(&xs), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(par_exclusive_scan(&[]), (vec![], 0));
+        assert_eq!(par_inclusive_scan(&[]), Vec::<u32>::new());
+    }
+}

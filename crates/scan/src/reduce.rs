@@ -1,0 +1,81 @@
+//! Parallel reductions and histograms used by the experiment harness
+//! (degree histograms, conflict counts, color tallies).
+
+use rayon::prelude::*;
+
+/// Parallel sum of a `u32` slice as `u64` (no overflow for ≤ 2^32 items).
+pub fn sum_u64(xs: &[u32]) -> u64 {
+    xs.par_iter().map(|&x| x as u64).sum()
+}
+
+/// Parallel maximum; `None` on empty input.
+pub fn max_u32(xs: &[u32]) -> Option<u32> {
+    xs.par_iter().copied().max()
+}
+
+/// Parallel minimum; `None` on empty input.
+pub fn min_u32(xs: &[u32]) -> Option<u32> {
+    xs.par_iter().copied().min()
+}
+
+/// Histogram of values `< buckets`; values out of range are counted in the
+/// last bucket. Computed with per-chunk local histograms merged at the end
+/// (no atomics — the technique the paper's "atomic operation reduction"
+/// section motivates, applied on the CPU).
+pub fn histogram(xs: &[u32], buckets: usize) -> Vec<u64> {
+    assert!(buckets > 0, "need at least one bucket");
+    xs.par_chunks(1 << 14)
+        .map(|chunk| {
+            let mut h = vec![0u64; buckets];
+            for &x in chunk {
+                let b = (x as usize).min(buckets - 1);
+                h[b] += 1;
+            }
+            h
+        })
+        .reduce(
+            || vec![0u64; buckets],
+            |mut a, b| {
+                for (ai, bi) in a.iter_mut().zip(b) {
+                    *ai += bi;
+                }
+                a
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_extrema() {
+        let xs = [3u32, 1, 4, 1, 5];
+        assert_eq!(sum_u64(&xs), 14);
+        assert_eq!(max_u32(&xs), Some(5));
+        assert_eq!(min_u32(&xs), Some(1));
+        assert_eq!(max_u32(&[]), None);
+        assert_eq!(min_u32(&[]), None);
+        assert_eq!(sum_u64(&[]), 0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = histogram(&[0, 1, 1, 2, 9], 4);
+        assert_eq!(h, vec![1, 2, 1, 1]); // 9 clamps into last bucket
+        assert_eq!(h.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn histogram_large_matches_serial() {
+        let xs: Vec<u32> = (0..100_000u32).map(|i| i % 10).collect();
+        let h = histogram(&xs, 10);
+        assert!(h.iter().all(|&c| c == 10_000));
+    }
+
+    #[test]
+    fn sum_does_not_overflow_u32() {
+        let xs = vec![u32::MAX; 4];
+        assert_eq!(sum_u64(&xs), 4 * (u32::MAX as u64));
+    }
+}

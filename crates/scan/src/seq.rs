@@ -1,0 +1,109 @@
+//! Sequential scans — simple, obviously correct, used as the oracle for
+//! every parallel variant.
+
+/// Exclusive prefix sum: `out[i] = sum(xs[..i])`. Returns the total (which
+/// equals `out[n]` in the size-`n+1` convention; we return it separately so
+/// `out` keeps the input length, matching CUB's `ExclusiveSum`).
+pub fn exclusive_scan(xs: &[u32]) -> (Vec<u32>, u32) {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0u32;
+    for &x in xs {
+        out.push(acc);
+        acc += x;
+    }
+    (out, acc)
+}
+
+/// Inclusive prefix sum: `out[i] = sum(xs[..=i])`.
+pub fn inclusive_scan(xs: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0u32;
+    for &x in xs {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// In-place exclusive scan; returns the total.
+pub fn exclusive_scan_in_place(xs: &mut [u32]) -> u32 {
+    let mut acc = 0u32;
+    for x in xs.iter_mut() {
+        let v = *x;
+        *x = acc;
+        acc += v;
+    }
+    acc
+}
+
+/// Generic exclusive scan over any associative operation with identity —
+/// used by tests to check non-addition monoids (max, min).
+pub fn exclusive_scan_by<T: Copy>(xs: &[T], identity: T, op: impl Fn(T, T) -> T) -> Vec<T> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = identity;
+    for &x in xs {
+        out.push(acc);
+        acc = op(acc, x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_basic() {
+        let (out, total) = exclusive_scan(&[2, 1, 0, 3, 2]);
+        assert_eq!(out, vec![0, 2, 3, 3, 6]);
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn exclusive_matches_fig5() {
+        // Fig. 5 of the paper: allocation requirements 2,1,0,3,2,... →
+        // offsets 0,2,3,3,6,...
+        let reqs = [2u32, 1, 0, 3, 2, 1, 1, 0];
+        let (offsets, total) = exclusive_scan(&reqs);
+        assert_eq!(offsets, vec![0, 2, 3, 3, 6, 8, 9, 10]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn inclusive_basic() {
+        assert_eq!(inclusive_scan(&[1, 2, 3]), vec![1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(exclusive_scan(&[]), (vec![], 0));
+        assert_eq!(inclusive_scan(&[]), Vec::<u32>::new());
+        assert_eq!(exclusive_scan_in_place(&mut []), 0);
+    }
+
+    #[test]
+    fn in_place_matches_out_of_place() {
+        let xs = [5u32, 0, 7, 1];
+        let (expect, total) = exclusive_scan(&xs);
+        let mut ys = xs;
+        assert_eq!(exclusive_scan_in_place(&mut ys), total);
+        assert_eq!(ys.to_vec(), expect);
+    }
+
+    #[test]
+    fn generic_scan_with_max() {
+        let out = exclusive_scan_by(&[3, 1, 4, 1, 5], 0, |a: u32, b| a.max(b));
+        assert_eq!(out, vec![0, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn inclusive_is_exclusive_shifted() {
+        let xs = [4u32, 2, 9, 0, 1];
+        let inc = inclusive_scan(&xs);
+        let (exc, total) = exclusive_scan(&xs);
+        for i in 0..xs.len() - 1 {
+            assert_eq!(inc[i], exc[i + 1]);
+        }
+        assert_eq!(*inc.last().unwrap(), total);
+    }
+}

@@ -1,0 +1,43 @@
+//! Property tests: every parallel/work-efficient scan variant must agree
+//! with the sequential oracle, and compaction must equal `filter`.
+
+use gcol_scan::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn blelloch_matches_sequential(xs in proptest::collection::vec(0u32..1000, 0..600)) {
+        let (expect, total) = exclusive_scan(&xs);
+        let mut got = xs;
+        prop_assert_eq!(blelloch_exclusive_scan(&mut got), total);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn par_matches_sequential(xs in proptest::collection::vec(0u32..1000, 0..2000)) {
+        prop_assert_eq!(par_exclusive_scan(&xs), exclusive_scan(&xs));
+        prop_assert_eq!(par_inclusive_scan(&xs), inclusive_scan(&xs));
+    }
+
+    #[test]
+    fn compact_equals_filter(pairs in proptest::collection::vec((any::<u32>(), any::<bool>()), 0..500)) {
+        let xs: Vec<u32> = pairs.iter().map(|&(x, _)| x).collect();
+        let flags: Vec<bool> = pairs.iter().map(|&(_, f)| f).collect();
+        let expect: Vec<u32> = pairs.iter().filter(|&&(_, f)| f).map(|&(x, _)| x).collect();
+        prop_assert_eq!(compact_flagged(&xs, &flags), expect);
+    }
+
+    #[test]
+    fn scan_is_monotone_for_nonnegative(xs in proptest::collection::vec(0u32..100, 1..300)) {
+        let (out, total) = exclusive_scan(&xs);
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(*out.last().unwrap() <= total);
+    }
+
+    #[test]
+    fn histogram_total_is_input_length(xs in proptest::collection::vec(0u32..64, 0..500),
+                                       buckets in 1usize..80) {
+        let h = gcol_scan::reduce::histogram(&xs, buckets);
+        prop_assert_eq!(h.iter().sum::<u64>(), xs.len() as u64);
+    }
+}

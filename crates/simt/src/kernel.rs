@@ -1,0 +1,341 @@
+//! The kernel programming model: per-thread code against a CUDA-like
+//! context.
+//!
+//! Kernels implement [`Kernel`] (independent threads) or [`CoopKernel`]
+//! (threads cooperate through a block-wide exclusive scan — the CUB
+//! `BlockScan` pattern of Fig. 5 in the paper). Every global-memory access
+//! goes through [`ThreadCtx`], which performs it functionally against the
+//! shared arena *and* records it in the lane trace for the timing model.
+
+use crate::mem::{Buffer, GpuMem, Word};
+use crate::trace::{LaneTrace, Op, OpKind};
+
+/// Execution context of one thread. Mirrors the CUDA built-ins
+/// (`threadIdx`, `blockIdx`, `blockDim`, `gridDim`) and exposes typed
+/// memory operations.
+pub struct ThreadCtx<'a> {
+    mem: &'a GpuMem,
+    /// Thread index within the block (`threadIdx.x`).
+    pub tid: u32,
+    /// Block index within the grid (`blockIdx.x`).
+    pub bid: u32,
+    /// Threads per block (`blockDim.x`).
+    pub bdim: u32,
+    /// Blocks in the grid (`gridDim.x`).
+    pub gdim: u32,
+    pub(crate) trace: LaneTrace,
+    pub(crate) scratch: Vec<u32>,
+    pub(crate) deferred: Vec<(u32, u32)>,
+    /// Per-block shared memory (scratchpad), zeroed at block start.
+    pub(crate) smem: Vec<u32>,
+}
+
+impl<'a> ThreadCtx<'a> {
+    pub(crate) fn new(mem: &'a GpuMem) -> Self {
+        Self {
+            mem,
+            tid: 0,
+            bid: 0,
+            bdim: 0,
+            gdim: 0,
+            trace: LaneTrace::default(),
+            scratch: Vec::new(),
+            deferred: Vec::new(),
+            smem: Vec::new(),
+        }
+    }
+
+    /// Resets the block-shared scratchpad at block entry (shared memory's
+    /// lifetime is the block; contents start zeroed for determinism).
+    pub(crate) fn reset_smem(&mut self, words: usize) {
+        self.smem.clear();
+        self.smem.resize(words, 0);
+    }
+
+    /// Applies all warp-deferred stores; called by the executor after every
+    /// warp completes.
+    pub(crate) fn flush_deferred(&mut self) {
+        for (addr, bits) in self.deferred.drain(..) {
+            self.mem.store_raw(addr as usize, bits);
+        }
+    }
+
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    pub fn global_id(&self) -> u32 {
+        self.bid * self.bdim + self.tid
+    }
+
+    /// Normal global load (`ld`, Fig. 4 left): misses L1, served by L2 or
+    /// DRAM.
+    #[inline]
+    pub fn ld<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
+        self.trace.ops.push(Op {
+            kind: OpKind::Ld,
+            addr: buf.addr(i),
+        });
+        self.mem.load(buf, i)
+    }
+
+    /// Read-only-cache load (`__ldg`, Fig. 4 right): may be served by the
+    /// per-SM read-only L1. Only correct for data that no thread writes
+    /// during the kernel — the executor does not enforce this, exactly
+    /// like real hardware.
+    #[inline]
+    pub fn ldg<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
+        self.trace.ops.push(Op {
+            kind: OpKind::Ldg,
+            addr: buf.addr(i),
+        });
+        self.mem.load(buf, i)
+    }
+
+    /// Global store.
+    #[inline]
+    pub fn st<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
+        self.trace.ops.push(Op {
+            kind: OpKind::St,
+            addr: buf.addr(i),
+        });
+        self.mem.store(buf, i, v);
+    }
+
+    /// Global store with *warp-synchronous visibility*: the write becomes
+    /// visible to other threads only after this thread's entire warp has
+    /// finished executing — modeling SIMT lockstep, where the 32 lanes of a
+    /// warp cannot observe each other's same-instruction stores. The
+    /// speculative coloring kernels use this for `color[v]`, which is what
+    /// makes speculation conflicts deterministic and faithful to lockstep
+    /// hardware (two adjacent vertices handled by the same warp *will*
+    /// race, exactly as on a real GPU). Timing-wise identical to [`ThreadCtx::st`].
+    #[inline]
+    pub fn st_warp<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
+        self.trace.ops.push(Op {
+            kind: OpKind::St,
+            addr: buf.addr(i),
+        });
+        self.deferred.push((buf.addr(i), v.to_bits()));
+    }
+
+    /// `atomicAdd`, returning the old value.
+    #[inline]
+    pub fn atomic_add(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+        self.trace.ops.push(Op {
+            kind: OpKind::Atomic,
+            addr: buf.addr(i),
+        });
+        self.mem.fetch_add(buf, i, v)
+    }
+
+    /// `atomicMax`, returning the old value.
+    #[inline]
+    pub fn atomic_max(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+        self.trace.ops.push(Op {
+            kind: OpKind::Atomic,
+            addr: buf.addr(i),
+        });
+        self.mem.fetch_max(buf, i, v)
+    }
+
+    /// `atomicMin`, returning the old value.
+    #[inline]
+    pub fn atomic_min(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+        self.trace.ops.push(Op {
+            kind: OpKind::Atomic,
+            addr: buf.addr(i),
+        });
+        self.mem.fetch_min(buf, i, v)
+    }
+
+    /// `atomicCAS`, returning the old value.
+    #[inline]
+    pub fn atomic_cas(&mut self, buf: Buffer<u32>, i: usize, expected: u32, new: u32) -> u32 {
+        self.trace.ops.push(Op {
+            kind: OpKind::Atomic,
+            addr: buf.addr(i),
+        });
+        self.mem.compare_exchange(buf, i, expected, new)
+    }
+
+    /// Charges `n` arithmetic instructions (loop bookkeeping, comparisons,
+    /// hash math, …). Kernels annotate their compute so the timing model
+    /// can weigh compute against memory.
+    #[inline]
+    pub fn alu(&mut self, n: u32) {
+        self.trace.alu += n as u64;
+    }
+
+    /// Ensures the thread-local scratch array (the `colorMask` of
+    /// Algorithm 1, which lives in local memory / register spill on a real
+    /// GPU) has at least `n` entries. Growing is free; contents persist
+    /// across threads, which is safe for mask arrays that use unique
+    /// marker values (the paper's no-reinitialization trick).
+    #[inline]
+    pub fn local_reserve(&mut self, n: usize) {
+        if self.scratch.len() < n {
+            self.scratch.resize(n, u32::MAX);
+        }
+    }
+
+    /// Local-memory load (L1-cached on Kepler; cheap but not free).
+    #[inline]
+    pub fn local_ld(&mut self, i: usize) -> u32 {
+        self.trace.ops.push(Op {
+            kind: OpKind::Local,
+            addr: 0,
+        });
+        self.scratch[i]
+    }
+
+    /// Local-memory store.
+    #[inline]
+    pub fn local_st(&mut self, i: usize, v: u32) {
+        self.trace.ops.push(Op {
+            kind: OpKind::Local,
+            addr: 0,
+        });
+        self.scratch[i] = v;
+    }
+
+    /// Shared-memory (scratchpad) load of word `i`. The scratchpad is
+    /// per-block, zero-initialized, sized by `Kernel::smem_per_block`, and
+    /// banked: lanes of a warp touching different words in the same bank
+    /// serialize (`Device::smem_banks` / `Device::smem_cycles`).
+    ///
+    /// Visibility follows this executor's lane order: a lane sees the
+    /// *final* values written by lower-numbered lanes of its own warp and
+    /// by earlier warps of its block (lane-ordered visibility). This is
+    /// *stronger* than hardware lockstep — classic per-step idioms like
+    /// Hillis–Steele would observe intermediate values on real silicon
+    /// but final values here — so warp collectives should be written in
+    /// the lane-ordered form (e.g. `prefix[i] = x[i] + prefix[i-1]`),
+    /// which is correct under both semantics' timing and this executor's
+    /// functional model.
+    #[inline]
+    pub fn smem_ld(&mut self, i: usize) -> u32 {
+        self.trace.ops.push(Op {
+            kind: OpKind::Smem,
+            addr: i as u32,
+        });
+        self.smem[i]
+    }
+
+    /// Shared-memory store of word `i`; see [`ThreadCtx::smem_ld`] for
+    /// the banking and visibility model.
+    #[inline]
+    pub fn smem_st(&mut self, i: usize, v: u32) {
+        self.trace.ops.push(Op {
+            kind: OpKind::Smem,
+            addr: i as u32,
+        });
+        self.smem[i] = v;
+    }
+}
+
+/// A data-parallel kernel: `run` is executed once per thread.
+pub trait Kernel: Sync {
+    /// Kernel name for reports.
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
+    /// Per-thread body.
+    fn run(&self, t: &mut ThreadCtx<'_>);
+
+    /// Registers per thread (occupancy input). 36 matches what nvcc
+    /// produces for the coloring kernels' CSR traversal + first-fit scan.
+    fn regs_per_thread(&self) -> u32 {
+        36
+    }
+
+    /// Static shared memory per block in bytes.
+    fn smem_per_block(&self) -> u32 {
+        0
+    }
+}
+
+/// A kernel whose threads cooperate through one block-wide exclusive scan
+/// — the compaction pattern of Fig. 5: each thread *counts* how many items
+/// it wants to emit, a block scan assigns offsets, one global `atomicAdd`
+/// per block reserves the output range, and each thread *emits* its items
+/// at its reserved position.
+pub trait CoopKernel: Sync {
+    /// Per-thread state carried from the count phase to the emit phase
+    /// (e.g. the vertex this thread examined and its conflict flag).
+    type Carry: Send;
+
+    /// Kernel name for reports.
+    fn name(&self) -> &'static str {
+        "coop-kernel"
+    }
+
+    /// Phase 1: do the thread's reading work; return the carry and the
+    /// number of items (0 or more) this thread will emit.
+    fn count(&self, t: &mut ThreadCtx<'_>) -> (Self::Carry, u32);
+
+    /// Phase 2: `dst` is this thread's exclusive global offset (block
+    ///   base + in-block scan result); emit exactly the promised number of
+    ///   items at `dst`, `dst + 1`, ….
+    fn emit(&self, t: &mut ThreadCtx<'_>, carry: Self::Carry, dst: u32);
+
+    /// Registers per thread; block scans cost a few more than plain
+    /// kernels.
+    fn regs_per_thread(&self) -> u32 {
+        40
+    }
+
+    /// Shared memory per block: the scan needs one word per thread; the
+    /// executor adds this automatically, kernels can add their own on top.
+    fn smem_per_block(&self) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::GpuMem;
+
+    #[test]
+    fn ctx_records_ops_and_performs_them() {
+        let mut mem = GpuMem::new();
+        let buf = mem.alloc_from_slice(&[10u32, 20, 30]);
+        let mut t = ThreadCtx::new(&mem);
+        assert_eq!(t.ld(buf, 1), 20);
+        assert_eq!(t.ldg(buf, 2), 30);
+        t.st(buf, 0, 99);
+        assert_eq!(t.atomic_add(buf, 0, 1), 99);
+        t.alu(3);
+        assert_eq!(mem.load(buf, 0), 100);
+        assert_eq!(t.trace.ops.len(), 4);
+        assert_eq!(t.trace.ops[0].kind, OpKind::Ld);
+        assert_eq!(t.trace.ops[1].kind, OpKind::Ldg);
+        assert_eq!(t.trace.ops[2].kind, OpKind::St);
+        assert_eq!(t.trace.ops[3].kind, OpKind::Atomic);
+        assert_eq!(t.trace.alu, 3);
+    }
+
+    #[test]
+    fn global_id_composition() {
+        let mem = GpuMem::new();
+        let mut t = ThreadCtx::new(&mem);
+        t.bid = 3;
+        t.bdim = 128;
+        t.tid = 5;
+        assert_eq!(t.global_id(), 389);
+    }
+
+    #[test]
+    fn local_scratch_persists_and_traces() {
+        let mem = GpuMem::new();
+        let mut t = ThreadCtx::new(&mem);
+        t.local_reserve(4);
+        t.local_st(2, 7);
+        assert_eq!(t.local_ld(2), 7);
+        assert_eq!(t.trace.ops.len(), 2);
+        assert!(t.trace.ops.iter().all(|o| o.kind == OpKind::Local));
+        // Growing preserves contents.
+        t.local_reserve(8);
+        assert_eq!(t.scratch[2], 7);
+    }
+}

@@ -1,0 +1,309 @@
+//! Simulated device global memory.
+//!
+//! One flat arena of 32-bit words backed by `AtomicU32`. Plain loads and
+//! stores are relaxed atomic word operations and `atomic_*` map to RMW
+//! fetch-ops, so the *speculative races* of the GM scheme (two adjacent
+//! vertices colored concurrently by different blocks) happen for real, with
+//! GPU-like word-tearing-free semantics, while the code stays 100% safe
+//! Rust.
+//!
+//! Buffers carry their base *word address*, so the timing model sees
+//! realistic addresses for coalescing and cache indexing (byte address =
+//! 4 × word address).
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A 32-bit plain-old-data type that can live in device memory.
+pub trait Word: Copy + 'static {
+    /// Bit-cast to a raw word.
+    fn to_bits(self) -> u32;
+    /// Bit-cast from a raw word.
+    fn from_bits(bits: u32) -> Self;
+}
+
+impl Word for u32 {
+    fn to_bits(self) -> u32 {
+        self
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits
+    }
+}
+
+impl Word for i32 {
+    fn to_bits(self) -> u32 {
+        self as u32
+    }
+    fn from_bits(bits: u32) -> Self {
+        bits as i32
+    }
+}
+
+impl Word for f32 {
+    fn to_bits(self) -> u32 {
+        self.to_bits()
+    }
+    fn from_bits(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+}
+
+/// A typed handle to a device allocation: base word address + length.
+/// Copyable, like a raw device pointer, and only meaningful together with
+/// the `GpuMem` it was allocated from.
+pub struct Buffer<T: Word> {
+    base: usize,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Word> Clone for Buffer<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Word> Copy for Buffer<T> {}
+
+impl<T: Word> std::fmt::Debug for Buffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Buffer {{ base: {}, len: {} }}", self.base, self.len)
+    }
+}
+
+impl<T: Word> Buffer<T> {
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Word address of element `i` (also its cache/coalescing address unit).
+    #[inline]
+    pub fn addr(&self, i: usize) -> u32 {
+        debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
+        (self.base + i) as u32
+    }
+}
+
+/// Device global memory: a growable arena of words. Allocation requires
+/// `&mut self` (between kernels); kernels access it through `&self` with
+/// atomic word operations.
+#[derive(Default)]
+pub struct GpuMem {
+    words: Vec<AtomicU32>,
+}
+
+/// Alignment (in words) of every allocation: 256 bytes like `cudaMalloc`,
+/// so distinct buffers never share a cache line.
+const ALLOC_ALIGN_WORDS: usize = 64;
+
+impl GpuMem {
+    /// An empty device memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    fn alloc_words(&mut self, len: usize) -> usize {
+        let base = self.words.len().next_multiple_of(ALLOC_ALIGN_WORDS);
+        self.words.resize_with(base + len, || AtomicU32::new(0));
+        base
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn alloc<T: Word>(&mut self, len: usize) -> Buffer<T> {
+        let base = self.alloc_words(len);
+        Buffer {
+            base,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates a buffer filled with `value`.
+    pub fn alloc_filled<T: Word>(&mut self, len: usize, value: T) -> Buffer<T> {
+        let buf = self.alloc(len);
+        for i in 0..len {
+            self.store(buf, i, value);
+        }
+        buf
+    }
+
+    /// Allocates a buffer holding a copy of `data` (host-to-device copy;
+    /// the *timing* of the transfer is charged separately via
+    /// [`crate::xfer`]).
+    pub fn alloc_from_slice<T: Word>(&mut self, data: &[T]) -> Buffer<T> {
+        let buf = self.alloc(data.len());
+        for (i, &v) in data.iter().enumerate() {
+            self.store(buf, i, v);
+        }
+        buf
+    }
+
+    /// Relaxed store to a raw word address (used by the executor to flush
+    /// warp-deferred stores).
+    #[inline]
+    pub(crate) fn store_raw(&self, word_addr: usize, bits: u32) {
+        self.words[word_addr].store(bits, Ordering::Relaxed);
+    }
+
+    /// Relaxed word load.
+    #[inline]
+    pub fn load<T: Word>(&self, buf: Buffer<T>, i: usize) -> T {
+        debug_assert!(i < buf.len, "load out of bounds: {i} >= {}", buf.len);
+        T::from_bits(self.words[buf.base + i].load(Ordering::Relaxed))
+    }
+
+    /// Relaxed word store.
+    #[inline]
+    pub fn store<T: Word>(&self, buf: Buffer<T>, i: usize, v: T) {
+        debug_assert!(i < buf.len, "store out of bounds: {i} >= {}", buf.len);
+        self.words[buf.base + i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// `atomicAdd` returning the old value.
+    #[inline]
+    pub fn fetch_add(&self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+        debug_assert!(i < buf.len);
+        self.words[buf.base + i].fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// `atomicMax` returning the old value.
+    #[inline]
+    pub fn fetch_max(&self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+        debug_assert!(i < buf.len);
+        self.words[buf.base + i].fetch_max(v, Ordering::Relaxed)
+    }
+
+    /// `atomicMin` returning the old value.
+    #[inline]
+    pub fn fetch_min(&self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+        debug_assert!(i < buf.len);
+        self.words[buf.base + i].fetch_min(v, Ordering::Relaxed)
+    }
+
+    /// `atomicCAS` returning the old value.
+    #[inline]
+    pub fn compare_exchange(&self, buf: Buffer<u32>, i: usize, expected: u32, new: u32) -> u32 {
+        debug_assert!(i < buf.len);
+        match self.words[buf.base + i].compare_exchange(
+            expected,
+            new,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(old) | Err(old) => old,
+        }
+    }
+
+    /// Copies a buffer's contents back to the host.
+    pub fn read_vec<T: Word>(&self, buf: Buffer<T>) -> Vec<T> {
+        (0..buf.len).map(|i| self.load(buf, i)).collect()
+    }
+
+    /// Overwrites a buffer from a host slice (device-to-device reuse).
+    pub fn write_slice<T: Word>(&self, buf: Buffer<T>, data: &[T]) {
+        assert!(data.len() <= buf.len, "write_slice larger than buffer");
+        for (i, &v) in data.iter().enumerate() {
+            self.store(buf, i, v);
+        }
+    }
+
+    /// Fills a buffer with a value (like `cudaMemset`).
+    pub fn fill<T: Word>(&self, buf: Buffer<T>, value: T) {
+        for i in 0..buf.len {
+            self.store(buf, i, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_i32_f32() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc_from_slice(&[1u32, 2, 3]);
+        let b = mem.alloc_from_slice(&[-1i32, 7]);
+        let c = mem.alloc_from_slice(&[1.5f32, -0.25]);
+        assert_eq!(mem.read_vec(a), vec![1, 2, 3]);
+        assert_eq!(mem.read_vec(b), vec![-1, 7]);
+        assert_eq!(mem.read_vec(c), vec![1.5, -0.25]);
+    }
+
+    #[test]
+    fn buffers_do_not_alias() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc::<u32>(10);
+        let b = mem.alloc::<u32>(10);
+        mem.fill(a, 7);
+        mem.fill(b, 9);
+        assert!(mem.read_vec(a).iter().all(|&x| x == 7));
+        assert!(mem.read_vec(b).iter().all(|&x| x == 9));
+    }
+
+    #[test]
+    fn alignment_is_256_bytes() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc::<u32>(3);
+        let b = mem.alloc::<u32>(3);
+        assert_eq!(a.addr(0) % 64, 0);
+        assert_eq!(b.addr(0) % 64, 0);
+        assert!(b.addr(0) >= a.addr(0) + 64);
+    }
+
+    #[test]
+    fn atomics_work() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc::<u32>(1);
+        assert_eq!(mem.fetch_add(a, 0, 5), 0);
+        assert_eq!(mem.fetch_add(a, 0, 5), 5);
+        assert_eq!(mem.fetch_max(a, 0, 3), 10);
+        assert_eq!(mem.load(a, 0), 10);
+        assert_eq!(mem.fetch_min(a, 0, 2), 10);
+        assert_eq!(mem.load(a, 0), 2);
+        assert_eq!(mem.compare_exchange(a, 0, 2, 99), 2);
+        assert_eq!(mem.load(a, 0), 99);
+        assert_eq!(mem.compare_exchange(a, 0, 2, 55), 99);
+        assert_eq!(mem.load(a, 0), 99);
+    }
+
+    #[test]
+    fn alloc_filled() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc_filled(4, 0xDEAD_BEEFu32);
+        assert_eq!(mem.read_vec(a), vec![0xDEAD_BEEF; 4]);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_is_exact() {
+        use rayon::prelude::*;
+        let mut mem = GpuMem::new();
+        let a = mem.alloc::<u32>(1);
+        (0..10_000).into_par_iter().for_each(|_| {
+            mem.fetch_add(a, 0, 1);
+        });
+        assert_eq!(mem.load(a, 0), 10_000);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn out_of_bounds_load_panics_in_debug() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc::<u32>(2);
+        mem.load(a, 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Set-associative LRU cache model, used for both the per-SM read-only
+//! data cache and the per-SM L2 slice.
+//!
+//! The model is deterministic and content-free: it tracks line *addresses*
+//! only. The paper's `__ldg` optimization (Fig. 4) is reproduced by giving
+//! `Ldg` ops a probe path through this cache before L2, while plain `ld`
+//! ops bypass it — exactly the Kepler behavior §III-C describes.
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// log2(line size in bytes).
+    line_shift: u32,
+    num_sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]` — tag + valid bit packed as Option.
+    tags: Vec<Option<u64>>,
+    /// LRU stamps, same layout; larger = more recent.
+    stamps: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache of `size_bytes` with `line_bytes` lines and `ways`
+    /// associativity. Sizes are rounded down to the nearest valid
+    /// power-of-two set count; a degenerate size yields a 1-set cache.
+    pub fn new(size_bytes: u32, line_bytes: u32, ways: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^k");
+        assert!(ways >= 1);
+        let lines = (size_bytes / line_bytes).max(1);
+        let desired = (lines / ways).max(1);
+        // Largest power of two ≤ desired (sets must be a power of two for
+        // mask indexing).
+        let sets = if desired.is_power_of_two() {
+            desired
+        } else {
+            desired.next_power_of_two() / 2
+        };
+        let num_sets = sets.max(1) as usize;
+        let ways = ways as usize;
+        Self {
+            line_shift: line_bytes.trailing_zeros(),
+            num_sets,
+            ways,
+            tags: vec![None; num_sets * ways],
+            stamps: vec![0; num_sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Line address (byte address >> line_shift).
+    #[inline]
+    pub fn line_of(&self, byte_addr: u64) -> u64 {
+        byte_addr >> self.line_shift
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u64 {
+        1u64 << self.line_shift
+    }
+
+    /// Probes (and on miss, fills) the line containing `byte_addr`.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, byte_addr: u64) -> bool {
+        let line = self.line_of(byte_addr);
+        let set = (line as usize) & (self.num_sets - 1);
+        let base = set * self.ways;
+        self.tick += 1;
+        // Hit?
+        for w in 0..self.ways {
+            if self.tags[base + w] == Some(line) {
+                self.stamps[base + w] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Miss: fill LRU way.
+        self.misses += 1;
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            let s = if self.tags[base + w].is_none() {
+                0 // invalid lines are always the first choice
+            } else {
+                self.stamps[base + w]
+            };
+            if s < oldest {
+                oldest = s;
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = Some(line);
+        self.stamps[base + victim] = self.tick;
+        false
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Total capacity in bytes actually modeled (after rounding).
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.num_sets * self.ways) as u64 * self.line_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = Cache::new(1024, 128, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(64)); // same 128B line
+        assert!(!c.access(128)); // next line
+        assert_eq!(c.stats(), (2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2 sets x 2 ways of 128B lines = 512B. Lines mapping to set 0:
+        // byte addresses 0, 256, 512, ...
+        let mut c = Cache::new(512, 128, 2);
+        assert_eq!(c.capacity_bytes(), 512);
+        assert!(!c.access(0)); // set 0, line 0
+        assert!(!c.access(256)); // set 0, line 2
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(512)); // set 0, line 4 — evicts line 2 (LRU)
+        assert!(c.access(0)); // line 0 still resident
+        assert!(!c.access(256)); // line 2 was evicted
+    }
+
+    #[test]
+    fn working_set_larger_than_capacity_thrashes() {
+        let mut c = Cache::new(1024, 32, 4);
+        // Stream 4 KiB twice: second pass still misses (capacity).
+        for pass in 0..2 {
+            for addr in (0..4096u64).step_by(32) {
+                let hit = c.access(addr);
+                if pass == 0 {
+                    assert!(!hit);
+                }
+            }
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(hits, 0, "LRU streaming working set 4x capacity never hits");
+        assert_eq!(misses, 256);
+    }
+
+    #[test]
+    fn working_set_smaller_than_capacity_hits() {
+        let mut c = Cache::new(4096, 32, 4);
+        for _ in 0..3 {
+            for addr in (0..2048u64).step_by(32) {
+                c.access(addr);
+            }
+        }
+        let (hits, misses) = c.stats();
+        assert_eq!(misses, 64, "only compulsory misses");
+        assert_eq!(hits, 128);
+    }
+
+    #[test]
+    fn degenerate_tiny_cache() {
+        let mut c = Cache::new(32, 32, 1);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(!c.access(32));
+        assert!(!c.access(0)); // evicted by the single-line cache
+    }
+}

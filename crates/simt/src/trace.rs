@@ -1,0 +1,77 @@
+//! Per-thread memory operation traces.
+//!
+//! The executor runs each thread functionally while recording the memory
+//! operations it issues; the timing model then replays each warp's 32 lane
+//! traces side by side to model coalescing, caching and atomic
+//! serialization. Traces live only for the duration of one warp and their
+//! allocations are reused, so memory stays O(warp work), not O(kernel
+//! work).
+
+/// The kind of a traced device-memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Normal global load (`ld`): DRAM → L2 → registers (Kepler does not
+    /// cache global loads in L1).
+    Ld,
+    /// Read-only cache load (`__ldg`): DRAM → L2 → read-only L1 →
+    /// registers.
+    Ldg,
+    /// Global store (write-through to L2).
+    St,
+    /// Atomic read-modify-write performed at the L2 / Atomic Operation
+    /// Unit.
+    Atomic,
+    /// Local-memory access (register spill / the per-thread `colorMask`
+    /// array); L1-cached on Kepler.
+    Local,
+    /// Shared-memory (scratchpad) access; banked, conflict-prone.
+    Smem,
+}
+
+/// One traced operation: kind + word address (byte address = 4 × addr).
+/// Local ops carry a meaningless address (0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Word address in the global arena.
+    pub addr: u32,
+}
+
+/// The trace of one thread (one lane of a warp): its memory ops plus its
+/// arithmetic instruction count.
+#[derive(Debug, Default, Clone)]
+pub struct LaneTrace {
+    /// Memory operations in program order.
+    pub ops: Vec<Op>,
+    /// Arithmetic (non-memory) instructions executed.
+    pub alu: u64,
+}
+
+impl LaneTrace {
+    /// Clears the trace for reuse without freeing its allocation.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        self.alu = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut t = LaneTrace::default();
+        t.ops.extend((0..100).map(|i| Op {
+            kind: OpKind::Ld,
+            addr: i,
+        }));
+        t.alu = 5;
+        let cap = t.ops.capacity();
+        t.reset();
+        assert!(t.ops.is_empty());
+        assert_eq!(t.alu, 0);
+        assert_eq!(t.ops.capacity(), cap);
+    }
+}

@@ -1,0 +1,48 @@
+//! Host ↔ device transfer model (PCIe).
+//!
+//! The 3-step GM baseline (§II-C) repeatedly ships conflict data back to
+//! the CPU and resolved colors back to the GPU; the paper's own design
+//! removes those transfers entirely. This module prices them.
+
+use crate::config::Device;
+
+/// Direction of a transfer (same cost model both ways on PCIe 2.0, kept
+/// for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Host to device.
+    H2D,
+    /// Device to host.
+    D2H,
+}
+
+/// Milliseconds to move `bytes` over PCIe, including the fixed
+/// per-transfer latency.
+pub fn transfer_ms(dev: &Device, bytes: usize) -> f64 {
+    dev.pcie_latency_us * 1e-3 + bytes as f64 / (dev.pcie_bw_gbps * 1e9) * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_costs_latency_only() {
+        let dev = Device::k20c();
+        assert!((transfer_ms(&dev, 0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let dev = Device::k20c();
+        // 60 MB over 6 GB/s = 10 ms ≫ 10 us latency.
+        let t = transfer_ms(&dev, 60_000_000);
+        assert!((t - 10.01).abs() < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn monotone_in_size() {
+        let dev = Device::k20c();
+        assert!(transfer_ms(&dev, 1000) < transfer_ms(&dev, 100_000));
+    }
+}

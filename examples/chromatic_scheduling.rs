@@ -1,0 +1,118 @@
+//! Chromatic scheduling — the concurrency-discovery application that
+//! motivates the paper (§I: "vertices with the same color represent
+//! subtasks that can be processed simultaneously", as in HPCG and
+//! chromatic data-graph scheduling).
+//!
+//! We build a data-dependency conflict graph over a set of tasks that
+//! update shared cells (two tasks conflict when they touch a common cell),
+//! color it with the data-driven GPU scheme, and then execute the tasks
+//! wave by wave: every wave is one color class, inside which all tasks run
+//! in parallel with no conflicts. A deterministic checksum proves the
+//! chromatic schedule produces the same result as fully sequential
+//! execution.
+//!
+//! ```text
+//! cargo run --release --example chromatic_scheduling
+//! ```
+
+use gcol::coloring::{verify_coloring, ColorOptions, Scheme};
+use gcol::graph::rng::Xoshiro256;
+use gcol::graph::CsrBuilder;
+use gcol::simt::Device;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const NUM_CELLS: usize = 4_000;
+const NUM_TASKS: usize = 20_000;
+const TOUCHES_PER_TASK: usize = 3;
+
+/// A task reads-modifies-writes a few cells.
+struct Task {
+    cells: Vec<usize>,
+    weight: u64,
+}
+
+fn make_tasks(seed: u64) -> Vec<Task> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..NUM_TASKS)
+        .map(|i| Task {
+            cells: (0..TOUCHES_PER_TASK)
+                .map(|_| rng.gen_index(NUM_CELLS))
+                .collect(),
+            weight: 1 + (i as u64 % 13),
+        })
+        .collect()
+}
+
+/// Applies one task: an order-independent commutative update per cell
+/// (so any conflict-free schedule must give the sequential answer).
+fn apply(task: &Task, cells: &[AtomicU64]) {
+    for &c in &task.cells {
+        cells[c].fetch_add(task.weight * (c as u64 + 1), Ordering::Relaxed);
+    }
+}
+
+fn main() {
+    let tasks = make_tasks(7);
+
+    // Conflict graph: tasks sharing a cell get an edge.
+    let mut cell_to_tasks: Vec<Vec<u32>> = vec![Vec::new(); NUM_CELLS];
+    for (t, task) in tasks.iter().enumerate() {
+        for &c in &task.cells {
+            cell_to_tasks[c].push(t as u32);
+        }
+    }
+    let mut builder = CsrBuilder::new(NUM_TASKS);
+    for owners in &cell_to_tasks {
+        for i in 0..owners.len() {
+            for j in (i + 1)..owners.len() {
+                builder.add_edge(owners[i], owners[j]);
+            }
+        }
+    }
+    let conflict_graph = builder.symmetrize().build();
+    println!(
+        "conflict graph: {} tasks, {} conflict edges, max degree {}",
+        conflict_graph.num_vertices(),
+        conflict_graph.num_edges() / 2,
+        conflict_graph.max_degree()
+    );
+
+    // Color it on the simulated GPU.
+    let device = Device::k20c();
+    let result = Scheme::DataLdg.color(&conflict_graph, &device, &ColorOptions::default());
+    verify_coloring(&conflict_graph, &result.colors).unwrap();
+    println!(
+        "chromatic schedule: {} waves (colors), found in {} rounds, \
+         modeled {:.3} ms",
+        result.num_colors,
+        result.iterations,
+        result.total_ms()
+    );
+
+    // Execute wave by wave; tasks inside a wave run concurrently.
+    let cells: Vec<AtomicU64> = (0..NUM_CELLS).map(|_| AtomicU64::new(0)).collect();
+    for wave in 1..=result.num_colors as u32 {
+        let wave_tasks: Vec<usize> = (0..NUM_TASKS)
+            .filter(|&t| result.colors[t] == wave)
+            .collect();
+        wave_tasks
+            .par_iter()
+            .for_each(|&t| apply(&tasks[t], &cells));
+    }
+    let chromatic_sum: u64 = cells.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+
+    // Sequential reference.
+    let ref_cells: Vec<AtomicU64> = (0..NUM_CELLS).map(|_| AtomicU64::new(0)).collect();
+    for task in &tasks {
+        apply(task, &ref_cells);
+    }
+    let sequential_sum: u64 = ref_cells.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+
+    assert_eq!(chromatic_sum, sequential_sum);
+    println!(
+        "checksum {chromatic_sum} matches sequential execution — the \
+         chromatic schedule is sound.\naverage parallelism per wave: {:.0} tasks",
+        NUM_TASKS as f64 / result.num_colors as f64
+    );
+}

@@ -1,0 +1,94 @@
+//! Multicolor Gauss–Seidel — the sparse-linear-algebra application from
+//! the paper's introduction (HPCG and incomplete-LU both use coloring to
+//! expose parallelism in triangular sweeps).
+//!
+//! We discretize a 2-D Poisson problem with the 5-point stencil, color the
+//! stencil graph, and run Gauss–Seidel where each sweep visits unknowns
+//! color by color: within a color no two unknowns couple, so every color
+//! class updates in parallel with Jacobi-free, true Gauss–Seidel
+//! semantics. The example shows the solver converging monotonically; the
+//! speculative-greedy coloring lands within a few colors of the textbook
+//! red/black 2-coloring (first-fit under SIMT lockstep trades a couple of
+//! extra colors for parallel construction, exactly the paper's trade).
+//!
+//! ```text
+//! cargo run --release --example sparse_solver_sweep
+//! ```
+
+use gcol::coloring::{verify_coloring, ColorOptions, Scheme};
+use gcol::graph::gen::{grid2d, StencilKind};
+use gcol::simt::Device;
+use rayon::prelude::*;
+
+const NX: usize = 96;
+const NY: usize = 96;
+const SWEEPS: usize = 120;
+
+fn main() {
+    let n = NX * NY;
+    let g = grid2d(NX, NY, StencilKind::FivePoint);
+    println!(
+        "Poisson 5-point stencil on a {NX}x{NY} grid: {} unknowns, {} couplings",
+        n,
+        g.num_edges() / 2
+    );
+
+    // Color the stencil graph on the simulated GPU.
+    let device = Device::k20c();
+    let coloring = Scheme::DataBase.color(&g, &device, &ColorOptions::default());
+    verify_coloring(&g, &coloring.colors).unwrap();
+    println!(
+        "coloring: {} colors in {} rounds (textbook red/black needs 2)",
+        coloring.num_colors, coloring.iterations
+    );
+
+    // Group unknowns by color once.
+    let mut classes: Vec<Vec<usize>> = vec![Vec::new(); coloring.num_colors];
+    for v in 0..n {
+        classes[coloring.colors[v] as usize - 1].push(v);
+    }
+
+    // Solve A x = b with A = 4I - adjacency (diagonally dominant), b = 1.
+    let b_rhs = 1.0f64;
+    let mut x = vec![0.0f64; n];
+    let mut last_residual = f64::INFINITY;
+    for sweep in 1..=SWEEPS {
+        for class in &classes {
+            // True Gauss–Seidel: the freshest neighbor values, yet fully
+            // parallel inside a color class because no two members couple.
+            let updates: Vec<(usize, f64)> = class
+                .par_iter()
+                .map(|&v| {
+                    let sigma: f64 = g.neighbors(v as u32).iter().map(|&w| x[w as usize]).sum();
+                    (v, (b_rhs + sigma) / 4.0)
+                })
+                .collect();
+            for (v, val) in updates {
+                x[v] = val;
+            }
+        }
+        if sweep % 30 == 0 || sweep == 1 {
+            let residual: f64 = (0..n)
+                .into_par_iter()
+                .map(|v| {
+                    let sigma: f64 = g.neighbors(v as u32).iter().map(|&w| x[w as usize]).sum();
+                    let r = b_rhs - (4.0 * x[v] - sigma);
+                    r * r
+                })
+                .sum::<f64>()
+                .sqrt();
+            println!("sweep {sweep:>4}: ||r||_2 = {residual:.6e}");
+            assert!(
+                residual < last_residual,
+                "multicolor Gauss–Seidel must converge monotonically here"
+            );
+            last_residual = residual;
+        }
+    }
+    println!(
+        "converged: interior unknowns approach the PDE solution; coloring \
+         exposed\n{}-way parallelism per sweep instead of a serial \
+         wavefront.",
+        n / coloring.num_colors
+    );
+}

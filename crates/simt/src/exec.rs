@@ -21,7 +21,6 @@ use crate::mem::GpuMem;
 use crate::timing::cache::Cache;
 use crate::timing::occupancy::occupancy;
 use crate::timing::{finalize, KernelStats, SmState};
-use crate::trace::LaneTrace;
 use rayon::prelude::*;
 
 /// How the simulator maps SM simulation onto host threads.
@@ -45,7 +44,9 @@ fn sliced_l2(dev: &Device) -> Cache {
 }
 
 /// Runs every thread of `block_id`, warp by warp, accumulating timing into
-/// `sm`. `lanes` and `ctx` are reused scratch owned by the caller.
+/// `sm`. Threads record straight into the context's shared [`WarpTrace`]
+/// (reset per warp, one lane opened per thread), so the warp loop touches
+/// no per-lane buffers and performs no steady-state allocation.
 fn run_block<K: Kernel>(
     dev: &Device,
     kernel: &K,
@@ -55,7 +56,6 @@ fn run_block<K: Kernel>(
     sm: &mut SmState,
     l2: &mut Cache,
     ctx: &mut ThreadCtx<'_>,
-    lanes: &mut [LaneTrace],
 ) {
     ctx.bid = block_id;
     ctx.bdim = block_threads;
@@ -64,14 +64,14 @@ fn run_block<K: Kernel>(
     let ws = dev.warp_size;
     let mut warp_start = 0;
     while warp_start < block_threads {
-        let active = ws.min(block_threads - warp_start) as usize;
+        let active = ws.min(block_threads - warp_start);
+        ctx.trace.reset();
         for lane in 0..active {
-            ctx.tid = warp_start + lane as u32;
-            ctx.trace.reset();
+            ctx.tid = warp_start + lane;
+            ctx.trace.begin_lane();
             kernel.run(ctx);
-            std::mem::swap(&mut ctx.trace, &mut lanes[lane]);
         }
-        sm.account_warp(dev, l2, &lanes[..active]);
+        sm.account_warp(dev, l2, &ctx.trace);
         ctx.flush_deferred();
         warp_start += ws;
     }
@@ -103,20 +103,9 @@ pub fn launch<K: Kernel>(
                     let mut sm = SmState::new(dev);
                     let mut l2 = sliced_l2(dev);
                     let mut ctx = ThreadCtx::new(mem);
-                    let mut lanes = vec![LaneTrace::default(); dev.warp_size as usize];
                     let mut bid = sm_id;
                     while bid < grid {
-                        run_block(
-                            dev,
-                            kernel,
-                            bid,
-                            grid,
-                            block_threads,
-                            &mut sm,
-                            &mut l2,
-                            &mut ctx,
-                            &mut lanes,
-                        );
+                        run_block(dev, kernel, bid, grid, block_threads, &mut sm, &mut l2, &mut ctx);
                         bid += n_sms;
                     }
                     (sm, l2.stats())
@@ -137,20 +126,9 @@ pub fn launch<K: Kernel>(
             let mut sms: Vec<SmState> = (0..n_sms).map(|_| SmState::new(dev)).collect();
             let mut l2 = shared_l2(dev);
             let mut ctx = ThreadCtx::new(mem);
-            let mut lanes = vec![LaneTrace::default(); dev.warp_size as usize];
             for bid in 0..grid {
                 let sm = &mut sms[(bid % n_sms) as usize];
-                run_block(
-                    dev,
-                    kernel,
-                    bid,
-                    grid,
-                    block_threads,
-                    sm,
-                    &mut l2,
-                    &mut ctx,
-                    &mut lanes,
-                );
+                run_block(dev, kernel, bid, grid, block_threads, sm, &mut l2, &mut ctx);
             }
             (sms, l2.stats())
         }
@@ -197,7 +175,6 @@ pub fn launch_coop<K: CoopKernel>(
     let count_block = |sm: &mut SmState,
                        l2: &mut Cache,
                        ctx: &mut ThreadCtx<'_>,
-                       lanes: &mut [LaneTrace],
                        bid: u32|
      -> BlockCount<K::Carry> {
         ctx.bid = bid;
@@ -209,16 +186,16 @@ pub fn launch_coop<K: CoopKernel>(
         let mut running = 0u32;
         let mut warp_start = 0;
         while warp_start < block_threads {
-            let active = ws.min(block_threads - warp_start) as usize;
+            let active = ws.min(block_threads - warp_start);
+            ctx.trace.reset();
             for lane in 0..active {
-                ctx.tid = warp_start + lane as u32;
-                ctx.trace.reset();
+                ctx.tid = warp_start + lane;
+                ctx.trace.begin_lane();
                 let (carry, req) = kernel.count(ctx);
-                std::mem::swap(&mut ctx.trace, &mut lanes[lane]);
                 entries.push((carry, running));
                 running += req;
             }
-            sm.account_warp(dev, l2, &lanes[..active]);
+            sm.account_warp(dev, l2, &ctx.trace);
             ctx.flush_deferred();
             warp_start += ws;
         }
@@ -246,11 +223,10 @@ pub fn launch_coop<K: CoopKernel>(
                 .map(|(sm_id, mut l2)| {
                     let mut sm = SmState::new(dev);
                     let mut ctx = ThreadCtx::new(mem);
-                    let mut lanes = vec![LaneTrace::default(); dev.warp_size as usize];
                     let mut out = Vec::new();
                     let mut bid = sm_id;
                     while bid < grid {
-                        let bc = count_block(&mut sm, &mut l2, &mut ctx, &mut lanes, bid);
+                        let bc = count_block(&mut sm, &mut l2, &mut ctx, bid);
                         out.push((bid, bc));
                         bid += n_sms;
                     }
@@ -271,12 +247,10 @@ pub fn launch_coop<K: CoopKernel>(
         ExecMode::Deterministic => {
             let mut sms: Vec<SmState> = (0..n_sms).map(|_| SmState::new(dev)).collect();
             let mut ctx = ThreadCtx::new(mem);
-            let mut lanes = vec![LaneTrace::default(); dev.warp_size as usize];
             let mut counts: Vec<Option<BlockCount<K::Carry>>> = (0..grid).map(|_| None).collect();
             for bid in 0..grid {
                 let sm = &mut sms[(bid % n_sms) as usize];
-                counts[bid as usize] =
-                    Some(count_block(sm, &mut l2s[0], &mut ctx, &mut lanes, bid));
+                counts[bid as usize] = Some(count_block(sm, &mut l2s[0], &mut ctx, bid));
             }
             (sms, counts)
         }
@@ -293,20 +267,14 @@ pub fn launch_coop<K: CoopKernel>(
         bases.push(total);
         total += bc.as_ref().map_or(0, |b| b.total);
     }
-    for (bid, sm_id) in (0..grid).map(|b| (b, (b % n_sms) as usize)) {
-        let _ = bid;
-        let sm = &mut sm_states[sm_id];
-        sm.atomics += 1;
-        sm.mem_lat += dev.l2_hit_cycles as u64;
-        sm.mem_insts += 1;
-        sm.issue += 1;
+    for bid in 0..grid {
+        sm_states[(bid % n_sms) as usize].charge_block_base_atomic(dev);
     }
 
     // --- Phase C: emit, per SM. -------------------------------------------
     let emit_block = |sm: &mut SmState,
                       l2: &mut Cache,
                       ctx: &mut ThreadCtx<'_>,
-                      lanes: &mut [LaneTrace],
                       bid: u32,
                       bc: BlockCount<K::Carry>| {
         ctx.bid = bid;
@@ -320,15 +288,15 @@ pub fn launch_coop<K: CoopKernel>(
         let mut it = bc.entries.into_iter();
         let mut warp_start = 0;
         while warp_start < block_threads {
-            let active = ws.min(block_threads - warp_start) as usize;
+            let active = ws.min(block_threads - warp_start);
+            ctx.trace.reset();
             for lane in 0..active {
-                ctx.tid = warp_start + lane as u32;
-                ctx.trace.reset();
+                ctx.tid = warp_start + lane;
+                ctx.trace.begin_lane();
                 let (carry, offset) = it.next().expect("one entry per thread");
                 kernel.emit(ctx, carry, base + offset);
-                std::mem::swap(&mut ctx.trace, &mut lanes[lane]);
             }
-            sm.account_warp(dev, l2, &lanes[..active]);
+            sm.account_warp(dev, l2, &ctx.trace);
             ctx.flush_deferred();
             warp_start += ws;
         }
@@ -350,10 +318,9 @@ pub fn launch_coop<K: CoopKernel>(
                 .into_par_iter()
                 .map(|(mut sm, mut l2, blocks)| {
                     let mut ctx = ThreadCtx::new(mem);
-                    let mut lanes = vec![LaneTrace::default(); dev.warp_size as usize];
                     // blocks were pushed in reverse; run in ascending order.
                     for (bid, bc) in blocks.into_iter().rev() {
-                        emit_block(&mut sm, &mut l2, &mut ctx, &mut lanes, bid, bc);
+                        emit_block(&mut sm, &mut l2, &mut ctx, bid, bc);
                     }
                     (sm, l2)
                 })
@@ -366,11 +333,10 @@ pub fn launch_coop<K: CoopKernel>(
         }
         ExecMode::Deterministic => {
             let mut ctx = ThreadCtx::new(mem);
-            let mut lanes = vec![LaneTrace::default(); dev.warp_size as usize];
             for bid in 0..grid {
                 let bc = block_counts[bid as usize].take().unwrap();
                 let sm = &mut sm_states[(bid % n_sms) as usize];
-                emit_block(sm, &mut l2s[0], &mut ctx, &mut lanes, bid, bc);
+                emit_block(sm, &mut l2s[0], &mut ctx, bid, bc);
             }
         }
     }
@@ -394,8 +360,19 @@ pub fn launch_coop<K: CoopKernel>(
 }
 
 /// Grid size for one thread per element.
+///
+/// # Panics
+///
+/// Panics if the required grid exceeds `u32::MAX` blocks (the CUDA
+/// 1-D grid limit) instead of silently truncating the launch.
 pub fn grid_for(n: usize, block_threads: u32) -> u32 {
-    ((n as u64).div_ceil(block_threads as u64)) as u32
+    let blocks = (n as u64).div_ceil(block_threads.max(1) as u64);
+    assert!(
+        blocks <= u32::MAX as u64,
+        "grid_for: {n} elements / {block_threads} threads needs {blocks} blocks, \
+         exceeding the u32 grid limit"
+    );
+    blocks as u32
 }
 
 #[cfg(test)]

@@ -5,10 +5,11 @@
 //! (threads cooperate through a block-wide exclusive scan — the CUB
 //! `BlockScan` pattern of Fig. 5 in the paper). Every global-memory access
 //! goes through [`ThreadCtx`], which performs it functionally against the
-//! shared arena *and* records it in the lane trace for the timing model.
+//! shared arena *and* records it in the warp's flat trace for the timing
+//! model.
 
 use crate::mem::{Buffer, GpuMem, Word};
-use crate::trace::{LaneTrace, Op, OpKind};
+use crate::trace::{Op, OpKind, WarpTrace};
 
 /// Execution context of one thread. Mirrors the CUDA built-ins
 /// (`threadIdx`, `blockIdx`, `blockDim`, `gridDim`) and exposes typed
@@ -23,7 +24,7 @@ pub struct ThreadCtx<'a> {
     pub bdim: u32,
     /// Blocks in the grid (`gridDim.x`).
     pub gdim: u32,
-    pub(crate) trace: LaneTrace,
+    pub(crate) trace: WarpTrace,
     pub(crate) scratch: Vec<u32>,
     pub(crate) deferred: Vec<(u32, u32)>,
     /// Per-block shared memory (scratchpad), zeroed at block start.
@@ -38,7 +39,14 @@ impl<'a> ThreadCtx<'a> {
             bid: 0,
             bdim: 0,
             gdim: 0,
-            trace: LaneTrace::default(),
+            trace: {
+                // A fresh context is immediately usable as a single lane
+                // (unit tests drive it directly); the executor resets and
+                // re-opens lanes per warp.
+                let mut t = WarpTrace::default();
+                t.begin_lane();
+                t
+            },
             scratch: Vec::new(),
             deferred: Vec::new(),
             smem: Vec::new(),
@@ -70,7 +78,7 @@ impl<'a> ThreadCtx<'a> {
     /// DRAM.
     #[inline]
     pub fn ld<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Ld,
             addr: buf.addr(i),
         });
@@ -83,7 +91,7 @@ impl<'a> ThreadCtx<'a> {
     /// like real hardware.
     #[inline]
     pub fn ldg<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Ldg,
             addr: buf.addr(i),
         });
@@ -93,7 +101,7 @@ impl<'a> ThreadCtx<'a> {
     /// Global store.
     #[inline]
     pub fn st<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::St,
             addr: buf.addr(i),
         });
@@ -110,7 +118,7 @@ impl<'a> ThreadCtx<'a> {
     /// race, exactly as on a real GPU). Timing-wise identical to [`ThreadCtx::st`].
     #[inline]
     pub fn st_warp<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::St,
             addr: buf.addr(i),
         });
@@ -120,7 +128,7 @@ impl<'a> ThreadCtx<'a> {
     /// `atomicAdd`, returning the old value.
     #[inline]
     pub fn atomic_add(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
         });
@@ -130,7 +138,7 @@ impl<'a> ThreadCtx<'a> {
     /// `atomicMax`, returning the old value.
     #[inline]
     pub fn atomic_max(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
         });
@@ -140,7 +148,7 @@ impl<'a> ThreadCtx<'a> {
     /// `atomicMin`, returning the old value.
     #[inline]
     pub fn atomic_min(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
         });
@@ -150,7 +158,7 @@ impl<'a> ThreadCtx<'a> {
     /// `atomicCAS`, returning the old value.
     #[inline]
     pub fn atomic_cas(&mut self, buf: Buffer<u32>, i: usize, expected: u32, new: u32) -> u32 {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
         });
@@ -162,7 +170,7 @@ impl<'a> ThreadCtx<'a> {
     /// can weigh compute against memory.
     #[inline]
     pub fn alu(&mut self, n: u32) {
-        self.trace.alu += n as u64;
+        self.trace.add_alu(n as u64);
     }
 
     /// Ensures the thread-local scratch array (the `colorMask` of
@@ -180,7 +188,7 @@ impl<'a> ThreadCtx<'a> {
     /// Local-memory load (L1-cached on Kepler; cheap but not free).
     #[inline]
     pub fn local_ld(&mut self, i: usize) -> u32 {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Local,
             addr: 0,
         });
@@ -190,7 +198,7 @@ impl<'a> ThreadCtx<'a> {
     /// Local-memory store.
     #[inline]
     pub fn local_st(&mut self, i: usize, v: u32) {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Local,
             addr: 0,
         });
@@ -213,7 +221,7 @@ impl<'a> ThreadCtx<'a> {
     /// functional model.
     #[inline]
     pub fn smem_ld(&mut self, i: usize) -> u32 {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Smem,
             addr: i as u32,
         });
@@ -224,7 +232,7 @@ impl<'a> ThreadCtx<'a> {
     /// the banking and visibility model.
     #[inline]
     pub fn smem_st(&mut self, i: usize, v: u32) {
-        self.trace.ops.push(Op {
+        self.trace.push(Op {
             kind: OpKind::Smem,
             addr: i as u32,
         });
@@ -307,12 +315,13 @@ mod tests {
         assert_eq!(t.atomic_add(buf, 0, 1), 99);
         t.alu(3);
         assert_eq!(mem.load(buf, 0), 100);
-        assert_eq!(t.trace.ops.len(), 4);
-        assert_eq!(t.trace.ops[0].kind, OpKind::Ld);
-        assert_eq!(t.trace.ops[1].kind, OpKind::Ldg);
-        assert_eq!(t.trace.ops[2].kind, OpKind::St);
-        assert_eq!(t.trace.ops[3].kind, OpKind::Atomic);
-        assert_eq!(t.trace.alu, 3);
+        let ops = t.trace.lane_ops(0);
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[0].kind, OpKind::Ld);
+        assert_eq!(ops[1].kind, OpKind::Ldg);
+        assert_eq!(ops[2].kind, OpKind::St);
+        assert_eq!(ops[3].kind, OpKind::Atomic);
+        assert_eq!(t.trace.lane_alu(0), 3);
     }
 
     #[test]
@@ -332,8 +341,8 @@ mod tests {
         t.local_reserve(4);
         t.local_st(2, 7);
         assert_eq!(t.local_ld(2), 7);
-        assert_eq!(t.trace.ops.len(), 2);
-        assert!(t.trace.ops.iter().all(|o| o.kind == OpKind::Local));
+        assert_eq!(t.trace.lane_ops(0).len(), 2);
+        assert!(t.trace.lane_ops(0).iter().all(|o| o.kind == OpKind::Local));
         // Growing preserves contents.
         t.local_reserve(8);
         assert_eq!(t.scratch[2], 7);

@@ -5,6 +5,23 @@
 //! only. The paper's `__ldg` optimization (Fig. 4) is reproduced by giving
 //! `Ldg` ops a probe path through this cache before L2, while plain `ld`
 //! ops bypass it — exactly the Kepler behavior §III-C describes.
+//!
+//! ## Representation
+//!
+//! Recency is encoded *positionally*: each set's ways are stored MRU→LRU
+//! in a contiguous run of `u32` tags. A hit rotates the line to the front
+//! of its set; a miss evicts the last (= least recently used) way and
+//! inserts at the front. This is observably identical to the classic
+//! stamp-based true-LRU formulation (same hit/miss sequence for any
+//! access stream — see the `matches_stamp_based_reference` test) but a
+//! 16-way set is a single 64-byte host cache line, so the simulator-side
+//! probe — the hottest operation in warp replay — touches one line where
+//! the tags+stamps layout touched three.
+
+/// Tag value of an empty way. Real line addresses stay below it: device
+/// byte addresses come from u32 *word* addresses (< 2^34 bytes) and lines
+/// are ≥ 32 bytes, so line numbers fit in well under 30 bits.
+const INVALID_TAG: u32 = u32::MAX;
 
 /// A set-associative cache with true-LRU replacement.
 #[derive(Debug, Clone)]
@@ -13,11 +30,10 @@ pub struct Cache {
     line_shift: u32,
     num_sets: usize,
     ways: usize,
-    /// `tags[set * ways + way]` — tag + valid bit packed as Option.
-    tags: Vec<Option<u64>>,
-    /// LRU stamps, same layout; larger = more recent.
-    stamps: Vec<u64>,
-    tick: u64,
+    /// `tags[set * ways ..][..ways]`, each set ordered MRU→LRU;
+    /// [`INVALID_TAG`] marks an empty way (empty ways sink to the back and
+    /// are always evicted before any valid line).
+    tags: Vec<u32>,
     hits: u64,
     misses: u64,
 }
@@ -44,9 +60,7 @@ impl Cache {
             line_shift: line_bytes.trailing_zeros(),
             num_sets,
             ways,
-            tags: vec![None; num_sets * ways],
-            stamps: vec![0; num_sets * ways],
-            tick: 0,
+            tags: vec![INVALID_TAG; num_sets * ways],
             hits: 0,
             misses: 0,
         }
@@ -66,37 +80,30 @@ impl Cache {
 
     /// Probes (and on miss, fills) the line containing `byte_addr`.
     /// Returns `true` on hit.
+    #[inline]
     pub fn access(&mut self, byte_addr: u64) -> bool {
-        let line = self.line_of(byte_addr);
-        let set = (line as usize) & (self.num_sets - 1);
-        let base = set * self.ways;
-        self.tick += 1;
-        // Hit?
-        for w in 0..self.ways {
-            if self.tags[base + w] == Some(line) {
-                self.stamps[base + w] = self.tick;
-                self.hits += 1;
-                return true;
-            }
+        let line64 = self.line_of(byte_addr);
+        debug_assert!(line64 < INVALID_TAG as u64, "address beyond tag range");
+        let line = line64 as u32;
+        let set = (line64 as usize) & (self.num_sets - 1);
+        let ways = self.ways;
+        let set_tags = &mut self.tags[set * ways..set * ways + ways];
+        // MRU-first scan (a contiguous u32 run the compiler vectorizes).
+        let mut w = 0;
+        while w < ways && set_tags[w] != line {
+            w += 1;
         }
-        // Miss: fill LRU way.
-        self.misses += 1;
-        let mut victim = 0;
-        let mut oldest = u64::MAX;
-        for w in 0..self.ways {
-            let s = if self.tags[base + w].is_none() {
-                0 // invalid lines are always the first choice
-            } else {
-                self.stamps[base + w]
-            };
-            if s < oldest {
-                oldest = s;
-                victim = w;
-            }
+        let hit = w < ways;
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            w = ways - 1; // evict the LRU (last) way
         }
-        self.tags[base + victim] = Some(line);
-        self.stamps[base + victim] = self.tick;
-        false
+        // Rotate ways 0..w one step back and put `line` at the MRU front.
+        set_tags.copy_within(0..w, 1);
+        set_tags[0] = line;
+        hit
     }
 
     /// (hits, misses) so far.
@@ -175,5 +182,94 @@ mod tests {
         assert!(c.access(0));
         assert!(!c.access(32));
         assert!(!c.access(0)); // evicted by the single-line cache
+    }
+
+    /// The stamp-based true-LRU formulation this cache used before recency
+    /// became positional; kept as the reference the fast path must match.
+    struct StampLru {
+        line_shift: u32,
+        num_sets: usize,
+        ways: usize,
+        tags: Vec<Option<u64>>,
+        stamps: Vec<u64>,
+        tick: u64,
+    }
+
+    impl StampLru {
+        fn like(c: &Cache) -> Self {
+            Self {
+                line_shift: c.line_shift,
+                num_sets: c.num_sets,
+                ways: c.ways,
+                tags: vec![None; c.num_sets * c.ways],
+                stamps: vec![0; c.num_sets * c.ways],
+                tick: 0,
+            }
+        }
+
+        fn access(&mut self, byte_addr: u64) -> bool {
+            let line = byte_addr >> self.line_shift;
+            let set = (line as usize) & (self.num_sets - 1);
+            let base = set * self.ways;
+            self.tick += 1;
+            for w in 0..self.ways {
+                if self.tags[base + w] == Some(line) {
+                    self.stamps[base + w] = self.tick;
+                    return true;
+                }
+            }
+            let mut victim = 0;
+            let mut oldest = u64::MAX;
+            for w in 0..self.ways {
+                let s = if self.tags[base + w].is_none() {
+                    0
+                } else {
+                    self.stamps[base + w]
+                };
+                if s < oldest {
+                    oldest = s;
+                    victim = w;
+                }
+            }
+            self.tags[base + victim] = Some(line);
+            self.stamps[base + victim] = self.tick;
+            false
+        }
+    }
+
+    /// splitmix64, to keep this test dependency-free.
+    fn rng(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn matches_stamp_based_reference() {
+        for (size, line, ways, addr_space) in [
+            (1 << 15, 32, 16, 1u64 << 17), // L2-slice-like, thrashing
+            (48 << 10, 128, 4, 1 << 16),   // RO-cache-like, mostly hitting
+            (512, 32, 2, 1 << 12),
+            (32, 32, 1, 1 << 8),
+        ] {
+            let mut fast = Cache::new(size, line, ways);
+            let mut reference = StampLru::like(&fast);
+            let mut state = 0xC0FFEEu64 ^ (size as u64);
+            // Mix of random and strided (warp-like) addresses.
+            for i in 0..200_000u64 {
+                let a = if i % 3 == 0 {
+                    (i * 4) % addr_space
+                } else {
+                    rng(&mut state) % addr_space
+                };
+                assert_eq!(
+                    fast.access(a),
+                    reference.access(a),
+                    "diverged at access {i} (addr {a}, geometry {size}/{line}/{ways})"
+                );
+            }
+        }
     }
 }

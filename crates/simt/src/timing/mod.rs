@@ -10,12 +10,23 @@
 //! DRAM bandwidth. The kernel's time is the slowest SM, floored by the
 //! chip-wide bandwidth bound — which is how the model reproduces the
 //! paper's "highly memory latency bound" characterization (Fig. 3).
+//!
+//! ## Replay hot path
+//!
+//! [`SmState::account_warp`] consumes a flat [`WarpTrace`]. Each op slot
+//! carries a kind-summary bitmask built during tracing, so the replay
+//! charges the (overwhelmingly common) kind-uniform slot with a single
+//! pass over the lanes; only genuinely divergent slots fall back to the
+//! serialized per-kind replay. All replay scratch (the ≤32-entry lane
+//! address buffer and the per-bank conflict counters) lives in a
+//! [`WarpScratch`] owned by the `SmState`, so steady-state replay performs
+//! zero heap allocations (see `tests/alloc_free_replay.rs`).
 
 pub mod cache;
 pub mod occupancy;
 
 use crate::config::Device;
-use crate::trace::{LaneTrace, OpKind};
+use crate::trace::{OpKind, WarpTrace, KIND_ORDER, MAX_WARP_LANES};
 use cache::Cache;
 use occupancy::Occupancy;
 use serde::{Deserialize, Serialize};
@@ -80,6 +91,36 @@ pub struct KernelStats {
     pub stalls: StallBreakdown,
 }
 
+/// Reusable replay scratch owned by an [`SmState`]: a fixed lane-address
+/// buffer for coalescing/dedup and the shared-memory per-bank counters.
+/// Sized once (at `SmState::new` / first use) and reused for every warp,
+/// so the replay loop never touches the heap.
+struct WarpScratch {
+    /// Lane byte addresses gathered for the current op slot, already
+    /// line-aligned for global-memory kinds (see [`gather_mask`]).
+    addrs: [u64; MAX_WARP_LANES],
+    /// Number of valid entries in `addrs`.
+    n: usize,
+    /// Whether `addrs[..n]` came out of the gather in ascending order.
+    /// Coalesced kernels emit ascending lane addresses, so tracking this
+    /// during the gather makes the replay's sort a no-op in the common
+    /// case.
+    sorted: bool,
+    /// Shared-memory bank occupancy counters (`Device::smem_banks` wide).
+    per_bank: Vec<u64>,
+}
+
+impl WarpScratch {
+    fn new(dev: &Device) -> Self {
+        Self {
+            addrs: [0; MAX_WARP_LANES],
+            n: 0,
+            sorted: true,
+            per_bank: vec![0; dev.smem_banks.max(1) as usize],
+        }
+    }
+}
+
 /// Per-SM accumulation state: the private read-only cache plus
 /// cycle/traffic counters. The L2 cache is owned by the executor and
 /// passed in per access: in `Deterministic` mode one cache shared by all
@@ -89,6 +130,7 @@ pub struct KernelStats {
 /// data-race-free).
 pub struct SmState {
     ro: Cache,
+    scratch: WarpScratch,
     /// Warp-level instructions issued (compute + memory issue slots).
     pub issue: u64,
     /// Sum over warp memory instructions of their (worst-transaction)
@@ -121,6 +163,7 @@ impl SmState {
     pub fn new(dev: &Device) -> Self {
         Self {
             ro: Cache::new(dev.ro_cache_bytes, dev.ro_line_bytes, dev.ro_ways),
+            scratch: WarpScratch::new(dev),
             issue: 0,
             mem_lat: 0,
             mem_insts: 0,
@@ -140,139 +183,215 @@ impl SmState {
         self.ro.stats()
     }
 
-    /// Accounts one warp's lane traces (positional SIMT alignment: the
-    /// k-th op of every active lane forms one warp access; lanes that have
+    /// Accounts one warp's trace (positional SIMT alignment: the k-th op
+    /// of every active lane forms one warp access; lanes that have
     /// exhausted their trace are masked off, approximating loop-bound
     /// divergence).
-    pub fn account_warp(&mut self, dev: &Device, l2: &mut Cache, lanes: &[LaneTrace]) {
-        debug_assert!(lanes.len() <= dev.warp_size as usize);
+    ///
+    /// Single pass per op slot: the slot's kind summary (built during
+    /// tracing) says whether all lanes issued the same kind — if so the
+    /// addresses are gathered without per-op kind tests and charged once.
+    /// A divergent slot replays one kind at a time in [`KIND_ORDER`]
+    /// (serialized replay), exactly as the pre-SoA accounting did.
+    pub fn account_warp(&mut self, dev: &Device, l2: &mut Cache, warp: &WarpTrace) {
+        let lanes = warp.lanes();
+        debug_assert!(lanes <= dev.warp_size as usize);
         // SIMT compute issue: the warp executes until its longest lane is
         // done.
-        self.issue += lanes.iter().map(|l| l.alu).max().unwrap_or(0);
+        self.issue += warp.max_alu();
         let mut warp_lat = 0u64;
 
-        let max_ops = lanes.iter().map(|l| l.ops.len()).max().unwrap_or(0);
-        self.simd_useful += lanes.iter().map(|l| l.ops.len() as u64).sum::<u64>();
-        self.simd_slots += (max_ops * lanes.len()) as u64;
-        // Scratch reused across op slots: (addr, count) pairs, ≤ 32 lanes.
-        let mut addrs: Vec<u64> = Vec::with_capacity(32);
+        let max_ops = warp.max_ops();
+        self.simd_useful += warp.total_ops() as u64;
+        self.simd_slots += (max_ops * lanes) as u64;
+
+        // Per-lane cursors into the flat op vector (stack-resident).
+        let flat = warp.flat_ops();
+        let mut start = [0usize; MAX_WARP_LANES];
+        let mut len = [0usize; MAX_WARP_LANES];
+        for l in 0..lanes {
+            let (s, e) = warp.lane_span(l);
+            start[l] = s;
+            len[l] = e - s;
+        }
+
         for k in 0..max_ops {
-            // Kinds present at this slot; handled one kind at a time so a
-            // divergent slot (rare) is charged as a serialized replay.
-            for kind in [
-                OpKind::Ld,
-                OpKind::Ldg,
-                OpKind::St,
-                OpKind::Atomic,
-                OpKind::Local,
-                OpKind::Smem,
-            ] {
-                addrs.clear();
-                for l in lanes {
-                    if let Some(op) = l.ops.get(k) {
-                        if op.kind == kind {
-                            addrs.push(op.addr as u64 * 4); // byte address
-                        }
+            let mask = warp.slot_kind_mask(k);
+            if mask == OpKind::Local.bit() {
+                // Local ops are charged address-free (fixed L1 latency);
+                // skip the gather outright for the all-local slot — the
+                // single most common slot kind in the coloring kernels
+                // (the per-thread `colorMask` traffic).
+                self.scratch.n = 1;
+                warp_lat += self.charge_slot(dev, l2, OpKind::Local);
+            } else if mask.count_ones() == 1 {
+                // Kind-uniform slot (the common case): one fused pass
+                // gathers, line-aligns and order-checks the lane
+                // addresses, with no per-op kind tests.
+                let kind = OpKind::from_bit(mask);
+                let amask = gather_mask(dev, kind);
+                let mut n = 0;
+                let mut prev = 0u64;
+                let mut sorted = true;
+                for l in 0..lanes {
+                    if k < len[l] {
+                        let a = (flat[start[l] + k].addr as u64 * 4) & amask;
+                        sorted &= a >= prev;
+                        prev = a;
+                        self.scratch.addrs[n] = a;
+                        n += 1;
                     }
                 }
-                if addrs.is_empty() {
-                    continue;
-                }
-                match kind {
-                    OpKind::Smem => {
-                        // Bank conflicts: lanes hitting distinct words in
-                        // the same bank serialize; same-word access is a
-                        // broadcast. addrs hold word indices here (the
-                        // dedup_lines byte convention does not apply).
-                        let banks = dev.smem_banks.max(1) as u64;
-                        let mut per_bank = vec![0u64; banks as usize];
-                        addrs.sort_unstable();
-                        addrs.dedup(); // same word broadcasts
-                        for &a in addrs.iter() {
-                            // addrs were scaled to bytes in the collection
-                            // loop; undo to recover the word index.
-                            per_bank[((a / 4) % banks) as usize] += 1;
+                self.scratch.n = n;
+                self.scratch.sorted = sorted;
+                warp_lat += self.charge_slot(dev, l2, kind);
+            } else {
+                // Divergent slot (rare): serialized replay, one warp
+                // access per kind present, in canonical order.
+                for kind in KIND_ORDER {
+                    if mask & kind.bit() == 0 {
+                        continue;
+                    }
+                    let amask = gather_mask(dev, kind);
+                    let mut n = 0;
+                    let mut prev = 0u64;
+                    let mut sorted = true;
+                    for l in 0..lanes {
+                        if k < len[l] {
+                            let op = flat[start[l] + k];
+                            if op.kind == kind {
+                                let a = (op.addr as u64 * 4) & amask;
+                                sorted &= a >= prev;
+                                prev = a;
+                                self.scratch.addrs[n] = a;
+                                n += 1;
+                            }
                         }
-                        let ways =
-                            per_bank.iter().copied().max().unwrap_or(1).max(1);
-                        let lat = ways * dev.smem_cycles as u64;
-                        self.issue += ways;
-                        self.mem_lat += lat;
-                        warp_lat += lat;
-                        self.mem_insts += 1;
                     }
-                    OpKind::Local => {
-                        // L1-speed, fully pipelined: issue slots only.
-                        self.issue += 1;
-                        self.mem_lat += dev.local_cycles as u64;
-                        warp_lat += dev.local_cycles as u64;
-                        self.mem_insts += 1;
-                    }
-                    OpKind::Ld if dev.l1_caches_globals => {
-                        // Fermi path: plain loads are L1-cached, so they
-                        // behave like Kepler's ldg path.
-                        let lat = self.ldg_access(dev, l2, &mut addrs);
-                        self.issue += 1;
-                        self.mem_lat += lat;
-                        warp_lat += lat;
-                        self.mem_insts += 1;
-                    }
-                    OpKind::Ld | OpKind::St => {
-                        let lat = self.global_access(dev, l2, &mut addrs);
-                        self.issue += 1;
-                        self.mem_lat += lat;
-                        warp_lat += lat;
-                        self.mem_insts += 1;
-                    }
-                    OpKind::Ldg => {
-                        let lat = self.ldg_access(dev, l2, &mut addrs);
-                        self.issue += 1;
-                        self.mem_lat += lat;
-                        warp_lat += lat;
-                        self.mem_insts += 1;
-                    }
-                    OpKind::Atomic => {
-                        let lat = self.atomic_access(dev, l2, &mut addrs);
-                        self.issue += 1;
-                        self.mem_lat += lat;
-                        warp_lat += lat;
-                        self.mem_insts += 1;
-                    }
+                    self.scratch.n = n;
+                    self.scratch.sorted = sorted;
+                    warp_lat += self.charge_slot(dev, l2, kind);
                 }
             }
         }
         self.max_warp_lat = self.max_warp_lat.max(warp_lat);
     }
 
-    /// Coalesces `addrs` into L2-line transactions, probes the L2 slice,
-    /// returns the warp-visible latency (worst transaction).
-    fn global_access(&mut self, dev: &Device, l2: &mut Cache, addrs: &mut Vec<u64>) -> u64 {
+    /// Charges one warp-level access of `kind` over the addresses
+    /// currently in the scratch buffer. Returns the warp-visible latency
+    /// (also added to `mem_lat`).
+    fn charge_slot(&mut self, dev: &Device, l2: &mut Cache, kind: OpKind) -> u64 {
+        debug_assert!(self.scratch.n > 0, "empty slot charge");
+        let lat = match kind {
+            OpKind::Smem => {
+                // Bank conflicts: lanes hitting distinct words in the same
+                // bank serialize; same-word access is a broadcast. The
+                // scratch holds byte-scaled word indices (the line-dedup
+                // byte convention does not apply).
+                let banks = dev.smem_banks.max(1) as u64;
+                if self.scratch.per_bank.len() != banks as usize {
+                    // Only reachable if a warp is accounted against a
+                    // different device than `SmState::new` saw.
+                    self.scratch.per_bank.resize(banks as usize, 0);
+                }
+                self.scratch.per_bank.fill(0);
+                let n = self.dedup_scratch(); // same word broadcasts
+                for i in 0..n {
+                    // Addresses were scaled to bytes during the gather;
+                    // undo to recover the word index.
+                    let a = self.scratch.addrs[i];
+                    self.scratch.per_bank[((a / 4) % banks) as usize] += 1;
+                }
+                let ways = self
+                    .scratch
+                    .per_bank
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(1)
+                    .max(1);
+                self.issue += ways;
+                ways * dev.smem_cycles as u64
+            }
+            OpKind::Local => {
+                // L1-speed, fully pipelined: issue slots only.
+                self.issue += 1;
+                dev.local_cycles as u64
+            }
+            OpKind::Ld if dev.l1_caches_globals => {
+                // Fermi path: plain loads are L1-cached, so they behave
+                // like Kepler's ldg path.
+                let lat = self.ldg_access(dev, l2);
+                self.issue += 1;
+                lat
+            }
+            OpKind::Ld | OpKind::St => {
+                let lat = self.global_access(dev, l2);
+                self.issue += 1;
+                lat
+            }
+            OpKind::Ldg => {
+                let lat = self.ldg_access(dev, l2);
+                self.issue += 1;
+                lat
+            }
+            OpKind::Atomic => {
+                let lat = self.atomic_access(dev, l2);
+                self.issue += 1;
+                lat
+            }
+        };
+        self.mem_lat += lat;
+        self.mem_insts += 1;
+        lat
+    }
+
+    /// Sorts the scratch (skipped when the gather already saw ascending
+    /// addresses) and dedups it in place; returns the deduped length.
+    #[inline]
+    fn dedup_scratch(&mut self) -> usize {
+        let addrs = &mut self.scratch.addrs[..self.scratch.n];
+        if !self.scratch.sorted {
+            addrs.sort_unstable();
+        }
+        let n = dedup_sorted(addrs);
+        self.scratch.n = n;
+        n
+    }
+
+    /// Coalesces the scratch addresses (line-aligned by the gather) into
+    /// L2-line transactions, probes the L2 slice, returns the
+    /// warp-visible latency (worst transaction).
+    fn global_access(&mut self, dev: &Device, l2: &mut Cache) -> u64 {
         let line = dev.l2_line_bytes as u64;
-        dedup_lines(addrs, line);
+        let n = self.dedup_scratch();
+        self.transactions += n as u64;
+        // Additional transactions occupy the LSU pipe: charge issue slots.
+        self.issue += n as u64 - 1;
         let mut worst = 0u64;
-        for &a in addrs.iter() {
-            let hit = l2.access(a);
-            let lat = if hit {
+        for i in 0..n {
+            let a = self.scratch.addrs[i];
+            let lat = if l2.access(a) {
                 dev.l2_hit_cycles as u64
             } else {
                 self.dram_bytes += line;
                 dev.dram_cycles as u64
             };
             worst = worst.max(lat);
-            self.transactions += 1;
         }
-        // Additional transactions occupy the LSU pipe: charge issue slots.
-        self.issue += addrs.len() as u64 - 1;
         worst
     }
 
     /// `__ldg` path: read-only cache first (128-byte lines), L2 slice on
     /// miss.
-    fn ldg_access(&mut self, dev: &Device, l2: &mut Cache, addrs: &mut Vec<u64>) -> u64 {
+    fn ldg_access(&mut self, dev: &Device, l2: &mut Cache) -> u64 {
         let line = dev.ro_line_bytes as u64;
-        dedup_lines(addrs, line);
+        let n = self.dedup_scratch();
+        self.transactions += n as u64;
+        self.issue += n as u64 - 1;
         let mut worst = 0u64;
-        for &a in addrs.iter() {
+        for i in 0..n {
+            let a = self.scratch.addrs[i];
             let lat = if self.ro.access(a) {
                 dev.ro_hit_cycles as u64
             } else if l2.access(a) {
@@ -282,24 +401,25 @@ impl SmState {
                 (dev.ro_hit_cycles + dev.dram_cycles) as u64
             };
             worst = worst.max(lat);
-            self.transactions += 1;
         }
-        self.issue += addrs.len() as u64 - 1;
         worst
     }
 
     /// Atomics resolve at the L2/AOU; lanes hitting the same word
     /// serialize.
-    fn atomic_access(&mut self, dev: &Device, l2: &mut Cache, addrs: &mut Vec<u64>) -> u64 {
-        self.atomics += addrs.len() as u64;
+    fn atomic_access(&mut self, dev: &Device, l2: &mut Cache) -> u64 {
+        let n0 = self.scratch.n;
+        self.atomics += n0 as u64;
         // Group by exact address: count the worst same-address burst.
-        addrs.sort_unstable();
+        if !self.scratch.sorted {
+            self.scratch.addrs[..n0].sort_unstable();
+        }
         let mut groups = 0u64;
         let mut worst_burst = 0u64;
         let mut i = 0;
-        while i < addrs.len() {
+        while i < n0 {
             let mut j = i + 1;
-            while j < addrs.len() && addrs[j] == addrs[i] {
+            while j < n0 && self.scratch.addrs[j] == self.scratch.addrs[i] {
                 j += 1;
             }
             groups += 1;
@@ -311,9 +431,11 @@ impl SmState {
         self.transactions += groups;
         self.issue += groups - 1;
         // The L2/AOU sees one access per distinct address.
-        addrs.dedup();
+        let n = dedup_sorted(&mut self.scratch.addrs[..n0]);
+        self.scratch.n = n;
         let mut worst = 0u64;
-        for &a in addrs.iter() {
+        for i in 0..n {
+            let a = self.scratch.addrs[i];
             if l2.access(a) {
                 worst = worst.max(dev.l2_hit_cycles as u64);
             } else {
@@ -336,15 +458,46 @@ impl SmState {
         let sync = 20 * steps as u64;
         self.sync_cycles += sync;
     }
+
+    /// Charges the one global `atomicAdd` a cooperative block issues to
+    /// reserve its output range (Fig. 5). Modeled as an L2-resident
+    /// counter round trip with no serialization: blocks arrive spread in
+    /// time, unlike lanes of one warp.
+    pub fn charge_block_base_atomic(&mut self, dev: &Device) {
+        self.atomics += 1;
+        self.mem_lat += dev.l2_hit_cycles as u64;
+        self.mem_insts += 1;
+        self.issue += 1;
+    }
 }
 
-/// In-place dedup of byte addresses to distinct line base addresses.
-fn dedup_lines(addrs: &mut Vec<u64>, line: u64) {
-    for a in addrs.iter_mut() {
-        *a -= *a % line;
+/// In-place dedup of sorted values; returns the deduped length.
+#[inline]
+fn dedup_sorted(addrs: &mut [u64]) -> usize {
+    let mut w = 0usize;
+    for i in 0..addrs.len() {
+        if w == 0 || addrs[i] != addrs[w - 1] {
+            addrs[w] = addrs[i];
+            w += 1;
+        }
     }
-    addrs.sort_unstable();
-    addrs.dedup();
+    w
+}
+
+/// Address mask applied during the gather for `kind`: global
+/// loads/stores are line-aligned up front (32-byte L2 lines; 128-byte
+/// read-only lines for `__ldg` and for plain loads on devices whose L1
+/// caches globals), so the charge path needn't re-walk the buffer.
+/// Atomics and shared-memory ops keep exact byte addresses — they dedup
+/// and bank by word, not by line.
+#[inline]
+fn gather_mask(dev: &Device, kind: OpKind) -> u64 {
+    match kind {
+        OpKind::Ldg => !(dev.ro_line_bytes as u64 - 1),
+        OpKind::Ld if dev.l1_caches_globals => !(dev.ro_line_bytes as u64 - 1),
+        OpKind::Ld | OpKind::St => !(dev.l2_line_bytes as u64 - 1),
+        _ => !0,
+    }
 }
 
 /// Combines per-SM states into the final kernel statistics.
@@ -433,7 +586,6 @@ pub fn finalize(
     // only a bounded window of each memory wait is attributed (factor
     // 0.1 ≈ sampling period / average wait).
     let mem_dep = total_mem_lat as f64 * 0.1;
-    let _ = drain;
     let exec_dep = total_issue as f64 * 0.35;
     let sync = (total_sync + total_atomic_serial) as f64;
     let fetch = total_issue as f64 * 0.06;
@@ -479,8 +631,18 @@ mod tests {
     use super::*;
     use crate::trace::Op;
 
-    fn lane(ops: Vec<Op>, alu: u64) -> LaneTrace {
-        LaneTrace { ops, alu }
+    /// Builds a [`WarpTrace`] from per-lane (ops, alu) pairs — the shape
+    /// the old per-lane `LaneTrace` API exposed.
+    fn warp(lanes: &[(Vec<Op>, u64)]) -> WarpTrace {
+        let mut t = WarpTrace::default();
+        for (ops, alu) in lanes {
+            t.begin_lane();
+            for &o in ops {
+                t.push(o);
+            }
+            t.add_alu(*alu);
+        }
+        t
     }
 
     /// A chip-wide L2 like the Deterministic executor uses.
@@ -499,8 +661,8 @@ mod tests {
         let mut l2 = l2_of(&dev);
         // 32 lanes loading consecutive words: 32 * 4B = 128B = 4 L2
         // sectors of 32B.
-        let lanes: Vec<LaneTrace> = (0..32).map(|i| lane(vec![op(OpKind::Ld, i)], 0)).collect();
-        sm.account_warp(&dev, &mut l2, &lanes);
+        let lanes: Vec<(Vec<Op>, u64)> = (0..32).map(|i| (vec![op(OpKind::Ld, i)], 0)).collect();
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         assert_eq!(sm.transactions, 4);
         assert_eq!(sm.mem_insts, 1);
         assert_eq!(sm.dram_bytes, 4 * 32);
@@ -512,10 +674,10 @@ mod tests {
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
         // 32 lanes loading words 1000 apart: no two share a 32B sector.
-        let lanes: Vec<LaneTrace> = (0..32)
-            .map(|i| lane(vec![op(OpKind::Ld, i * 1000)], 0))
+        let lanes: Vec<(Vec<Op>, u64)> = (0..32)
+            .map(|i| (vec![op(OpKind::Ld, i * 1000)], 0))
             .collect();
-        sm.account_warp(&dev, &mut l2, &lanes);
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         assert_eq!(sm.transactions, 32);
         assert_eq!(sm.dram_bytes, 32 * 32);
     }
@@ -525,8 +687,8 @@ mod tests {
         let dev = Device::k20c();
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
-        let lanes = vec![lane(vec![op(OpKind::Ld, 0), op(OpKind::Ld, 0)], 0)];
-        sm.account_warp(&dev, &mut l2, &lanes);
+        let lanes = vec![(vec![op(OpKind::Ld, 0), op(OpKind::Ld, 0)], 0)];
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         let (l2_hits, l2_misses) = l2.stats();
         assert_eq!(l2_misses, 1);
         assert_eq!(l2_hits, 1);
@@ -539,8 +701,8 @@ mod tests {
         let dev = Device::k20c();
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
-        let lanes = vec![lane(vec![op(OpKind::Ldg, 0), op(OpKind::Ldg, 0)], 0)];
-        sm.account_warp(&dev, &mut l2, &lanes);
+        let lanes = vec![(vec![op(OpKind::Ldg, 0), op(OpKind::Ldg, 0)], 0)];
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         let (ro_hits, ro_misses) = sm.ro_stats();
         assert_eq!(ro_misses, 1);
         assert_eq!(ro_hits, 1);
@@ -555,8 +717,8 @@ mod tests {
         let dev = Device::k20c();
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
-        let lanes = vec![lane(vec![op(OpKind::Ld, 0)], 0)];
-        sm.account_warp(&dev, &mut l2, &lanes);
+        let lanes = vec![(vec![op(OpKind::Ld, 0)], 0)];
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         let (ro_hits, ro_misses) = sm.ro_stats();
         assert_eq!((ro_hits, ro_misses), (0, 0), "ld bypasses the RO cache");
     }
@@ -566,10 +728,9 @@ mod tests {
         let dev = Device::k20c();
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
-        let lanes: Vec<LaneTrace> = (0..32)
-            .map(|_| lane(vec![op(OpKind::Atomic, 7)], 0))
-            .collect();
-        sm.account_warp(&dev, &mut l2, &lanes);
+        let lanes: Vec<(Vec<Op>, u64)> =
+            (0..32).map(|_| (vec![op(OpKind::Atomic, 7)], 0)).collect();
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         assert_eq!(sm.atomics, 32);
         assert_eq!(sm.atomic_serial, 31 * dev.atomic_serial_cycles as u64);
     }
@@ -579,10 +740,10 @@ mod tests {
         let dev = Device::k20c();
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
-        let lanes: Vec<LaneTrace> = (0..32)
-            .map(|i| lane(vec![op(OpKind::Atomic, i * 64)], 0))
+        let lanes: Vec<(Vec<Op>, u64)> = (0..32)
+            .map(|i| (vec![op(OpKind::Atomic, i * 64)], 0))
             .collect();
-        sm.account_warp(&dev, &mut l2, &lanes);
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         assert_eq!(sm.atomic_serial, 0);
         assert_eq!(sm.atomics, 32);
     }
@@ -592,10 +753,29 @@ mod tests {
         let dev = Device::k20c();
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
-        let mut lanes = vec![lane(vec![], 2); 32];
-        lanes[0].alu = 100; // one long lane dominates the warp
-        sm.account_warp(&dev, &mut l2, &lanes);
+        let mut lanes = vec![(vec![], 2u64); 32];
+        lanes[0].1 = 100; // one long lane dominates the warp
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         assert_eq!(sm.issue, 100);
+    }
+
+    #[test]
+    fn mixed_kind_slot_replays_serially() {
+        // Lanes diverge at slot 0: half load, half store, same line. The
+        // divergent fallback charges one warp access per kind.
+        let dev = Device::k20c();
+        let mut sm = SmState::new(&dev);
+        let mut l2 = l2_of(&dev);
+        let lanes: Vec<(Vec<Op>, u64)> = (0..32)
+            .map(|i| {
+                let kind = if i % 2 == 0 { OpKind::Ld } else { OpKind::St };
+                (vec![op(kind, i)], 0)
+            })
+            .collect();
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
+        assert_eq!(sm.mem_insts, 2, "one warp access per kind present");
+        // 16 even words cover words 0..30 → 128B → 4 lines; odd same.
+        assert_eq!(sm.transactions, 8);
     }
 
     #[test]
@@ -620,10 +800,10 @@ mod tests {
         let occ = occupancy::occupancy(&dev, 1 << 16, 128, 32, 0);
         let mut sm = SmState::new(&dev);
         let mut l2 = l2_of(&dev);
-        let lanes: Vec<LaneTrace> = (0..32)
-            .map(|i| lane(vec![op(OpKind::Ld, i * 512)], 5))
+        let lanes: Vec<(Vec<Op>, u64)> = (0..32)
+            .map(|i| (vec![op(OpKind::Ld, i * 512)], 5))
             .collect();
-        sm.account_warp(&dev, &mut l2, &lanes);
+        sm.account_warp(&dev, &mut l2, &warp(&lanes));
         let stats = finalize(&dev, "t", 1, 32, occ, &[sm], l2.stats());
         let s = stats.stalls;
         let sum = s.memory_dependency
@@ -666,5 +846,327 @@ mod tests {
         b.charge_block_scan(&dev, 1024);
         assert!(b.issue > a.issue);
         assert!(b.sync_cycles > a.sync_cycles);
+    }
+
+    #[test]
+    fn block_base_atomic_helper_charges_one_atomic() {
+        let dev = Device::k20c();
+        let mut sm = SmState::new(&dev);
+        sm.charge_block_base_atomic(&dev);
+        assert_eq!(sm.atomics, 1);
+        assert_eq!(sm.mem_insts, 1);
+        assert_eq!(sm.issue, 1);
+        assert_eq!(sm.mem_lat, dev.l2_hit_cycles as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Oracle equivalence: the pre-SoA accounting, kept verbatim as a
+    // reference implementation, must agree bit-for-bit with the
+    // single-pass replay on randomized traces.
+    // ------------------------------------------------------------------
+
+    /// The old per-lane trace accounting (exact copy of the pre-refactor
+    /// `account_warp` and its heap-allocating helpers), used as the
+    /// equivalence oracle.
+    mod oracle {
+        use super::super::*;
+        use crate::trace::Op;
+
+        pub fn account_warp(
+            sm: &mut SmState,
+            dev: &Device,
+            l2: &mut Cache,
+            lanes: &[(Vec<Op>, u64)],
+        ) {
+            debug_assert!(lanes.len() <= dev.warp_size as usize);
+            sm.issue += lanes.iter().map(|l| l.1).max().unwrap_or(0);
+            let mut warp_lat = 0u64;
+
+            let max_ops = lanes.iter().map(|l| l.0.len()).max().unwrap_or(0);
+            sm.simd_useful += lanes.iter().map(|l| l.0.len() as u64).sum::<u64>();
+            sm.simd_slots += (max_ops * lanes.len()) as u64;
+            let mut addrs: Vec<u64> = Vec::with_capacity(32);
+            for k in 0..max_ops {
+                for kind in KIND_ORDER {
+                    addrs.clear();
+                    for l in lanes {
+                        if let Some(op) = l.0.get(k) {
+                            if op.kind == kind {
+                                addrs.push(op.addr as u64 * 4);
+                            }
+                        }
+                    }
+                    if addrs.is_empty() {
+                        continue;
+                    }
+                    match kind {
+                        OpKind::Smem => {
+                            let banks = dev.smem_banks.max(1) as u64;
+                            let mut per_bank = vec![0u64; banks as usize];
+                            addrs.sort_unstable();
+                            addrs.dedup();
+                            for &a in addrs.iter() {
+                                per_bank[((a / 4) % banks) as usize] += 1;
+                            }
+                            let ways = per_bank.iter().copied().max().unwrap_or(1).max(1);
+                            let lat = ways * dev.smem_cycles as u64;
+                            sm.issue += ways;
+                            sm.mem_lat += lat;
+                            warp_lat += lat;
+                            sm.mem_insts += 1;
+                        }
+                        OpKind::Local => {
+                            sm.issue += 1;
+                            sm.mem_lat += dev.local_cycles as u64;
+                            warp_lat += dev.local_cycles as u64;
+                            sm.mem_insts += 1;
+                        }
+                        OpKind::Ld if dev.l1_caches_globals => {
+                            let lat = ldg_access(sm, dev, l2, &mut addrs);
+                            sm.issue += 1;
+                            sm.mem_lat += lat;
+                            warp_lat += lat;
+                            sm.mem_insts += 1;
+                        }
+                        OpKind::Ld | OpKind::St => {
+                            let lat = global_access(sm, dev, l2, &mut addrs);
+                            sm.issue += 1;
+                            sm.mem_lat += lat;
+                            warp_lat += lat;
+                            sm.mem_insts += 1;
+                        }
+                        OpKind::Ldg => {
+                            let lat = ldg_access(sm, dev, l2, &mut addrs);
+                            sm.issue += 1;
+                            sm.mem_lat += lat;
+                            warp_lat += lat;
+                            sm.mem_insts += 1;
+                        }
+                        OpKind::Atomic => {
+                            let lat = atomic_access(sm, dev, l2, &mut addrs);
+                            sm.issue += 1;
+                            sm.mem_lat += lat;
+                            warp_lat += lat;
+                            sm.mem_insts += 1;
+                        }
+                    }
+                }
+            }
+            sm.max_warp_lat = sm.max_warp_lat.max(warp_lat);
+        }
+
+        fn dedup_lines_vec(addrs: &mut Vec<u64>, line: u64) {
+            for a in addrs.iter_mut() {
+                *a -= *a % line;
+            }
+            addrs.sort_unstable();
+            addrs.dedup();
+        }
+
+        fn global_access(
+            sm: &mut SmState,
+            dev: &Device,
+            l2: &mut Cache,
+            addrs: &mut Vec<u64>,
+        ) -> u64 {
+            let line = dev.l2_line_bytes as u64;
+            dedup_lines_vec(addrs, line);
+            let mut worst = 0u64;
+            for &a in addrs.iter() {
+                let hit = l2.access(a);
+                let lat = if hit {
+                    dev.l2_hit_cycles as u64
+                } else {
+                    sm.dram_bytes += line;
+                    dev.dram_cycles as u64
+                };
+                worst = worst.max(lat);
+                sm.transactions += 1;
+            }
+            sm.issue += addrs.len() as u64 - 1;
+            worst
+        }
+
+        fn ldg_access(sm: &mut SmState, dev: &Device, l2: &mut Cache, addrs: &mut Vec<u64>) -> u64 {
+            let line = dev.ro_line_bytes as u64;
+            dedup_lines_vec(addrs, line);
+            let mut worst = 0u64;
+            for &a in addrs.iter() {
+                let lat = if sm.ro.access(a) {
+                    dev.ro_hit_cycles as u64
+                } else if l2.access(a) {
+                    (dev.ro_hit_cycles + dev.l2_hit_cycles) as u64
+                } else {
+                    sm.dram_bytes += line;
+                    (dev.ro_hit_cycles + dev.dram_cycles) as u64
+                };
+                worst = worst.max(lat);
+                sm.transactions += 1;
+            }
+            sm.issue += addrs.len() as u64 - 1;
+            worst
+        }
+
+        fn atomic_access(
+            sm: &mut SmState,
+            dev: &Device,
+            l2: &mut Cache,
+            addrs: &mut Vec<u64>,
+        ) -> u64 {
+            sm.atomics += addrs.len() as u64;
+            addrs.sort_unstable();
+            let mut groups = 0u64;
+            let mut worst_burst = 0u64;
+            let mut i = 0;
+            while i < addrs.len() {
+                let mut j = i + 1;
+                while j < addrs.len() && addrs[j] == addrs[i] {
+                    j += 1;
+                }
+                groups += 1;
+                worst_burst = worst_burst.max((j - i) as u64);
+                i = j;
+            }
+            let serial = worst_burst.saturating_sub(1) * dev.atomic_serial_cycles as u64;
+            sm.atomic_serial += serial;
+            sm.transactions += groups;
+            sm.issue += groups - 1;
+            addrs.dedup();
+            let mut worst = 0u64;
+            for &a in addrs.iter() {
+                if l2.access(a) {
+                    worst = worst.max(dev.l2_hit_cycles as u64);
+                } else {
+                    sm.dram_bytes += dev.l2_line_bytes as u64;
+                    worst = worst.max(dev.dram_cycles as u64);
+                }
+            }
+            worst + serial
+        }
+    }
+
+    /// splitmix64 — deterministic, dependency-free randomness for the
+    /// equivalence fuzz loop.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Generates one random warp: mostly kind-uniform slots with a
+    /// sprinkling of divergent ones, variable lane counts and lengths,
+    /// clustered addresses (cache hits + bank conflicts + shared lines).
+    fn random_warp(rng: &mut Rng) -> Vec<(Vec<Op>, u64)> {
+        let lanes = 1 + rng.below(32) as usize;
+        let base_len = rng.below(8) as usize;
+        // Choose a per-slot "majority" kind up front so most slots are
+        // uniform, as real kernels are.
+        let slot_kind: Vec<OpKind> = (0..base_len + 4)
+            .map(|_| KIND_ORDER[rng.below(6) as usize])
+            .collect();
+        (0..lanes)
+            .map(|_| {
+                // Lane lengths vary around base_len (loop divergence).
+                let len = match rng.below(4) {
+                    0 => base_len.saturating_sub(rng.below(3) as usize),
+                    1 => base_len + rng.below(3) as usize,
+                    _ => base_len,
+                };
+                let ops = (0..len)
+                    .map(|k| {
+                        // 10% of ops diverge from the slot's majority kind.
+                        let kind = if rng.below(10) == 0 {
+                            KIND_ORDER[rng.below(6) as usize]
+                        } else {
+                            slot_kind[k]
+                        };
+                        // Clustered addresses: small word space so lines,
+                        // banks and atomic targets collide frequently.
+                        let addr = rng.below(4096) as u32;
+                        Op { kind, addr }
+                    })
+                    .collect();
+                (ops, rng.below(64))
+            })
+            .collect()
+    }
+
+    fn assert_sm_eq(new: &SmState, old: &SmState, trial: usize) {
+        assert_eq!(new.issue, old.issue, "issue, trial {trial}");
+        assert_eq!(new.mem_lat, old.mem_lat, "mem_lat, trial {trial}");
+        assert_eq!(new.mem_insts, old.mem_insts, "mem_insts, trial {trial}");
+        assert_eq!(
+            new.transactions, old.transactions,
+            "transactions, trial {trial}"
+        );
+        assert_eq!(new.dram_bytes, old.dram_bytes, "dram_bytes, trial {trial}");
+        assert_eq!(new.atomics, old.atomics, "atomics, trial {trial}");
+        assert_eq!(
+            new.atomic_serial, old.atomic_serial,
+            "atomic_serial, trial {trial}"
+        );
+        assert_eq!(
+            new.max_warp_lat, old.max_warp_lat,
+            "max_warp_lat, trial {trial}"
+        );
+        assert_eq!(
+            new.simd_useful, old.simd_useful,
+            "simd_useful, trial {trial}"
+        );
+        assert_eq!(new.simd_slots, old.simd_slots, "simd_slots, trial {trial}");
+        assert_eq!(new.ro_stats(), old.ro_stats(), "ro stats, trial {trial}");
+    }
+
+    #[test]
+    fn single_pass_replay_matches_oracle_on_random_traces() {
+        for (seed, dev) in [
+            (0x1234u64, Device::k20c()),
+            (0x5678, Device::k20c()),
+            (0x9ABC, Device::fermi_like()), // exercises the l1_caches_globals arm
+        ] {
+            let mut rng = Rng(seed);
+            let mut sm_new = SmState::new(&dev);
+            let mut sm_old = SmState::new(&dev);
+            let mut l2_new = Cache::new(dev.l2_bytes, dev.l2_line_bytes, dev.l2_ways);
+            let mut l2_old = Cache::new(dev.l2_bytes, dev.l2_line_bytes, dev.l2_ways);
+            for trial in 0..500 {
+                let lanes = random_warp(&mut rng);
+                sm_new.account_warp(&dev, &mut l2_new, &warp(&lanes));
+                oracle::account_warp(&mut sm_old, &dev, &mut l2_old, &lanes);
+                assert_sm_eq(&sm_new, &sm_old, trial);
+                assert_eq!(l2_new.stats(), l2_old.stats(), "l2 stats, trial {trial}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_lane_warps_match_oracle() {
+        let dev = Device::k20c();
+        let mut sm_new = SmState::new(&dev);
+        let mut sm_old = SmState::new(&dev);
+        let mut l2_new = l2_of(&dev);
+        let mut l2_old = l2_of(&dev);
+        let cases: Vec<Vec<(Vec<Op>, u64)>> = vec![
+            vec![(vec![], 0)],                       // one empty lane
+            vec![(vec![], 3); 32],                   // all lanes empty, alu only
+            vec![(vec![op(OpKind::Atomic, 9)], 1)],  // single-lane atomic
+            vec![(vec![op(OpKind::Smem, 5)], 0); 7], // partial warp, smem broadcast
+        ];
+        for (trial, lanes) in cases.into_iter().enumerate() {
+            sm_new.account_warp(&dev, &mut l2_new, &warp(&lanes));
+            oracle::account_warp(&mut sm_old, &dev, &mut l2_old, &lanes);
+            assert_sm_eq(&sm_new, &sm_old, trial);
+            assert_eq!(l2_new.stats(), l2_old.stats(), "l2 stats, trial {trial}");
+        }
     }
 }

@@ -1,0 +1,119 @@
+//! Execution-mode equivalence properties.
+//!
+//! `Parallel` mode simulates SMs on worker threads while `Deterministic`
+//! mode runs everything on one thread; for race-free kernels (each thread
+//! owns its output slots; cross-thread combining only through commutative
+//! atomics) the functional results must be identical. Parallel mode's
+//! *timing* is also required to be reproducible run to run: every SM's
+//! block assignment and per-SM replay order are fixed, so thread
+//! scheduling must not leak into any modeled counter.
+
+use gcol_simt::mem::Buffer;
+use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, KernelStats, ThreadCtx};
+use proptest::prelude::*;
+
+/// A race-free kernel touching every traced op kind: per-thread output
+/// stores, plain + read-only loads, local scratch, ALU work, and a
+/// commutative atomic reduction.
+struct MixedSaxpy {
+    x: Buffer<u32>,
+    y: Buffer<u32>,
+    out: Buffer<u32>,
+    total: Buffer<u32>,
+    n: usize,
+}
+
+impl Kernel for MixedSaxpy {
+    fn name(&self) -> &'static str {
+        "mixed-saxpy"
+    }
+
+    fn run(&self, t: &mut ThreadCtx<'_>) {
+        let i = t.global_id() as usize;
+        if i >= self.n {
+            return;
+        }
+        let a = t.ld(self.x, i);
+        let b = t.ldg(self.y, self.n - 1 - i); // reversed: imperfect coalescing
+        t.local_reserve(1);
+        t.local_st(0, a.wrapping_mul(3));
+        let c = t.local_ld(0);
+        t.alu(4);
+        let v = c.wrapping_add(b);
+        t.st(self.out, i, v);
+        // Commutative combine: final value is order-independent.
+        t.atomic_add(self.total, 0, v % 97);
+    }
+}
+
+/// Runs the kernel on fresh memory and returns (out, total, stats).
+fn run_once(n: usize, block: u32, seed: u64, mode: ExecMode) -> (Vec<u32>, u32, KernelStats) {
+    let mut mem = GpuMem::new();
+    // Deterministic pseudo-random inputs from the seed (splitmix64).
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as u32
+    };
+    let x = mem.alloc_from_slice(&(0..n).map(|_| next()).collect::<Vec<u32>>());
+    let y = mem.alloc_from_slice(&(0..n).map(|_| next()).collect::<Vec<u32>>());
+    let out = mem.alloc::<u32>(n.max(1));
+    let total = mem.alloc::<u32>(1);
+    let k = MixedSaxpy { x, y, out, total, n };
+    let stats = launch(&mem, &Device::k20c(), mode, grid_for(n, block), block, &k);
+    (mem.read_vec(out), mem.load(total, 0), stats)
+}
+
+/// The modeled counters that must be identical between two launches.
+fn counter_tuple(s: &KernelStats) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        s.cycles,
+        s.instructions,
+        s.mem_transactions,
+        s.dram_bytes,
+        s.ro_hits,
+        s.ro_misses,
+        s.l2_hits,
+        s.l2_misses,
+        s.atomics,
+        s.atomic_serial_cycles,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Race-free kernels compute the same functional result in both
+    /// execution modes.
+    #[test]
+    fn parallel_matches_deterministic_functionally(
+        n in 1usize..4000,
+        block_exp in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let block = 32u32 << block_exp;
+        let (out_d, total_d, _) = run_once(n, block, seed, ExecMode::Deterministic);
+        let (out_p, total_p, _) = run_once(n, block, seed, ExecMode::Parallel);
+        prop_assert_eq!(out_d, out_p, "output diverged between modes");
+        prop_assert_eq!(total_d, total_p, "atomic reduction diverged between modes");
+    }
+
+    /// Parallel-mode timing is reproducible: worker-thread scheduling
+    /// must not leak into any modeled counter.
+    #[test]
+    fn parallel_timing_is_deterministic_across_runs(
+        n in 1usize..4000,
+        block_exp in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let block = 32u32 << block_exp;
+        let (_, _, s1) = run_once(n, block, seed, ExecMode::Parallel);
+        let (_, _, s2) = run_once(n, block, seed, ExecMode::Parallel);
+        prop_assert_eq!(counter_tuple(&s1), counter_tuple(&s2));
+        prop_assert_eq!(s1.time_ms.to_bits(), s2.time_ms.to_bits(),
+                        "modeled time must be bit-identical run to run");
+    }
+}

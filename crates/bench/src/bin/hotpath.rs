@@ -11,8 +11,12 @@
 //! ```text
 //! cargo run --release -p gcol-bench --bin hotpath -- --scale 14 --repeat 3
 //! ```
+//!
+//! `--backend native` runs the same schemes on the rayon backend instead
+//! (no modeled time or counters — the digest is all zeros), which gives
+//! the simulated-vs-native wall-clock A/B comparison.
 
-use gcol_core::{ColorOptions, Scheme};
+use gcol_core::{BackendKind, ColorOptions, Scheme};
 use gcol_graph::gen::{self, RmatParams};
 use gcol_simt::{Device, ExecMode, Phase};
 
@@ -53,6 +57,7 @@ fn main() {
     let mut scale = 14u32;
     let mut repeat = 3usize;
     let mut schemes = vec![Scheme::TopoBase, Scheme::DataBase];
+    let mut backend = BackendKind::Simt;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -76,15 +81,18 @@ fn main() {
                     .unwrap_or_else(|| die("--schemes needs a comma-separated list"));
                 schemes = list
                     .split(',')
-                    .map(|s| match s {
-                        "T-base" => Scheme::TopoBase,
-                        "T-ldg" => Scheme::TopoLdg,
-                        "D-base" => Scheme::DataBase,
-                        "D-ldg" => Scheme::DataLdg,
-                        "csrcolor" => Scheme::CsrColor,
-                        other => die(&format!("unknown scheme {other:?}")),
+                    .map(|s| {
+                        Scheme::from_name(s)
+                            .unwrap_or_else(|| die(&format!("unknown scheme {s:?}")))
                     })
                     .collect();
+                i += 2;
+            }
+            "--backend" => {
+                backend = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--backend needs 'simt' or 'native'"));
                 i += 2;
             }
             other => die(&format!("unknown option {other:?}")),
@@ -101,11 +109,17 @@ fn main() {
     );
 
     let dev = Device::k20c();
-    let opts = ColorOptions::default().with_exec_mode(ExecMode::Deterministic);
+    let opts = ColorOptions::default()
+        .with_exec_mode(ExecMode::Deterministic)
+        .with_backend(backend);
+    eprintln!("backend: {backend}");
     for scheme in &schemes {
         for rep in 0..repeat {
             let t = std::time::Instant::now();
-            let c = scheme.color(&g, &dev, &opts);
+            let c = match scheme.try_color(&g, &dev, &opts) {
+                Ok(c) => c,
+                Err(e) => die(&format!("{e}")),
+            };
             let wall_ms = t.elapsed().as_secs_f64() * 1e3;
             println!(
                 "{name} rep={rep} wall_ms={wall_ms:.1} modeled_ms={modeled:.3} \

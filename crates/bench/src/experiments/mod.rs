@@ -16,11 +16,11 @@ pub mod profile;
 pub mod quality;
 pub mod relabel;
 pub mod scaling;
-pub mod variance;
 pub mod table1;
+pub mod variance;
 
 use crate::suite::{build_suite, SuiteEntry};
-use gcol_core::{ColorOptions, Scheme};
+use gcol_core::{BackendKind, ColorOptions, Scheme};
 use gcol_simt::{Device, ExecMode};
 use serde::Serialize;
 
@@ -33,6 +33,8 @@ pub struct ExpConfig {
     pub block_size: u32,
     /// Simulator execution mode.
     pub exec_mode: ExecMode,
+    /// Execution backend: the timing simulator (default) or native rayon.
+    pub backend: BackendKind,
     /// Optional JSON output path.
     pub json: Option<String>,
 }
@@ -43,6 +45,7 @@ impl Default for ExpConfig {
             scale: 15,
             block_size: 128,
             exec_mode: ExecMode::Deterministic,
+            backend: BackendKind::Simt,
             json: None,
         }
     }
@@ -54,6 +57,7 @@ impl ExpConfig {
         ColorOptions {
             block_size: self.block_size,
             exec_mode: self.exec_mode,
+            backend: self.backend,
             ..ColorOptions::default()
         }
     }
@@ -104,6 +108,9 @@ pub fn run_suite_schemes(cfg: &ExpConfig, schemes: &[Scheme]) -> Vec<GraphResult
 }
 
 /// Runs the given schemes on one suite entry, verifying every coloring.
+/// A scheme that returns a [`gcol_core::ColorError`] is reported to stderr
+/// and skipped — one misconfigured or non-converging scheme no longer
+/// aborts the whole experiment.
 pub fn run_graph_schemes(
     entry: &SuiteEntry,
     dev: &Device,
@@ -113,8 +120,14 @@ pub fn run_graph_schemes(
     let seq_ms = Scheme::Sequential.color(&entry.graph, dev, opts).total_ms();
     let runs = schemes
         .iter()
-        .map(|&scheme| {
-            let r = scheme.color(&entry.graph, dev, opts);
+        .filter_map(|&scheme| {
+            let r = match scheme.try_color(&entry.graph, dev, opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warning: {} on {} skipped: {e}", scheme, entry.name);
+                    return None;
+                }
+            };
             gcol_core::verify_coloring(&entry.graph, &r.colors).unwrap_or_else(|e| {
                 panic!(
                     "{} produced an invalid coloring on {}: {e}",
@@ -122,13 +135,13 @@ pub fn run_graph_schemes(
                 )
             });
             let ms = r.total_ms();
-            SchemeRun {
+            Some(SchemeRun {
                 scheme,
                 num_colors: r.num_colors,
                 iterations: r.iterations,
                 ms,
                 speedup: seq_ms / ms,
-            }
+            })
         })
         .collect();
     GraphResults {

@@ -9,25 +9,11 @@ use crate::suite::build_graph;
 use gcol_core::Scheme;
 use gcol_simt::{Device, Phase};
 
-/// Parses a scheme by its paper name.
+/// Parses a scheme by its paper name (case-insensitive; see
+/// [`Scheme::ALL`]).
 pub fn parse_scheme(name: &str) -> Option<Scheme> {
-    let all = [
-        Scheme::Sequential,
-        Scheme::ThreeStepGm,
-        Scheme::TopoBase,
-        Scheme::TopoLdg,
-        Scheme::DataBase,
-        Scheme::DataLdg,
-        Scheme::CsrColor,
-        Scheme::CpuGm,
-        Scheme::CpuJp,
-        Scheme::DataAtomic,
-        Scheme::TopoEdge,
-        Scheme::CpuRokos,
-        Scheme::CpuJpLlf,
-        Scheme::CpuJpSl,
-    ];
-    all.into_iter()
+    Scheme::ALL
+        .into_iter()
         .find(|s| s.name().eq_ignore_ascii_case(name))
 }
 

@@ -49,8 +49,7 @@ pub fn run(cfg: &ExpConfig) -> String {
         let rcm = Scheme::DataLdg.color(&relabeled, &dev, &opts);
         gcol_core::verify_coloring(&relabeled, &rcm.colors).unwrap();
         let gain = natural.total_ms() / rcm.total_ms();
-        let (bw_before, bw_after) =
-            (bandwidth(&e.graph), bandwidth(&relabeled));
+        let (bw_before, bw_after) = (bandwidth(&e.graph), bandwidth(&relabeled));
         table.row(vec![
             e.name.to_string(),
             bw_before.to_string(),

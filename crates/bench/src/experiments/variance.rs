@@ -35,14 +35,17 @@ fn spread(values: &[f64]) -> (f64, f64, f64) {
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
     let opts = cfg.color_options();
-    let mut table =
-        Table::new(vec!["quantity", "samples", "min", "max", "spread %"]);
+    let mut table = Table::new(vec!["quantity", "samples", "min", "max", "spread %"]);
     let mut rows = Vec::new();
     let mut push = |what: &str, values: Vec<f64>, digits: usize| {
         let (min, max, pct) = spread(&values);
         table.row(vec![
             what.to_string(),
-            values.iter().map(|v| f(*v, digits)).collect::<Vec<_>>().join(" "),
+            values
+                .iter()
+                .map(|v| f(*v, digits))
+                .collect::<Vec<_>>()
+                .join(" "),
             f(min, digits),
             f(max, digits),
             f(pct, 1),
@@ -61,10 +64,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut d_speedups = Vec::new();
     let mut inflations = Vec::new();
     for seed in [0xE5u64, 0x1234, 0xFEED] {
-        let g = gen::rmat(
-            RmatParams::erdos_renyi(cfg.scale.min(15), 20),
-            seed,
-        );
+        let g = gen::rmat(RmatParams::erdos_renyi(cfg.scale.min(15), 20), seed);
         let seq = Scheme::Sequential.color(&g, &dev, &opts);
         let d = Scheme::DataLdg.color(&g, &dev, &opts);
         let c = Scheme::CsrColor.color(&g, &dev, &opts);
@@ -79,9 +79,11 @@ pub fn run(cfg: &ExpConfig) -> String {
     let mut csr_colors = Vec::new();
     let mut jp_colors = Vec::new();
     for seed in [1u64, 2, 3, 4, 5] {
-        let o = ColorOptions { seed, ..opts.clone() };
-        csr_colors
-            .push(Scheme::CsrColor.color(&g, &dev, &o).num_colors as f64);
+        let o = ColorOptions {
+            seed,
+            ..opts.clone()
+        };
+        csr_colors.push(Scheme::CsrColor.color(&g, &dev, &o).num_colors as f64);
         jp_colors.push(Scheme::CpuJp.color(&g, &dev, &o).num_colors as f64);
     }
     push("thermal2: csrcolor colors over 5 seeds", csr_colors, 0);

@@ -38,6 +38,10 @@ OPTIONS:
     --block N     thread block size for GPU schemes (default 128)
     --parallel    simulate SMs on multiple host threads (results may vary
                   across runs where the algorithm itself races)
+    --backend B   execution backend for the GPU schemes: simt (the timing
+                  simulator, default) or native (rayon, wall-clock only —
+                  no modeled kernel times, so speedup columns lose their
+                  paper meaning)
     --json PATH   also write the raw results as JSON
 ";
 
@@ -70,6 +74,13 @@ fn main() {
             "--parallel" => {
                 cfg.exec_mode = ExecMode::Parallel;
                 i += 1;
+            }
+            "--backend" => {
+                cfg.backend = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--backend needs 'simt' or 'native'"));
+                i += 2;
             }
             "--json" => {
                 cfg.json = Some(

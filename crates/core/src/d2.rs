@@ -29,10 +29,7 @@ pub struct D2Result {
 /// Verifies a distance-2 coloring: every vertex is colored and no two
 /// distinct vertices at distance ≤ 2 share a color. Returns the first
 /// violating pair.
-pub fn verify_d2_coloring(
-    g: &Csr,
-    colors: &[Color],
-) -> Result<(), (VertexId, VertexId)> {
+pub fn verify_d2_coloring(g: &Csr, colors: &[Color]) -> Result<(), (VertexId, VertexId)> {
     assert_eq!(colors.len(), g.num_vertices());
     let bad = (0..g.num_vertices() as VertexId)
         .into_par_iter()
@@ -115,34 +112,33 @@ pub fn gm_d2_parallel(g: &Csr, max_rounds: usize) -> D2Result {
             "distance-2 GM did not converge within {max_rounds} rounds"
         );
         let pass = rounds as u64;
-        worklist.par_chunks(256).for_each_init(Vec::new, |mask, chunk| {
-            for &v in chunk {
-                let marker = pass * (n as u64 + 1) + v as u64 + 1;
-                let mark = |mask: &mut Vec<u64>, c: u32| {
-                    let c = c as usize;
-                    if c >= mask.len() {
-                        mask.resize(c + 1, 0);
-                    }
-                    mask[c] = marker;
-                };
-                for &w in g.neighbors(v) {
-                    mark(mask, colors[w as usize].load(AtOrd::Relaxed));
-                    for &x in g.neighbors(w) {
-                        if x != v {
-                            mark(
-                                mask,
-                                colors[x as usize].load(AtOrd::Relaxed),
-                            );
+        worklist
+            .par_chunks(256)
+            .for_each_init(Vec::new, |mask, chunk| {
+                for &v in chunk {
+                    let marker = pass * (n as u64 + 1) + v as u64 + 1;
+                    let mark = |mask: &mut Vec<u64>, c: u32| {
+                        let c = c as usize;
+                        if c >= mask.len() {
+                            mask.resize(c + 1, 0);
+                        }
+                        mask[c] = marker;
+                    };
+                    for &w in g.neighbors(v) {
+                        mark(mask, colors[w as usize].load(AtOrd::Relaxed));
+                        for &x in g.neighbors(w) {
+                            if x != v {
+                                mark(mask, colors[x as usize].load(AtOrd::Relaxed));
+                            }
                         }
                     }
+                    let mut c = 1usize;
+                    while c < mask.len() && mask[c] == marker {
+                        c += 1;
+                    }
+                    colors[v as usize].store(c as u32, AtOrd::Relaxed);
                 }
-                let mut c = 1usize;
-                while c < mask.len() && mask[c] == marker {
-                    c += 1;
-                }
-                colors[v as usize].store(c as u32, AtOrd::Relaxed);
-            }
-        });
+            });
         // Two-hop conflict detection over the just-colored worklist.
         worklist = worklist
             .par_iter()
@@ -152,10 +148,7 @@ pub fn gm_d2_parallel(g: &Csr, max_rounds: usize) -> D2Result {
                 g.neighbors(v).iter().any(|&w| {
                     (v < w && cv == colors[w as usize].load(AtOrd::Relaxed))
                         || g.neighbors(w).iter().any(|&x| {
-                            v < x
-                                && x != v
-                                && cv == colors[x as usize]
-                                    .load(AtOrd::Relaxed)
+                            v < x && x != v && cv == colors[x as usize].load(AtOrd::Relaxed)
                         })
                 })
             })

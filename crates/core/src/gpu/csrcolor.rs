@@ -7,14 +7,12 @@
 //! is fast, and why its colors balloon (Figs. 1b/6: each set burns a whole
 //! color).
 
-use super::GpuGraph;
+use super::{GpuGraph, SpecGreedyDriver};
 use crate::hash::mix_hash;
-use crate::{ColorOptions, Coloring, Scheme};
+use crate::{ColorError, ColorOptions, Coloring, Scheme};
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{
-    grid_for, launch, launch_coop, CoopKernel, Device, GpuMem, Kernel, RunProfile, ThreadCtx,
-};
+use gcol_simt::{Backend, CoopKernel, Kernel, KernelCtx};
 
 /// Upper bound on the number of hash functions per sweep (cuSPARSE uses a
 /// small constant; 2 is its effective default).
@@ -41,7 +39,7 @@ impl Kernel for CsrColorSweep {
         28
     }
 
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let v = t.global_id();
         if v as usize >= self.g.n {
             return;
@@ -123,7 +121,7 @@ impl CoopKernel for CountUncolored {
     fn regs_per_thread(&self) -> u32 {
         16
     }
-    fn count(&self, t: &mut ThreadCtx<'_>) -> ((), u32) {
+    fn count(&self, t: &mut impl KernelCtx) -> ((), u32) {
         let v = t.global_id() as usize;
         if v >= self.n {
             return ((), 0);
@@ -131,85 +129,67 @@ impl CoopKernel for CountUncolored {
         t.alu(1);
         ((), (t.ld(self.color, v) == 0) as u32)
     }
-    fn emit(&self, _t: &mut ThreadCtx<'_>, _carry: (), _dst: u32) {}
+    fn emit(&self, _t: &mut impl KernelCtx, _carry: (), _dst: u32) {}
 }
 
-/// Runs csrcolor on the simulated device. The raw colors are sparse in
+/// Runs csrcolor on `backend`. The raw colors are sparse in
 /// `base + 2i + k` space; like the cuSPARSE reporting path we compact them
 /// to a dense `1..=k` range on the host (reporting only — no device time
 /// charged).
-pub fn color_csrcolor(g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
-    assert!(
-        (1..=MAX_HASHES).contains(&opts.num_hashes),
-        "num_hashes must be in 1..={MAX_HASHES}"
-    );
+pub fn color_csrcolor<B: Backend>(
+    g: &Csr,
+    backend: &B,
+    opts: &ColorOptions,
+) -> Result<Coloring, ColorError> {
+    if !(1..=MAX_HASHES).contains(&opts.num_hashes) {
+        return Err(ColorError::InvalidOptions {
+            scheme: Scheme::CsrColor,
+            reason: format!(
+                "num_hashes must be in 1..={MAX_HASHES}, got {}",
+                opts.num_hashes
+            ),
+        });
+    }
     let n = g.num_vertices();
-    let mut mem = GpuMem::new();
-    let gg = GpuGraph::upload(&mut mem, g);
-    let color = mem.alloc::<u32>(n.max(1));
+    let mut d = SpecGreedyDriver::new(backend, Scheme::CsrColor, g, opts);
+    let color = d.alloc_vertex_buf();
+    d.charge_upload("graph h2d", &[color]);
 
-    let mut profile = RunProfile::new();
-    if opts.charge_h2d {
-        let bytes = gg.bytes() + color.len() * 4;
-        profile.transfer("graph h2d", bytes, gcol_simt::xfer::transfer_ms(dev, bytes));
-    }
-
-    let grid = grid_for(n, opts.block_size);
+    let gg = d.gg;
+    let num_hashes = opts.num_hashes as u32;
+    let seed = opts.seed;
     let mut base = 0u32;
-    let mut sweeps = 0usize;
     let mut remaining = n as u32;
-    while remaining > 0 {
-        sweeps += 1;
-        assert!(
-            sweeps <= opts.max_iterations,
-            "csrcolor did not converge within {} sweeps",
-            opts.max_iterations
-        );
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid,
-            opts.block_size,
-            &CsrColorSweep {
-                g: gg,
-                color,
-                base,
-                num_hashes: opts.num_hashes as u32,
-                seed: opts.seed,
-            },
-        ));
-        let (stats, left) = launch_coop(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid,
-            opts.block_size,
-            &CountUncolored { color, n },
-        );
-        profile.kernel(stats);
-        profile.transfer(
-            "remaining count d2h",
-            4,
-            gcol_simt::xfer::transfer_ms(dev, 4),
-        );
-        remaining = left;
-        base += 2 * opts.num_hashes as u32;
-    }
-
-    let mut colors = if n == 0 {
-        Vec::new()
+    let sweeps = if remaining == 0 {
+        0
     } else {
-        mem.read_vec(color)
+        d.run_passes(|d, _pass| {
+            d.launch(
+                n,
+                &CsrColorSweep {
+                    g: gg,
+                    color,
+                    base,
+                    num_hashes,
+                    seed,
+                },
+            );
+            remaining = d.launch_coop(n, &CountUncolored { color, n });
+            d.transfer("remaining count d2h", 4);
+            base += 2 * num_hashes;
+            remaining > 0
+        })?
     };
+
+    let mut colors = d.read_colors(color);
     let num_colors = gcol_graph::check::compact_colors(&mut colors);
-    Coloring {
+    Ok(Coloring {
         scheme: Scheme::CsrColor,
         colors,
         num_colors,
         iterations: sweeps,
-        profile,
-    }
+        profile: d.profile,
+    })
 }
 
 #[cfg(test)]
@@ -218,13 +198,14 @@ mod tests {
     use gcol_graph::check::verify_coloring;
     use gcol_graph::gen::simple::{complete, cycle, erdos_renyi, star};
     use gcol_graph::gen::{rmat, RmatParams};
-    use gcol_simt::ExecMode;
+    use gcol_simt::{Device, ExecMode, SimtBackend};
 
     fn opts() -> ColorOptions {
-        ColorOptions {
-            exec_mode: ExecMode::Deterministic,
-            ..ColorOptions::default()
-        }
+        ColorOptions::default()
+    }
+
+    fn det(dev: &Device) -> SimtBackend<'_> {
+        SimtBackend::new(dev, ExecMode::Deterministic)
     }
 
     #[test]
@@ -236,7 +217,7 @@ mod tests {
             star(128),
             erdos_renyi(900, 5000, 4),
         ] {
-            let r = color_csrcolor(&g, &dev, &opts());
+            let r = color_csrcolor(&g, &det(&dev), &opts()).unwrap();
             verify_coloring(&g, &r.colors).unwrap();
         }
     }
@@ -246,7 +227,7 @@ mod tests {
         // The central quality observation of Figs. 1(b)/6.
         let dev = Device::tiny();
         let g = rmat(RmatParams::erdos_renyi(11, 16), 5);
-        let mis = color_csrcolor(&g, &dev, &opts());
+        let mis = color_csrcolor(&g, &det(&dev), &opts()).unwrap();
         let seq = crate::seq::greedy_seq(&g, gcol_graph::ordering::Ordering::Natural);
         assert!(
             mis.num_colors as f64 >= 1.5 * seq.num_colors as f64,
@@ -262,20 +243,22 @@ mod tests {
         let g = erdos_renyi(1200, 9000, 6);
         let one = color_csrcolor(
             &g,
-            &dev,
+            &det(&dev),
             &ColorOptions {
                 num_hashes: 1,
                 ..opts()
             },
-        );
+        )
+        .unwrap();
         let four = color_csrcolor(
             &g,
-            &dev,
+            &det(&dev),
             &ColorOptions {
                 num_hashes: 4,
                 ..opts()
             },
-        );
+        )
+        .unwrap();
         assert!(
             four.iterations <= one.iterations,
             "4 hashes: {} sweeps, 1 hash: {}",
@@ -288,30 +271,37 @@ mod tests {
     fn deterministic_per_seed() {
         let dev = Device::tiny();
         let g = erdos_renyi(500, 2500, 7);
-        let a = color_csrcolor(&g, &dev, &opts());
-        let b = color_csrcolor(&g, &dev, &opts());
+        let a = color_csrcolor(&g, &det(&dev), &opts()).unwrap();
+        let b = color_csrcolor(&g, &det(&dev), &opts()).unwrap();
         assert_eq!(a.colors, b.colors);
     }
 
     #[test]
     fn empty_graph() {
         let dev = Device::tiny();
-        let r = color_csrcolor(&Csr::empty(0), &dev, &opts());
+        let r = color_csrcolor(&Csr::empty(0), &det(&dev), &opts()).unwrap();
         assert_eq!(r.num_colors, 0);
         assert_eq!(r.iterations, 0);
     }
 
     #[test]
-    #[should_panic(expected = "num_hashes")]
     fn rejects_bad_hash_count() {
         let dev = Device::tiny();
-        color_csrcolor(
+        let err = color_csrcolor(
             &cycle(5),
-            &dev,
+            &det(&dev),
             &ColorOptions {
                 num_hashes: 0,
                 ..opts()
             },
-        );
+        )
+        .unwrap_err();
+        match err {
+            ColorError::InvalidOptions { scheme, reason } => {
+                assert_eq!(scheme, Scheme::CsrColor);
+                assert!(reason.contains("num_hashes must be in 1..=8"), "{reason}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
     }
 }

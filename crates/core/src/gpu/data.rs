@@ -7,13 +7,11 @@
 //! The two worklists are double-buffered and swapped by handle — no copy —
 //! exactly as the paper describes.
 
-use super::{pass_marker, speculative_first_fit, GpuGraph};
-use crate::{ColorOptions, Coloring, Scheme};
+use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
+use crate::{ColorError, ColorOptions, Coloring, Scheme};
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{
-    grid_for, launch, launch_coop, CoopKernel, Device, GpuMem, Kernel, RunProfile, ThreadCtx,
-};
+use gcol_simt::{Backend, CoopKernel, Kernel, KernelCtx};
 
 /// Fills the initial worklist with the identity permutation (`W_in ← V`).
 struct InitWorklist {
@@ -24,7 +22,7 @@ impl Kernel for InitWorklist {
     fn name(&self) -> &'static str {
         "init-worklist"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i < self.w.len() {
             t.alu(1);
@@ -52,7 +50,7 @@ impl Kernel for DataColor {
         }
     }
 
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.len {
             return;
@@ -96,7 +94,7 @@ impl CoopKernel for DetectCompact {
         }
     }
 
-    fn count(&self, t: &mut ThreadCtx<'_>) -> (Self::Carry, u32) {
+    fn count(&self, t: &mut impl KernelCtx) -> (Self::Carry, u32) {
         let i = t.global_id() as usize;
         if i >= self.len {
             return ((0, false), 0);
@@ -118,7 +116,7 @@ impl CoopKernel for DetectCompact {
         ((v, false), 0)
     }
 
-    fn emit(&self, t: &mut ThreadCtx<'_>, carry: Self::Carry, dst: u32) {
+    fn emit(&self, t: &mut impl KernelCtx, carry: Self::Carry, dst: u32) {
         let (v, requeue) = carry;
         if requeue {
             t.st(self.w_out, dst as usize, v);
@@ -126,96 +124,66 @@ impl CoopKernel for DetectCompact {
     }
 }
 
-/// Runs the full data-driven scheme on the simulated device.
-pub fn color_data(g: &Csr, dev: &Device, opts: &ColorOptions, use_ldg: bool) -> Coloring {
-    let n = g.num_vertices();
-    let mut mem = GpuMem::new();
-    let gg = GpuGraph::upload(&mut mem, g);
-    let color = mem.alloc::<u32>(n.max(1));
-    let mut w_in = mem.alloc::<u32>(n.max(1));
-    let mut w_out = mem.alloc::<u32>(n.max(1));
-
-    let mut profile = RunProfile::new();
-    if opts.charge_h2d {
-        let bytes = gg.bytes() + color.len() * 4;
-        profile.transfer("graph h2d", bytes, gcol_simt::xfer::transfer_ms(dev, bytes));
-    }
-
-    let full_grid = grid_for(n, opts.block_size);
-    profile.kernel(launch(
-        &mem,
-        dev,
-        opts.exec_mode,
-        full_grid,
-        opts.block_size,
-        &InitWorklist { w: w_in },
-    ));
-
-    let mut len = n;
-    let mut pass = 0u32;
-    while len > 0 {
-        pass += 1;
-        assert!(
-            (pass as usize) <= opts.max_iterations,
-            "data-driven coloring did not converge within {} passes",
-            opts.max_iterations
-        );
-        // Threads in proportion to the worklist — the work-efficiency win.
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid_for(len, opts.block_size),
-            opts.block_size,
-            &DataColor {
-                g: gg,
-                color,
-                w_in,
-                len,
-                pass,
-                use_ldg,
-            },
-        ));
-        let (stats, total) = launch_coop(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid_for(len, opts.block_size),
-            opts.block_size,
-            &DetectCompact {
-                g: gg,
-                color,
-                w_in,
-                len,
-                w_out,
-                use_ldg,
-            },
-        );
-        profile.kernel(stats);
-        // Worklist length comes back over PCIe (4 bytes), like reading the
-        // global counter the per-block atomics incremented.
-        profile.transfer("worklist size d2h", 4, gcol_simt::xfer::transfer_ms(dev, 4));
-        len = total as usize;
-        std::mem::swap(&mut w_in, &mut w_out); // the pointer swap of line 19
-    }
-
-    let colors = if n == 0 {
-        Vec::new()
+/// Runs the full data-driven scheme on `backend`.
+pub fn color_data<B: Backend>(
+    g: &Csr,
+    backend: &B,
+    opts: &ColorOptions,
+    use_ldg: bool,
+) -> Result<Coloring, ColorError> {
+    let scheme = if use_ldg {
+        Scheme::DataLdg
     } else {
-        mem.read_vec(color)
+        Scheme::DataBase
     };
-    let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
-    Coloring {
-        scheme: if use_ldg {
-            Scheme::DataLdg
-        } else {
-            Scheme::DataBase
-        },
-        colors,
-        num_colors,
-        iterations: pass as usize,
-        profile,
-    }
+    let n = g.num_vertices();
+    let mut d = SpecGreedyDriver::new(backend, scheme, g, opts);
+    let color = d.alloc_vertex_buf();
+    let mut w_in = d.alloc_vertex_buf();
+    let mut w_out = d.alloc_vertex_buf();
+    d.charge_upload("graph h2d", &[color]);
+
+    d.launch(n, &InitWorklist { w: w_in });
+
+    let gg = d.gg;
+    let mut len = n;
+    let iterations = if len == 0 {
+        0
+    } else {
+        d.run_passes(|d, pass| {
+            // Threads in proportion to the worklist — the work-efficiency
+            // win over the topology-driven scheme.
+            d.launch(
+                len,
+                &DataColor {
+                    g: gg,
+                    color,
+                    w_in,
+                    len,
+                    pass,
+                    use_ldg,
+                },
+            );
+            let total = d.launch_coop(
+                len,
+                &DetectCompact {
+                    g: gg,
+                    color,
+                    w_in,
+                    len,
+                    w_out,
+                    use_ldg,
+                },
+            );
+            // Worklist length comes back over PCIe (4 bytes), like reading
+            // the global counter the per-block atomics incremented.
+            d.transfer("worklist size d2h", 4);
+            len = total as usize;
+            std::mem::swap(&mut w_in, &mut w_out); // the pointer swap of line 19
+            len > 0
+        })?
+    };
+    Ok(d.finish(color, iterations))
 }
 
 #[cfg(test)]
@@ -224,13 +192,14 @@ mod tests {
     use gcol_graph::check::verify_coloring;
     use gcol_graph::gen::simple::{complete, cycle, erdos_renyi, star};
     use gcol_graph::gen::{grid2d, rmat, RmatParams, StencilKind};
-    use gcol_simt::ExecMode;
+    use gcol_simt::{grid_for, Device, ExecMode, SimtBackend};
 
     fn opts() -> ColorOptions {
-        ColorOptions {
-            exec_mode: ExecMode::Deterministic,
-            ..ColorOptions::default()
-        }
+        ColorOptions::default()
+    }
+
+    fn det(dev: &Device) -> SimtBackend<'_> {
+        SimtBackend::new(dev, ExecMode::Deterministic)
     }
 
     #[test]
@@ -244,7 +213,7 @@ mod tests {
             grid2d(20, 20, StencilKind::NinePoint),
         ] {
             for use_ldg in [false, true] {
-                let r = color_data(&g, &dev, &opts(), use_ldg);
+                let r = color_data(&g, &det(&dev), &opts(), use_ldg).unwrap();
                 verify_coloring(&g, &r.colors).unwrap();
                 assert!(r.num_colors <= g.max_degree() + 1);
             }
@@ -255,8 +224,8 @@ mod tests {
     fn matches_topology_driven_in_deterministic_mode_quality() {
         let dev = Device::tiny();
         let g = rmat(RmatParams::erdos_renyi(10, 10), 6);
-        let t = super::super::topo::color_topo(&g, &dev, &opts(), false);
-        let d = color_data(&g, &dev, &opts(), false);
+        let t = super::super::topo::color_topo(&g, &det(&dev), &opts(), false).unwrap();
+        let d = color_data(&g, &det(&dev), &opts(), false).unwrap();
         verify_coloring(&g, &d.colors).unwrap();
         // Both are SGR; counts land within a few colors of each other.
         assert!(
@@ -271,7 +240,7 @@ mod tests {
     fn uses_per_block_atomics_not_per_thread() {
         let dev = Device::tiny();
         let g = erdos_renyi(2000, 10_000, 3);
-        let r = color_data(&g, &dev, &opts(), false);
+        let r = color_data(&g, &det(&dev), &opts(), false).unwrap();
         verify_coloring(&g, &r.colors).unwrap();
         // Atomics across all kernels should be ~one per block per detect
         // pass, far below one per vertex per pass.
@@ -294,9 +263,9 @@ mod tests {
     #[test]
     fn empty_graph_and_singleton() {
         let dev = Device::tiny();
-        let r = color_data(&Csr::empty(0), &dev, &opts(), false);
+        let r = color_data(&Csr::empty(0), &det(&dev), &opts(), false).unwrap();
         assert_eq!(r.num_colors, 0);
-        let r = color_data(&Csr::empty(3), &dev, &opts(), false);
+        let r = color_data(&Csr::empty(3), &det(&dev), &opts(), false).unwrap();
         assert_eq!(r.colors, vec![1, 1, 1]);
     }
 
@@ -304,8 +273,8 @@ mod tests {
     fn deterministic_reproducible() {
         let dev = Device::tiny();
         let g = erdos_renyi(600, 3000, 8);
-        let a = color_data(&g, &dev, &opts(), true);
-        let b = color_data(&g, &dev, &opts(), true);
+        let a = color_data(&g, &det(&dev), &opts(), true).unwrap();
+        let b = color_data(&g, &det(&dev), &opts(), true).unwrap();
         assert_eq!(a.colors, b.colors);
         assert_eq!(a.iterations, b.iterations);
     }
@@ -314,11 +283,8 @@ mod tests {
     fn parallel_mode_valid() {
         let dev = Device::tiny();
         let g = erdos_renyi(1500, 9000, 13);
-        let o = ColorOptions {
-            exec_mode: ExecMode::Parallel,
-            ..ColorOptions::default()
-        };
-        let r = color_data(&g, &dev, &o, false);
+        let backend = SimtBackend::new(&dev, ExecMode::Parallel);
+        let r = color_data(&g, &backend, &opts(), false).unwrap();
         verify_coloring(&g, &r.colors).unwrap();
     }
 }

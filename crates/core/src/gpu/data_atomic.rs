@@ -8,11 +8,11 @@
 //! experiment in `gcol-bench` quantifies exactly how much the paper's
 //! prefix-sum optimization buys.
 
-use super::{pass_marker, speculative_first_fit, GpuGraph};
-use crate::{ColorOptions, Coloring, Scheme};
+use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
+use crate::{ColorError, ColorOptions, Coloring, Scheme};
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, Device, GpuMem, Kernel, RunProfile, ThreadCtx};
+use gcol_simt::{Backend, Kernel, KernelCtx};
 
 /// Same coloring kernel as D-base (shared via `speculative_first_fit`).
 struct AtomicDataColor {
@@ -27,7 +27,7 @@ impl Kernel for AtomicDataColor {
     fn name(&self) -> &'static str {
         "data-color(atomic-variant)"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.len {
             return;
@@ -53,7 +53,7 @@ impl Kernel for AtomicDetect {
     fn name(&self) -> &'static str {
         "detect-atomic-push"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.len {
             return;
@@ -88,7 +88,7 @@ impl Kernel for Iota {
     fn name(&self) -> &'static str {
         "init-worklist"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i < self.w.len() {
             t.alu(1);
@@ -97,82 +97,55 @@ impl Kernel for Iota {
     }
 }
 
-/// Runs the atomic-push data-driven ablation.
-pub fn color_data_atomic(g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
+/// Runs the atomic-push data-driven ablation on `backend`.
+pub fn color_data_atomic<B: Backend>(
+    g: &Csr,
+    backend: &B,
+    opts: &ColorOptions,
+) -> Result<Coloring, ColorError> {
     let n = g.num_vertices();
-    let mut mem = GpuMem::new();
-    let gg = GpuGraph::upload(&mut mem, g);
-    let color = mem.alloc::<u32>(n.max(1));
-    let mut w_in = mem.alloc::<u32>(n.max(1));
-    let mut w_out = mem.alloc::<u32>(n.max(1));
-    let counter = mem.alloc::<u32>(1);
+    let mut d = SpecGreedyDriver::new(backend, Scheme::DataAtomic, g, opts);
+    let color = d.alloc_vertex_buf();
+    let mut w_in = d.alloc_vertex_buf();
+    let mut w_out = d.alloc_vertex_buf();
+    let counter = d.alloc_flag();
 
-    let mut profile = RunProfile::new();
-    profile.kernel(launch(
-        &mem,
-        dev,
-        opts.exec_mode,
-        grid_for(n, opts.block_size),
-        opts.block_size,
-        &Iota { w: w_in },
-    ));
+    d.launch(n, &Iota { w: w_in });
 
+    let gg = d.gg;
     let mut len = n;
-    let mut pass = 0u32;
-    while len > 0 {
-        pass += 1;
-        assert!(
-            (pass as usize) <= opts.max_iterations,
-            "atomic data-driven coloring did not converge"
-        );
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid_for(len, opts.block_size),
-            opts.block_size,
-            &AtomicDataColor {
-                g: gg,
-                color,
-                w_in,
-                len,
-                pass,
-            },
-        ));
-        mem.store(counter, 0, 0);
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid_for(len, opts.block_size),
-            opts.block_size,
-            &AtomicDetect {
-                g: gg,
-                color,
-                w_in,
-                len,
-                w_out,
-                counter,
-            },
-        ));
-        profile.transfer("worklist size d2h", 4, gcol_simt::xfer::transfer_ms(dev, 4));
-        len = mem.load(counter, 0) as usize;
-        std::mem::swap(&mut w_in, &mut w_out);
-    }
-
-    let colors = if n == 0 {
-        Vec::new()
+    let iterations = if len == 0 {
+        0
     } else {
-        mem.read_vec(color)
+        d.run_passes(|d, pass| {
+            d.launch(
+                len,
+                &AtomicDataColor {
+                    g: gg,
+                    color,
+                    w_in,
+                    len,
+                    pass,
+                },
+            );
+            d.mem.store(counter, 0, 0);
+            d.launch(
+                len,
+                &AtomicDetect {
+                    g: gg,
+                    color,
+                    w_in,
+                    len,
+                    w_out,
+                    counter,
+                },
+            );
+            len = d.read_flag("worklist size d2h", counter) as usize;
+            std::mem::swap(&mut w_in, &mut w_out);
+            len > 0
+        })?
     };
-    let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
-    Coloring {
-        scheme: Scheme::DataAtomic,
-        colors,
-        num_colors,
-        iterations: pass as usize,
-        profile,
-    }
+    Ok(d.finish(color, iterations))
 }
 
 #[cfg(test)]
@@ -181,13 +154,14 @@ mod tests {
     use gcol_graph::check::verify_coloring;
     use gcol_graph::gen::simple::{complete, erdos_renyi};
     use gcol_graph::gen::{grid2d, StencilKind};
-    use gcol_simt::ExecMode;
+    use gcol_simt::{Device, ExecMode, SimtBackend};
 
     fn opts() -> ColorOptions {
-        ColorOptions {
-            exec_mode: ExecMode::Deterministic,
-            ..ColorOptions::default()
-        }
+        ColorOptions::default()
+    }
+
+    fn det(dev: &Device) -> SimtBackend<'_> {
+        SimtBackend::new(dev, ExecMode::Deterministic)
     }
 
     #[test]
@@ -198,7 +172,7 @@ mod tests {
             erdos_renyi(800, 4000, 2),
             grid2d(25, 25, StencilKind::FivePoint),
         ] {
-            let r = color_data_atomic(&g, &dev, &opts());
+            let r = color_data_atomic(&g, &det(&dev), &opts()).unwrap();
             verify_coloring(&g, &r.colors).unwrap();
             assert!(r.num_colors <= g.max_degree() + 1);
         }
@@ -210,8 +184,8 @@ mod tests {
         // A stencil graph guarantees warp-mate conflicts → non-empty
         // worklists → contended pushes.
         let g = grid2d(40, 40, StencilKind::FivePoint);
-        let atomic = color_data_atomic(&g, &dev, &opts());
-        let prefix = super::super::data::color_data(&g, &dev, &opts(), false);
+        let atomic = color_data_atomic(&g, &det(&dev), &opts()).unwrap();
+        let prefix = super::super::data::color_data(&g, &det(&dev), &opts(), false).unwrap();
         let serial = |c: &Coloring| -> u64 {
             c.profile
                 .phases
@@ -234,8 +208,8 @@ mod tests {
     fn same_quality_as_prefix_sum_variant() {
         let dev = Device::tiny();
         let g = erdos_renyi(1000, 8000, 5);
-        let a = color_data_atomic(&g, &dev, &opts());
-        let b = super::super::data::color_data(&g, &dev, &opts(), false);
+        let a = color_data_atomic(&g, &det(&dev), &opts()).unwrap();
+        let b = super::super::data::color_data(&g, &det(&dev), &opts(), false).unwrap();
         // Same algorithm, different worklist plumbing: same color count in
         // deterministic mode.
         assert_eq!(a.num_colors, b.num_colors);

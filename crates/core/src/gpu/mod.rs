@@ -9,13 +9,16 @@
 pub mod csrcolor;
 pub mod data;
 pub mod data_atomic;
+pub mod driver;
 pub mod threestep;
 pub mod topo;
 pub mod topo_edge;
 
+pub use driver::SpecGreedyDriver;
+
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{Device, GpuMem, ThreadCtx};
+use gcol_simt::{GpuMem, KernelCtx};
 
 /// The CSR arrays of Fig. 2 resident in device memory.
 #[derive(Clone, Copy, Debug)]
@@ -55,7 +58,7 @@ impl GpuGraph {
     /// of Fig. 4 (the `R` and `C` arrays are read-only for the lifetime of
     /// every coloring kernel).
     #[inline]
-    pub fn load_r(&self, t: &mut ThreadCtx<'_>, i: usize, use_ldg: bool) -> u32 {
+    pub fn load_r(&self, t: &mut impl KernelCtx, i: usize, use_ldg: bool) -> u32 {
         if use_ldg {
             t.ldg(self.r, i)
         } else {
@@ -65,7 +68,7 @@ impl GpuGraph {
 
     /// Loads `C[e]`, honoring the ld/ldg choice.
     #[inline]
-    pub fn load_c(&self, t: &mut ThreadCtx<'_>, e: usize, use_ldg: bool) -> u32 {
+    pub fn load_c(&self, t: &mut impl KernelCtx, e: usize, use_ldg: bool) -> u32 {
         if use_ldg {
             t.ldg(self.c, e)
         } else {
@@ -86,7 +89,7 @@ impl GpuGraph {
 /// Returns the chosen color (1-based).
 #[inline]
 pub fn speculative_first_fit(
-    t: &mut ThreadCtx<'_>,
+    t: &mut impl KernelCtx,
     g: &GpuGraph,
     color: Buffer<u32>,
     v: u32,
@@ -117,16 +120,4 @@ pub fn speculative_first_fit(
 #[inline]
 pub fn pass_marker(pass: u32, n: usize, v: u32) -> u32 {
     pass.wrapping_mul(n as u32).wrapping_add(v).wrapping_add(1)
-}
-
-/// Reads the 4-byte `changed` flag back to the host, charging the PCIe
-/// round trip the real implementation pays for its `cudaMemcpy`.
-pub fn read_flag(
-    mem: &GpuMem,
-    dev: &Device,
-    profile: &mut gcol_simt::RunProfile,
-    flag: Buffer<u32>,
-) -> u32 {
-    profile.transfer("changed flag d2h", 4, gcol_simt::xfer::transfer_ms(dev, 4));
-    mem.load(flag, 0)
 }

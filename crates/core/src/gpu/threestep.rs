@@ -13,13 +13,13 @@
 //! of the sequential conflict sweep (which must touch every edge) and of
 //! recoloring the conflicted vertices.
 
-use super::{pass_marker, speculative_first_fit, GpuGraph};
-use crate::{ColorOptions, Coloring, Scheme};
+use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
+use crate::{ColorError, ColorOptions, Coloring, Scheme};
 use gcol_graph::check::Color;
 use gcol_graph::partition::Partitioning;
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, CpuModel, Device, GpuMem, Kernel, RunProfile, ThreadCtx};
+use gcol_simt::{grid_for, Backend, CpuModel, Kernel, KernelCtx};
 
 /// GPU round, step 2a: first-fit color every uncolored vertex (plain `ld`
 /// everywhere — the 2011 implementation predates `__ldg`).
@@ -34,7 +34,7 @@ impl Kernel for StepColor {
     fn name(&self) -> &'static str {
         "3step-color"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let v = t.global_id();
         if v as usize >= self.g.n {
             return;
@@ -63,7 +63,7 @@ impl Kernel for StepDetect {
     fn name(&self) -> &'static str {
         "3step-detect"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let v = t.global_id();
         if v as usize >= self.g.n {
             return;
@@ -88,88 +88,68 @@ impl Kernel for StepDetect {
 /// Runs the 3-step GM baseline: host partitioning, `opts.threestep_rounds`
 /// GPU rounds with per-round host round trips, then sequential CPU
 /// conflict resolution.
-pub fn color_threestep(g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
+pub fn color_threestep<B: Backend>(
+    g: &Csr,
+    backend: &B,
+    opts: &ColorOptions,
+) -> Result<Coloring, ColorError> {
     let n = g.num_vertices();
     let cpu = CpuModel::xeon_e5_2670();
-    let mut profile = RunProfile::new();
+    let mut d = SpecGreedyDriver::new(backend, Scheme::ThreeStepGm, g, opts);
 
     // Step 1: host-side partitioning + boundary identification — one full
     // pass over the edges on the CPU.
     let grid = grid_for(n, opts.block_size);
     let _partitioning = Partitioning::contiguous(g, grid.max(1) as usize);
-    profile.host(
+    d.profile.host(
         "partition + boundary detection",
         cpu.greedy_sweep_ms(n, g.num_edges()) * 0.5,
     );
 
-    let mut mem = GpuMem::new();
-    let gg = GpuGraph::upload(&mut mem, g);
-    let color = mem.alloc::<u32>(n.max(1));
-    let colored = mem.alloc::<u32>(n.max(1));
+    let color = d.alloc_vertex_buf();
+    let colored = d.alloc_vertex_buf();
     // The 3-step framework always pays the graph upload inside its timed
     // region (its steps are separate host-driven stages).
-    let up_bytes = gg.bytes() + 2 * color.len() * 4;
-    profile.transfer(
-        "graph + colors h2d",
-        up_bytes,
-        gcol_simt::xfer::transfer_ms(dev, up_bytes),
-    );
+    let up_bytes = d.upload_bytes(&[color, colored]);
+    d.transfer("graph + colors h2d", up_bytes);
 
+    let gg = d.gg;
     // Step 2: GPU rounds with a host round trip after each.
-    for round in 0..opts.threestep_rounds.max(1) as u32 {
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid,
-            opts.block_size,
+    let rounds = opts.threestep_rounds.max(1) as u32;
+    for round in 0..rounds {
+        d.launch(
+            n,
             &StepColor {
                 g: gg,
                 color,
                 colored,
                 pass: round + 1,
             },
-        ));
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid,
-            opts.block_size,
+        );
+        d.launch(
+            n,
             &StepDetect {
                 g: gg,
                 color,
                 colored,
             },
-        ));
-        let back = 2 * n * 4; // colors + conflict flags
-        profile.transfer(
-            "colors + conflicts d2h",
-            back,
-            gcol_simt::xfer::transfer_ms(dev, back),
         );
-        if round + 1 < opts.threestep_rounds.max(1) as u32 {
+        let back = 2 * n * 4; // colors + conflict flags
+        d.transfer("colors + conflicts d2h", back);
+        if round + 1 < rounds {
             // The framework re-stages the arrays before the next round.
-            profile.transfer(
-                "colors h2d",
-                n * 4,
-                gcol_simt::xfer::transfer_ms(dev, n * 4),
-            );
+            d.transfer("colors h2d", n * 4);
         }
     }
 
     // Step 3: sequential CPU conflict resolution. Finding the conflicts
     // requires scanning every edge on the host; each conflicted vertex is
     // then greedily recolored.
-    let mut colors: Vec<Color> = if n == 0 {
-        Vec::new()
-    } else {
-        mem.read_vec(color)
-    };
+    let mut colors: Vec<Color> = d.read_colors(color);
     let colored_flags = if n == 0 {
         Vec::new()
     } else {
-        mem.read_vec(colored)
+        d.mem.read_vec(colored)
     };
     let mut conflicted: Vec<u32> = (0..n as u32)
         .filter(|&v| colored_flags[v as usize] == 0 || colors[v as usize] == 0)
@@ -189,23 +169,23 @@ pub fn color_threestep(g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
         }
         colors[v as usize] = c as Color;
     }
-    profile.host(
+    d.profile.host(
         "sequential conflict scan (all edges)",
         cpu.greedy_sweep_ms(n, g.num_edges()) * 0.8,
     );
-    profile.host(
+    d.profile.host(
         "sequential conflict resolution",
         cpu.greedy_sweep_ms(conflicted.len(), resolved_edges),
     );
 
     let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
-    Coloring {
+    Ok(Coloring {
         scheme: Scheme::ThreeStepGm,
         colors,
         num_colors,
         iterations: opts.threestep_rounds.max(1),
-        profile,
-    }
+        profile: d.profile,
+    })
 }
 
 #[cfg(test)]
@@ -213,13 +193,14 @@ mod tests {
     use super::*;
     use gcol_graph::check::verify_coloring;
     use gcol_graph::gen::simple::{complete, cycle, erdos_renyi, star};
-    use gcol_simt::ExecMode;
+    use gcol_simt::{Device, ExecMode, SimtBackend};
 
     fn opts() -> ColorOptions {
-        ColorOptions {
-            exec_mode: ExecMode::Deterministic,
-            ..ColorOptions::default()
-        }
+        ColorOptions::default()
+    }
+
+    fn det(dev: &Device) -> SimtBackend<'_> {
+        SimtBackend::new(dev, ExecMode::Deterministic)
     }
 
     #[test]
@@ -231,7 +212,7 @@ mod tests {
             star(200),
             erdos_renyi(1000, 6000, 3),
         ] {
-            let r = color_threestep(&g, &dev, &opts());
+            let r = color_threestep(&g, &det(&dev), &opts()).unwrap();
             verify_coloring(&g, &r.colors).unwrap();
             assert!(r.num_colors <= g.max_degree() + 1);
         }
@@ -242,7 +223,7 @@ mod tests {
         let dev = Device::tiny();
         let g = erdos_renyi(2000, 16_000, 9);
         let seq = crate::seq::greedy_seq(&g, gcol_graph::ordering::Ordering::Natural);
-        let r = color_threestep(&g, &dev, &opts());
+        let r = color_threestep(&g, &det(&dev), &opts()).unwrap();
         assert!(
             (r.num_colors as i64 - seq.num_colors as i64).abs() <= 3,
             "3-step {} vs seq {}",
@@ -257,7 +238,7 @@ mod tests {
         // trips and the sequential step are what sink this baseline.
         let dev = Device::k20c();
         let g = erdos_renyi(3000, 20_000, 2);
-        let r = color_threestep(&g, &dev, &opts());
+        let r = color_threestep(&g, &det(&dev), &opts()).unwrap();
         assert!(r.profile.transfer_ms() > 0.0);
         assert!(r.profile.host_ms() > 0.0);
         assert!(r.profile.kernel_ms() > 0.0);
@@ -270,19 +251,20 @@ mod tests {
         let g = erdos_renyi(800, 5000, 4);
         let r = color_threestep(
             &g,
-            &dev,
+            &det(&dev),
             &ColorOptions {
                 threestep_rounds: 1,
                 ..opts()
             },
-        );
+        )
+        .unwrap();
         verify_coloring(&g, &r.colors).unwrap();
     }
 
     #[test]
     fn empty_graph() {
         let dev = Device::tiny();
-        let r = color_threestep(&Csr::empty(0), &dev, &opts());
+        let r = color_threestep(&Csr::empty(0), &det(&dev), &opts()).unwrap();
         assert_eq!(r.num_colors, 0);
     }
 }

@@ -5,11 +5,11 @@
 //! removes). A global `changed` flag, set by any thread that colors a
 //! vertex, drives the host-side do/while loop.
 
-use super::{pass_marker, read_flag, speculative_first_fit, GpuGraph};
-use crate::{ColorOptions, Coloring, Scheme};
+use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
+use crate::{ColorError, ColorOptions, Coloring, Scheme};
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, Device, GpuMem, Kernel, RunProfile, ThreadCtx};
+use gcol_simt::{Backend, Kernel, KernelCtx};
 
 /// Lines 4–14 of Algorithm 4: color every not-yet-colored vertex.
 struct TopoColor {
@@ -30,7 +30,7 @@ impl Kernel for TopoColor {
         }
     }
 
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let v = t.global_id();
         if v as usize >= self.g.n {
             return;
@@ -65,7 +65,7 @@ impl Kernel for TopoDetect {
         }
     }
 
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let v = t.global_id();
         if v as usize >= self.g.n {
             return;
@@ -87,36 +87,30 @@ impl Kernel for TopoDetect {
     }
 }
 
-/// Runs the full topology-driven scheme on the simulated device.
-pub fn color_topo(g: &Csr, dev: &Device, opts: &ColorOptions, use_ldg: bool) -> Coloring {
-    let mut mem = GpuMem::new();
-    let gg = GpuGraph::upload(&mut mem, g);
-    let color = mem.alloc::<u32>(g.num_vertices().max(1));
-    let colored = mem.alloc::<u32>(g.num_vertices().max(1));
-    let changed = mem.alloc::<u32>(1);
+/// Runs the full topology-driven scheme on `backend`.
+pub fn color_topo<B: Backend>(
+    g: &Csr,
+    backend: &B,
+    opts: &ColorOptions,
+    use_ldg: bool,
+) -> Result<Coloring, ColorError> {
+    let scheme = if use_ldg {
+        Scheme::TopoLdg
+    } else {
+        Scheme::TopoBase
+    };
+    let mut d = SpecGreedyDriver::new(backend, scheme, g, opts);
+    let color = d.alloc_vertex_buf();
+    let colored = d.alloc_vertex_buf();
+    let changed = d.alloc_flag();
+    d.charge_upload("graph h2d", &[color, colored]);
 
-    let mut profile = RunProfile::new();
-    if opts.charge_h2d {
-        let bytes = gg.bytes() + color.len() * 8;
-        profile.transfer("graph h2d", bytes, gcol_simt::xfer::transfer_ms(dev, bytes));
-    }
-
-    let grid = grid_for(g.num_vertices(), opts.block_size);
-    let mut pass = 0u32;
-    loop {
-        pass += 1;
-        assert!(
-            (pass as usize) <= opts.max_iterations,
-            "topology-driven coloring did not converge within {} passes",
-            opts.max_iterations
-        );
-        mem.store(changed, 0, 0);
-        let stats = launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid,
-            opts.block_size,
+    let gg = d.gg;
+    let n = g.num_vertices();
+    let iterations = d.run_passes(|d, pass| {
+        d.mem.store(changed, 0, 0);
+        d.launch(
+            n,
             &TopoColor {
                 g: gg,
                 color,
@@ -126,13 +120,8 @@ pub fn color_topo(g: &Csr, dev: &Device, opts: &ColorOptions, use_ldg: bool) -> 
                 use_ldg,
             },
         );
-        profile.kernel(stats);
-        let stats = launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            grid,
-            opts.block_size,
+        d.launch(
+            n,
             &TopoDetect {
                 g: gg,
                 color,
@@ -140,29 +129,9 @@ pub fn color_topo(g: &Csr, dev: &Device, opts: &ColorOptions, use_ldg: bool) -> 
                 use_ldg,
             },
         );
-        profile.kernel(stats);
-        if read_flag(&mem, dev, &mut profile, changed) == 0 {
-            break;
-        }
-    }
-
-    let colors = if g.num_vertices() == 0 {
-        Vec::new()
-    } else {
-        mem.read_vec(color)
-    };
-    let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
-    Coloring {
-        scheme: if use_ldg {
-            Scheme::TopoLdg
-        } else {
-            Scheme::TopoBase
-        },
-        colors,
-        num_colors,
-        iterations: pass as usize,
-        profile,
-    }
+        d.read_flag("changed flag d2h", changed) != 0
+    })?;
+    Ok(d.finish(color, iterations))
 }
 
 #[cfg(test)]
@@ -171,13 +140,14 @@ mod tests {
     use gcol_graph::check::verify_coloring;
     use gcol_graph::gen::simple::{complete, cycle, erdos_renyi, star};
     use gcol_graph::gen::{grid3d, rmat, RmatParams};
-    use gcol_simt::ExecMode;
+    use gcol_simt::{Device, ExecMode, SimtBackend};
 
     fn opts() -> ColorOptions {
-        ColorOptions {
-            exec_mode: ExecMode::Deterministic,
-            ..ColorOptions::default()
-        }
+        ColorOptions::default()
+    }
+
+    fn det(dev: &Device) -> SimtBackend<'_> {
+        SimtBackend::new(dev, ExecMode::Deterministic)
     }
 
     #[test]
@@ -191,7 +161,7 @@ mod tests {
             grid3d(8, 8, 4),
         ] {
             for use_ldg in [false, true] {
-                let r = color_topo(&g, &dev, &opts(), use_ldg);
+                let r = color_topo(&g, &det(&dev), &opts(), use_ldg).unwrap();
                 verify_coloring(&g, &r.colors).unwrap();
                 assert!(r.num_colors <= g.max_degree() + 1);
                 assert!(r.iterations >= 1);
@@ -205,7 +175,7 @@ mod tests {
         let dev = Device::tiny();
         let g = rmat(RmatParams::erdos_renyi(10, 12), 3);
         let seq = crate::seq::greedy_seq(&g, gcol_graph::ordering::Ordering::Natural);
-        let r = color_topo(&g, &dev, &opts(), false);
+        let r = color_topo(&g, &det(&dev), &opts(), false).unwrap();
         assert!(
             (r.num_colors as i64 - seq.num_colors as i64).abs() <= 3,
             "topo {} vs seq {}",
@@ -218,8 +188,8 @@ mod tests {
     fn ldg_reduces_latency_not_correctness() {
         let dev = Device::tiny();
         let g = erdos_renyi(1000, 6000, 5);
-        let base = color_topo(&g, &dev, &opts(), false);
-        let ldg = color_topo(&g, &dev, &opts(), true);
+        let base = color_topo(&g, &det(&dev), &opts(), false).unwrap();
+        let ldg = color_topo(&g, &det(&dev), &opts(), true).unwrap();
         verify_coloring(&g, &ldg.colors).unwrap();
         // Deterministic mode: identical functional behavior.
         assert_eq!(base.colors, ldg.colors);
@@ -239,7 +209,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let dev = Device::tiny();
-        let r = color_topo(&Csr::empty(0), &dev, &opts(), false);
+        let r = color_topo(&Csr::empty(0), &det(&dev), &opts(), false).unwrap();
         assert_eq!(r.num_colors, 0);
         assert!(r.colors.is_empty());
     }
@@ -248,8 +218,8 @@ mod tests {
     fn deterministic_mode_is_reproducible() {
         let dev = Device::tiny();
         let g = erdos_renyi(500, 3000, 9);
-        let a = color_topo(&g, &dev, &opts(), false);
-        let b = color_topo(&g, &dev, &opts(), false);
+        let a = color_topo(&g, &det(&dev), &opts(), false).unwrap();
+        let b = color_topo(&g, &det(&dev), &opts(), false).unwrap();
         assert_eq!(a.colors, b.colors);
         assert_eq!(a.profile.total_ms(), b.profile.total_ms());
     }
@@ -258,11 +228,20 @@ mod tests {
     fn parallel_mode_still_valid() {
         let dev = Device::tiny();
         let g = erdos_renyi(2000, 12_000, 11);
+        let backend = SimtBackend::new(&dev, ExecMode::Parallel);
+        let r = color_topo(&g, &backend, &opts(), true).unwrap();
+        verify_coloring(&g, &r.colors).unwrap();
+    }
+
+    #[test]
+    fn exceeding_max_iterations_is_an_error() {
+        let dev = Device::tiny();
+        let g = complete(24);
         let o = ColorOptions {
-            exec_mode: ExecMode::Parallel,
+            max_iterations: 1,
             ..ColorOptions::default()
         };
-        let r = color_topo(&g, &dev, &o, true);
-        verify_coloring(&g, &r.colors).unwrap();
+        let err = color_topo(&g, &det(&dev), &o, false).unwrap_err();
+        assert!(matches!(err, ColorError::MaxIterations { limit: 1, .. }));
     }
 }

@@ -10,11 +10,11 @@
 //! (the first-fit mask is inherently per-vertex); only detection — half
 //! of every round's work — changes.
 
-use super::{pass_marker, speculative_first_fit, GpuGraph};
-use crate::{ColorOptions, Coloring, Scheme};
+use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
+use crate::{ColorError, ColorOptions, Coloring, Scheme};
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, Device, GpuMem, Kernel, RunProfile, ThreadCtx};
+use gcol_simt::{Backend, Kernel, KernelCtx};
 
 /// Same coloring kernel as T-base.
 struct EdgeVariantColor {
@@ -29,7 +29,7 @@ impl Kernel for EdgeVariantColor {
     fn name(&self) -> &'static str {
         "topo-color(edge-variant)"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let v = t.global_id();
         if v as usize >= self.g.n {
             return;
@@ -59,7 +59,7 @@ impl Kernel for EdgeDetect {
     fn name(&self) -> &'static str {
         "edge-detect"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let e = t.global_id() as usize;
         if e >= self.g.m {
             return;
@@ -90,32 +90,26 @@ fn edge_sources(g: &Csr) -> Vec<u32> {
     src
 }
 
-/// Runs the topology-driven scheme with edge-parallel detection.
-pub fn color_topo_edge(g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
-    let mut mem = GpuMem::new();
-    let gg = GpuGraph::upload(&mut mem, g);
-    let src = mem.alloc_from_slice(&edge_sources(g));
-    let color = mem.alloc::<u32>(g.num_vertices().max(1));
-    let colored = mem.alloc::<u32>(g.num_vertices().max(1));
-    let changed = mem.alloc::<u32>(1);
+/// Runs the topology-driven scheme with edge-parallel detection on
+/// `backend`.
+pub fn color_topo_edge<B: Backend>(
+    g: &Csr,
+    backend: &B,
+    opts: &ColorOptions,
+) -> Result<Coloring, ColorError> {
+    let mut d = SpecGreedyDriver::new(backend, Scheme::TopoEdge, g, opts);
+    let src = d.mem.alloc_from_slice(&edge_sources(g));
+    let color = d.alloc_vertex_buf();
+    let colored = d.alloc_vertex_buf();
+    let changed = d.alloc_flag();
 
-    let mut profile = RunProfile::new();
-    let vertex_grid = grid_for(g.num_vertices(), opts.block_size);
-    let edge_grid = grid_for(g.num_edges(), opts.block_size);
-    let mut pass = 0u32;
-    loop {
-        pass += 1;
-        assert!(
-            (pass as usize) <= opts.max_iterations,
-            "edge-parallel topo coloring did not converge"
-        );
-        mem.store(changed, 0, 0);
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            vertex_grid,
-            opts.block_size,
+    let gg = d.gg;
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let iterations = d.run_passes(|d, pass| {
+        d.mem.store(changed, 0, 0);
+        d.launch(
+            n,
             &EdgeVariantColor {
                 g: gg,
                 color,
@@ -123,38 +117,19 @@ pub fn color_topo_edge(g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
                 changed,
                 pass,
             },
-        ));
-        profile.kernel(launch(
-            &mem,
-            dev,
-            opts.exec_mode,
-            edge_grid,
-            opts.block_size,
+        );
+        d.launch(
+            m,
             &EdgeDetect {
                 g: gg,
                 src,
                 color,
                 colored,
             },
-        ));
-        if super::read_flag(&mem, dev, &mut profile, changed) == 0 {
-            break;
-        }
-    }
-
-    let colors = if g.num_vertices() == 0 {
-        Vec::new()
-    } else {
-        mem.read_vec(color)
-    };
-    let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
-    Coloring {
-        scheme: Scheme::TopoEdge,
-        colors,
-        num_colors,
-        iterations: pass as usize,
-        profile,
-    }
+        );
+        d.read_flag("changed flag d2h", changed) != 0
+    })?;
+    Ok(d.finish(color, iterations))
 }
 
 #[cfg(test)]
@@ -163,13 +138,14 @@ mod tests {
     use gcol_graph::check::verify_coloring;
     use gcol_graph::gen::simple::{complete, erdos_renyi, star};
     use gcol_graph::gen::{rmat, RmatParams};
-    use gcol_simt::ExecMode;
+    use gcol_simt::{Device, ExecMode, SimtBackend};
 
     fn opts() -> ColorOptions {
-        ColorOptions {
-            exec_mode: ExecMode::Deterministic,
-            ..ColorOptions::default()
-        }
+        ColorOptions::default()
+    }
+
+    fn det(dev: &Device) -> SimtBackend<'_> {
+        SimtBackend::new(dev, ExecMode::Deterministic)
     }
 
     #[test]
@@ -183,7 +159,7 @@ mod tests {
     fn colors_properly() {
         let dev = Device::tiny();
         for g in [complete(14), star(200), erdos_renyi(900, 5400, 3)] {
-            let r = color_topo_edge(&g, &dev, &opts());
+            let r = color_topo_edge(&g, &det(&dev), &opts()).unwrap();
             verify_coloring(&g, &r.colors).unwrap();
             assert!(r.num_colors <= g.max_degree() + 1);
         }
@@ -193,8 +169,8 @@ mod tests {
     fn same_quality_as_vertex_parallel_topo() {
         let dev = Device::tiny();
         let g = erdos_renyi(1200, 7200, 8);
-        let edge = color_topo_edge(&g, &dev, &opts());
-        let vertex = super::super::topo::color_topo(&g, &dev, &opts(), true);
+        let edge = color_topo_edge(&g, &det(&dev), &opts()).unwrap();
+        let vertex = super::super::topo::color_topo(&g, &det(&dev), &opts(), true).unwrap();
         // Identical coloring kernels ⇒ identical colors in deterministic
         // mode (detection order differs but flags the same losers).
         assert_eq!(edge.num_colors, vertex.num_colors);
@@ -206,8 +182,8 @@ mod tests {
         // the hub's chain; compare the detect kernels' time directly.
         let dev = Device::k20c();
         let g = rmat(RmatParams::skewed(12, 12), 7);
-        let edge = color_topo_edge(&g, &dev, &opts());
-        let vertex = super::super::topo::color_topo(&g, &dev, &opts(), true);
+        let edge = color_topo_edge(&g, &det(&dev), &opts()).unwrap();
+        let vertex = super::super::topo::color_topo(&g, &det(&dev), &opts(), true).unwrap();
         let detect_ms = |c: &Coloring, name: &str| -> f64 {
             c.profile
                 .phases
@@ -230,7 +206,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let dev = Device::tiny();
-        let r = color_topo_edge(&Csr::empty(0), &dev, &opts());
+        let r = color_topo_edge(&Csr::empty(0), &det(&dev), &opts()).unwrap();
         assert_eq!(r.num_colors, 0);
     }
 }

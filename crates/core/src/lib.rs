@@ -34,12 +34,13 @@ pub mod seq;
 use gcol_graph::check::Color;
 use gcol_graph::ordering::Ordering;
 use gcol_graph::Csr;
-use gcol_simt::{CpuModel, Device, ExecMode, RunProfile};
+use gcol_simt::{CpuModel, Device, ExecMode, NativeBackend, RunProfile, SimtBackend};
 use serde::{Deserialize, Serialize};
 
 pub use gcol_graph::check::{
     compact_colors, count_colors, count_conflicts, verify_coloring, ColoringViolation,
 };
+pub use gcol_simt::{Backend, BackendKind};
 
 /// Tuning knobs shared by every scheme.
 #[derive(Debug, Clone)]
@@ -64,6 +65,9 @@ pub struct ColorOptions {
     /// paper excludes I/O and times computation only, so this defaults to
     /// `false`; the 3-step baseline always pays its mid-run transfers.
     pub charge_h2d: bool,
+    /// Execution backend for the GPU schemes: the paper-faithful timing
+    /// simulator (default) or the native rayon path.
+    pub backend: BackendKind,
 }
 
 impl ColorOptions {
@@ -103,6 +107,12 @@ impl ColorOptions {
         self.ordering = ordering;
         self
     }
+
+    /// Fluent setter: execution backend for the GPU schemes.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl Default for ColorOptions {
@@ -116,9 +126,46 @@ impl Default for ColorOptions {
             ordering: Ordering::Natural,
             threestep_rounds: 2,
             charge_h2d: false,
+            backend: BackendKind::Simt,
         }
     }
 }
+
+/// Why a coloring run could not produce a result. Surfaced by
+/// [`Scheme::try_color`]; the infallible [`Scheme::color`] panics on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColorError {
+    /// The speculate/detect (or MIS-sweep) loop exceeded
+    /// [`ColorOptions::max_iterations`] without converging.
+    MaxIterations {
+        /// The scheme that failed to converge.
+        scheme: Scheme,
+        /// The configured iteration cap.
+        limit: usize,
+    },
+    /// The options are invalid for this scheme.
+    InvalidOptions {
+        /// The scheme that rejected them.
+        scheme: Scheme,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ColorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColorError::MaxIterations { scheme, limit } => {
+                write!(f, "{} did not converge within {limit} iterations", scheme)
+            }
+            ColorError::InvalidOptions { scheme, reason } => {
+                write!(f, "{}: invalid options: {reason}", scheme)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColorError {}
 
 /// The result of running one coloring scheme.
 #[derive(Debug, Clone)]
@@ -205,6 +252,33 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every built-in scheme, in the canonical registry order (paper's
+    /// seven first, then the ablations/extensions, then the CPU context
+    /// algorithms). The single source of truth for registries, CLIs and
+    /// tests.
+    pub const ALL: [Scheme; 14] = [
+        Scheme::Sequential,
+        Scheme::ThreeStepGm,
+        Scheme::TopoBase,
+        Scheme::TopoLdg,
+        Scheme::DataBase,
+        Scheme::DataLdg,
+        Scheme::CsrColor,
+        Scheme::DataAtomic,
+        Scheme::TopoEdge,
+        Scheme::CpuGm,
+        Scheme::CpuJp,
+        Scheme::CpuRokos,
+        Scheme::CpuJpLlf,
+        Scheme::CpuJpSl,
+    ];
+
+    /// Looks a scheme up by its display name (the paper's legend labels,
+    /// e.g. `"T-ldg"`). Inverse of [`Scheme::name`].
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// The seven schemes of the paper's Figs. 6 and 7, in its order.
     pub fn paper_seven() -> [Scheme; 7] {
         [
@@ -248,11 +322,40 @@ impl Scheme {
         }
     }
 
-    /// Runs this scheme on `g`. GPU schemes execute on the simulated
-    /// `dev`; CPU schemes run natively and record their time in the
-    /// profile (the sequential baseline records its *modeled* Xeon time so
-    /// that paper-style speedup ratios are meaningful).
+    /// Runs this scheme on `g`, panicking on [`ColorError`] — the
+    /// convenience wrapper around [`Scheme::try_color`] for callers that
+    /// treat non-convergence as a bug.
     pub fn color(&self, g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
+        self.try_color(g, dev, opts)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Runs this scheme on `g`. GPU schemes execute on the backend chosen
+    /// by [`ColorOptions::backend`] — the timing simulator of `dev`
+    /// (default) or the native rayon path; CPU schemes run natively and
+    /// record their time in the profile (the sequential baseline records
+    /// its *modeled* Xeon time so that paper-style speedup ratios are
+    /// meaningful).
+    pub fn try_color(
+        &self,
+        g: &Csr,
+        dev: &Device,
+        opts: &ColorOptions,
+    ) -> Result<Coloring, ColorError> {
+        match opts.backend {
+            BackendKind::Simt => self.try_color_on(&SimtBackend::new(dev, opts.exec_mode), g, opts),
+            BackendKind::Native => self.try_color_on(&NativeBackend::new(), g, opts),
+        }
+    }
+
+    /// Runs this scheme with an explicit execution [`Backend`] (the CPU
+    /// schemes ignore it — they have no kernels to launch).
+    pub fn try_color_on<B: Backend>(
+        &self,
+        backend: &B,
+        g: &Csr,
+        opts: &ColorOptions,
+    ) -> Result<Coloring, ColorError> {
         match self {
             Scheme::Sequential => {
                 let r = seq::greedy_seq(g, opts.ordering);
@@ -261,47 +364,47 @@ impl Scheme {
                     "sequential greedy (modeled Xeon E5-2670)",
                     CpuModel::xeon_e5_2670().greedy_sweep_ms(g.num_vertices(), g.num_edges()),
                 );
-                Coloring {
+                Ok(Coloring {
                     scheme: *self,
                     colors: r.colors,
                     num_colors: r.num_colors,
                     iterations: 1,
                     profile,
-                }
+                })
             }
-            Scheme::ThreeStepGm => gpu::threestep::color_threestep(g, dev, opts),
-            Scheme::TopoBase => gpu::topo::color_topo(g, dev, opts, false),
-            Scheme::TopoLdg => gpu::topo::color_topo(g, dev, opts, true),
-            Scheme::DataBase => gpu::data::color_data(g, dev, opts, false),
-            Scheme::DataLdg => gpu::data::color_data(g, dev, opts, true),
-            Scheme::CsrColor => gpu::csrcolor::color_csrcolor(g, dev, opts),
-            Scheme::DataAtomic => gpu::data_atomic::color_data_atomic(g, dev, opts),
-            Scheme::TopoEdge => gpu::topo_edge::color_topo_edge(g, dev, opts),
+            Scheme::ThreeStepGm => gpu::threestep::color_threestep(g, backend, opts),
+            Scheme::TopoBase => gpu::topo::color_topo(g, backend, opts, false),
+            Scheme::TopoLdg => gpu::topo::color_topo(g, backend, opts, true),
+            Scheme::DataBase => gpu::data::color_data(g, backend, opts, false),
+            Scheme::DataLdg => gpu::data::color_data(g, backend, opts, true),
+            Scheme::CsrColor => gpu::csrcolor::color_csrcolor(g, backend, opts),
+            Scheme::DataAtomic => gpu::data_atomic::color_data_atomic(g, backend, opts),
+            Scheme::TopoEdge => gpu::topo_edge::color_topo_edge(g, backend, opts),
             Scheme::CpuGm => {
                 let t0 = std::time::Instant::now();
                 let r = gm::gm_parallel(g, opts.max_iterations);
                 let mut profile = RunProfile::new();
                 profile.host("GM on rayon (wall clock)", t0.elapsed().as_secs_f64() * 1e3);
-                Coloring {
+                Ok(Coloring {
                     scheme: *self,
                     colors: r.colors,
                     num_colors: r.num_colors,
                     iterations: r.rounds,
                     profile,
-                }
+                })
             }
             Scheme::CpuJp => {
                 let t0 = std::time::Instant::now();
                 let r = jp::jp_parallel(g, opts.seed, opts.max_iterations);
                 let mut profile = RunProfile::new();
                 profile.host("JP on rayon (wall clock)", t0.elapsed().as_secs_f64() * 1e3);
-                Coloring {
+                Ok(Coloring {
                     scheme: *self,
                     colors: r.colors,
                     num_colors: r.num_colors,
                     iterations: r.num_colors,
                     profile,
-                }
+                })
             }
             Scheme::CpuRokos => {
                 let t0 = std::time::Instant::now();
@@ -311,13 +414,13 @@ impl Scheme {
                     "Rokos fused iteration (wall clock)",
                     t0.elapsed().as_secs_f64() * 1e3,
                 );
-                Coloring {
+                Ok(Coloring {
                     scheme: *self,
                     colors: r.colors,
                     num_colors: r.num_colors,
                     iterations: r.rounds,
                     profile,
-                }
+                })
             }
             Scheme::CpuJpLlf | Scheme::CpuJpSl => {
                 let variant = if *self == Scheme::CpuJpLlf {
@@ -329,13 +432,13 @@ impl Scheme {
                 let r = jp_orderings::jp_ordered(g, variant, opts.seed, opts.max_iterations);
                 let mut profile = RunProfile::new();
                 profile.host("ordered JP (wall clock)", t0.elapsed().as_secs_f64() * 1e3);
-                Coloring {
+                Ok(Coloring {
                     scheme: *self,
                     colors: r.colors,
                     num_colors: r.num_colors,
                     iterations: r.rounds,
                     profile,
-                }
+                })
             }
         }
     }
@@ -347,46 +450,57 @@ impl std::fmt::Display for Scheme {
     }
 }
 
+impl std::str::FromStr for Scheme {
+    type Err = String;
+
+    /// Parses a display name (`"T-ldg"`, `"csrcolor"`, …) back into the
+    /// scheme — what CLIs use for `--schemes` lists.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scheme::from_name(s).ok_or_else(|| {
+            let known: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
+            format!(
+                "unknown scheme {s:?} (expected one of: {})",
+                known.join(", ")
+            )
+        })
+    }
+}
+
 /// Object-safe interface for coloring algorithms, so downstream users can
 /// plug their own schemes into harnesses written against the built-in
 /// ones. Every [`Scheme`] implements it by dispatching to itself.
 pub trait Colorer: Sync {
     /// Display name for reports.
     fn label(&self) -> &str;
-    /// Colors `g`, using the simulated `dev` if the algorithm runs there.
-    fn run(&self, g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring;
+
+    /// Colors `g`, using the simulated `dev` if the algorithm runs there;
+    /// errors (non-convergence, bad options) come back as [`ColorError`].
+    fn try_run(&self, g: &Csr, dev: &Device, opts: &ColorOptions) -> Result<Coloring, ColorError>;
+
+    /// Colors `g`, panicking on [`ColorError`] — for harnesses that treat
+    /// failure as a bug.
+    fn run(&self, g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
+        self.try_run(g, dev, opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.label()))
+    }
 }
 
 impl Colorer for Scheme {
     fn label(&self) -> &str {
         self.name()
     }
-    fn run(&self, g: &Csr, dev: &Device, opts: &ColorOptions) -> Coloring {
-        self.color(g, dev, opts)
+    fn try_run(&self, g: &Csr, dev: &Device, opts: &ColorOptions) -> Result<Coloring, ColorError> {
+        self.try_color(g, dev, opts)
     }
 }
 
-/// All built-in schemes as trait objects — a ready-made registry.
+/// All built-in schemes as trait objects — a ready-made registry
+/// ([`Scheme::ALL`] boxed).
 pub fn all_colorers() -> Vec<Box<dyn Colorer>> {
-    [
-        Scheme::Sequential,
-        Scheme::ThreeStepGm,
-        Scheme::TopoBase,
-        Scheme::TopoLdg,
-        Scheme::DataBase,
-        Scheme::DataLdg,
-        Scheme::CsrColor,
-        Scheme::DataAtomic,
-        Scheme::TopoEdge,
-        Scheme::CpuGm,
-        Scheme::CpuJp,
-        Scheme::CpuRokos,
-        Scheme::CpuJpLlf,
-        Scheme::CpuJpSl,
-    ]
-    .into_iter()
-    .map(|s| Box::new(s) as Box<dyn Colorer>)
-    .collect()
+    Scheme::ALL
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn Colorer>)
+        .collect()
 }
 
 #[cfg(test)]
@@ -399,17 +513,7 @@ mod tests {
         let dev = Device::tiny();
         let g = erdos_renyi(400, 2400, 1);
         let opts = ColorOptions::default();
-        for scheme in [
-            Scheme::Sequential,
-            Scheme::ThreeStepGm,
-            Scheme::TopoBase,
-            Scheme::TopoLdg,
-            Scheme::DataBase,
-            Scheme::DataLdg,
-            Scheme::CsrColor,
-            Scheme::CpuGm,
-            Scheme::CpuJp,
-        ] {
+        for scheme in Scheme::ALL {
             let r = scheme.color(&g, &dev, &opts);
             verify_coloring(&g, &r.colors).unwrap_or_else(|e| panic!("{scheme}: {e}"));
             assert_eq!(r.scheme, scheme);
@@ -419,12 +523,24 @@ mod tests {
     }
 
     #[test]
+    fn scheme_names_round_trip() {
+        for scheme in Scheme::ALL {
+            assert_eq!(Scheme::from_name(scheme.name()), Some(scheme));
+            assert_eq!(scheme.name().parse::<Scheme>(), Ok(scheme));
+        }
+        assert!(Scheme::from_name("no-such-scheme").is_none());
+        let err = "no-such-scheme".parse::<Scheme>().unwrap_err();
+        assert!(err.contains("unknown scheme"), "{err}");
+        assert!(err.contains("T-ldg"), "{err}");
+    }
+
+    #[test]
     fn registry_covers_every_scheme_and_colors_properly() {
         let dev = Device::tiny();
         let g = erdos_renyi(200, 1200, 4);
         let opts = ColorOptions::default();
         let registry = all_colorers();
-        assert_eq!(registry.len(), 14);
+        assert_eq!(registry.len(), Scheme::ALL.len());
         let mut names = std::collections::HashSet::new();
         for colorer in &registry {
             assert!(names.insert(colorer.label().to_string()), "dup name");

@@ -147,14 +147,16 @@ mod tests {
         // A scrambled path: bandwidth n-ish before, 1 after RCM.
         let n = 64u32;
         let scramble = |v: u32| (v * 37) % n; // 37 coprime with 64
-        let edges: Vec<(u32, u32)> =
-            (0..n - 1).map(|i| (scramble(i), scramble(i + 1))).collect();
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (scramble(i), scramble(i + 1))).collect();
         let g = from_undirected_edges(n as usize, edges);
         let before = bandwidth(&g);
         let perm = rcm_permutation(&g);
         let h = relabel(&g, &perm);
         let after = bandwidth(&h);
-        assert!(after < before, "RCM should shrink bandwidth: {after} vs {before}");
+        assert!(
+            after < before,
+            "RCM should shrink bandwidth: {after} vs {before}"
+        );
         assert_eq!(after, 1, "a path has optimal bandwidth 1");
     }
 

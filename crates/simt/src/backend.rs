@@ -1,0 +1,263 @@
+//! Execution backends: one kernel source, two ways to run it.
+//!
+//! A [`Backend`] owns the three things a scheme driver needs from the
+//! execution layer: launching [`Kernel`]s, launching [`CoopKernel`]s, and
+//! charging PCIe transfers into the run's [`RunProfile`]. Two
+//! implementations:
+//!
+//! * [`SimtBackend`] — the paper-faithful path: the tracing simulator with
+//!   its analytic timing model. Deterministic mode is bit-stable.
+//! * [`NativeBackend`] — the production path: the same kernels over rayon
+//!   at host speed. Kernel phases record *wall-clock* time as
+//!   [`crate::profile::Phase::Host`] entries; transfers are free (there is
+//!   no PCIe on the host path).
+
+use crate::config::Device;
+use crate::exec::{launch, launch_coop, ExecMode};
+use crate::kernel::{CoopKernel, Kernel};
+use crate::mem::GpuMem;
+use crate::native::{launch_coop_native, launch_native};
+use crate::profile::RunProfile;
+use crate::xfer;
+
+/// The execution surface scheme drivers are written against.
+pub trait Backend: Sync {
+    /// Short backend name ("simt" / "native") for reports and CLIs.
+    fn name(&self) -> &'static str;
+
+    /// Launches `kernel` over `grid` blocks of `block_threads` threads,
+    /// recording its cost (modeled or wall-clock) into `profile`.
+    fn launch<K: Kernel>(
+        &self,
+        mem: &GpuMem,
+        grid: u32,
+        block_threads: u32,
+        kernel: &K,
+        profile: &mut RunProfile,
+    );
+
+    /// Launches a cooperative kernel (count → block scan → emit); returns
+    /// the total number of emitted items.
+    fn launch_coop<K: CoopKernel>(
+        &self,
+        mem: &GpuMem,
+        grid: u32,
+        block_threads: u32,
+        kernel: &K,
+        profile: &mut RunProfile,
+    ) -> u32;
+
+    /// Charges a host↔device transfer of `bytes` into `profile`. A no-op
+    /// on backends without a modeled interconnect.
+    fn transfer(&self, label: &'static str, bytes: usize, profile: &mut RunProfile);
+}
+
+/// The tracing simulator as a backend (the paper-faithful path).
+#[derive(Debug, Clone, Copy)]
+pub struct SimtBackend<'d> {
+    /// The simulated device (timing model parameters).
+    pub dev: &'d Device,
+    /// Host-thread mapping of the simulation.
+    pub mode: ExecMode,
+}
+
+impl<'d> SimtBackend<'d> {
+    /// A backend simulating `dev` under `mode`.
+    pub fn new(dev: &'d Device, mode: ExecMode) -> Self {
+        Self { dev, mode }
+    }
+}
+
+impl Backend for SimtBackend<'_> {
+    fn name(&self) -> &'static str {
+        "simt"
+    }
+
+    fn launch<K: Kernel>(
+        &self,
+        mem: &GpuMem,
+        grid: u32,
+        block_threads: u32,
+        kernel: &K,
+        profile: &mut RunProfile,
+    ) {
+        profile.kernel(launch(
+            mem,
+            self.dev,
+            self.mode,
+            grid,
+            block_threads,
+            kernel,
+        ));
+    }
+
+    fn launch_coop<K: CoopKernel>(
+        &self,
+        mem: &GpuMem,
+        grid: u32,
+        block_threads: u32,
+        kernel: &K,
+        profile: &mut RunProfile,
+    ) -> u32 {
+        let (stats, total) = launch_coop(mem, self.dev, self.mode, grid, block_threads, kernel);
+        profile.kernel(stats);
+        total
+    }
+
+    fn transfer(&self, label: &'static str, bytes: usize, profile: &mut RunProfile) {
+        profile.transfer(label, bytes, xfer::transfer_ms(self.dev, bytes));
+    }
+}
+
+/// The rayon host path as a backend (the production path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeBackend;
+
+impl NativeBackend {
+    /// A native backend.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Backend for NativeBackend {
+    fn name(&self) -> &'static str {
+        "native"
+    }
+
+    fn launch<K: Kernel>(
+        &self,
+        mem: &GpuMem,
+        grid: u32,
+        block_threads: u32,
+        kernel: &K,
+        profile: &mut RunProfile,
+    ) {
+        let t0 = std::time::Instant::now();
+        launch_native(mem, grid, block_threads, kernel);
+        profile.host(kernel.name(), t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    fn launch_coop<K: CoopKernel>(
+        &self,
+        mem: &GpuMem,
+        grid: u32,
+        block_threads: u32,
+        kernel: &K,
+        profile: &mut RunProfile,
+    ) -> u32 {
+        let t0 = std::time::Instant::now();
+        let total = launch_coop_native(mem, grid, block_threads, kernel);
+        profile.host(kernel.name(), t0.elapsed().as_secs_f64() * 1e3);
+        total
+    }
+
+    fn transfer(&self, _label: &'static str, _bytes: usize, _profile: &mut RunProfile) {}
+}
+
+/// Which backend to run a scheme on — the selection that rides through
+/// `ColorOptions` and the bench CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The tracing simulator ([`SimtBackend`]), the paper-faithful default.
+    #[default]
+    Simt,
+    /// The rayon host path ([`NativeBackend`]).
+    Native,
+}
+
+impl BackendKind {
+    /// Every selectable backend.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Simt, BackendKind::Native];
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Simt => "simt",
+            BackendKind::Native => "native",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::ALL
+            .into_iter()
+            .find(|b| b.name() == s)
+            .ok_or_else(|| format!("unknown backend {s:?} (expected \"simt\" or \"native\")"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::grid_for;
+    use crate::kernel::KernelCtx;
+    use crate::mem::Buffer;
+    use crate::Phase;
+
+    struct AddOne {
+        data: Buffer<u32>,
+    }
+
+    impl Kernel for AddOne {
+        fn name(&self) -> &'static str {
+            "add-one"
+        }
+        fn run(&self, t: &mut impl KernelCtx) {
+            let i = t.global_id() as usize;
+            if i < self.data.len() {
+                let v = t.ld(self.data, i);
+                t.st(self.data, i, v + 1);
+            }
+        }
+    }
+
+    fn run_on<B: Backend>(backend: &B) -> (Vec<u32>, RunProfile) {
+        let mut mem = GpuMem::new();
+        let d = mem.alloc_from_slice(&[10u32, 20, 30, 40]);
+        let mut profile = RunProfile::new();
+        backend.launch(
+            &mem,
+            grid_for(4, 128),
+            128,
+            &AddOne { data: d },
+            &mut profile,
+        );
+        backend.transfer("d2h", 16, &mut profile);
+        (mem.read_vec(d), profile)
+    }
+
+    #[test]
+    fn both_backends_execute_the_same_kernel() {
+        let dev = Device::tiny();
+        let (simt_vals, simt_prof) = run_on(&SimtBackend::new(&dev, ExecMode::Deterministic));
+        let (native_vals, native_prof) = run_on(&NativeBackend::new());
+        assert_eq!(simt_vals, vec![11, 21, 31, 41]);
+        assert_eq!(native_vals, simt_vals);
+        // Simulator: one Kernel phase + a charged transfer.
+        assert!(matches!(simt_prof.phases[0], Phase::Kernel(_)));
+        assert!(simt_prof.transfer_ms() > 0.0);
+        // Native: wall-clock Host phase, transfers free.
+        assert!(matches!(native_prof.phases[0], Phase::Host { .. }));
+        assert_eq!(native_prof.transfer_ms(), 0.0);
+        assert_eq!(native_prof.num_kernels(), 0);
+    }
+
+    #[test]
+    fn backend_kind_round_trips() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>(), Ok(kind));
+        }
+        assert!("cuda".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Simt);
+    }
+}

@@ -105,7 +105,16 @@ pub fn launch<K: Kernel>(
                     let mut ctx = ThreadCtx::new(mem);
                     let mut bid = sm_id;
                     while bid < grid {
-                        run_block(dev, kernel, bid, grid, block_threads, &mut sm, &mut l2, &mut ctx);
+                        run_block(
+                            dev,
+                            kernel,
+                            bid,
+                            grid,
+                            block_threads,
+                            &mut sm,
+                            &mut l2,
+                            &mut ctx,
+                        );
                         bid += n_sms;
                     }
                     (sm, l2.stats())
@@ -378,6 +387,7 @@ pub fn grid_for(n: usize, block_threads: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::KernelCtx;
     use crate::mem::Buffer;
 
     /// y[i] = a * x[i] + y[i] — the classic check that indexing and
@@ -392,7 +402,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "saxpy"
         }
-        fn run(&self, t: &mut ThreadCtx<'_>) {
+        fn run(&self, t: &mut impl KernelCtx) {
             let i = t.global_id() as usize;
             if i >= self.x.len() {
                 return;
@@ -464,7 +474,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "hist"
         }
-        fn run(&self, t: &mut ThreadCtx<'_>) {
+        fn run(&self, t: &mut impl KernelCtx) {
             let i = t.global_id() as usize;
             if i >= self.data.len() {
                 return;
@@ -508,7 +518,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "filter"
         }
-        fn count(&self, t: &mut ThreadCtx<'_>) -> (u32, u32) {
+        fn count(&self, t: &mut impl KernelCtx) -> (u32, u32) {
             let i = t.global_id() as usize;
             if i >= self.data.len() {
                 return (0, 0);
@@ -517,7 +527,7 @@ mod tests {
             t.alu(1);
             (i as u32, (v > self.threshold) as u32)
         }
-        fn emit(&self, t: &mut ThreadCtx<'_>, carry: u32, dst: u32) {
+        fn emit(&self, t: &mut impl KernelCtx, carry: u32, dst: u32) {
             let i = carry as usize;
             if i >= self.data.len() {
                 return;

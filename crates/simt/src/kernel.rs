@@ -3,17 +3,116 @@
 //!
 //! Kernels implement [`Kernel`] (independent threads) or [`CoopKernel`]
 //! (threads cooperate through a block-wide exclusive scan — the CUB
-//! `BlockScan` pattern of Fig. 5 in the paper). Every global-memory access
-//! goes through [`ThreadCtx`], which performs it functionally against the
-//! shared arena *and* records it in the warp's flat trace for the timing
-//! model.
+//! `BlockScan` pattern of Fig. 5 in the paper). Kernel bodies are written
+//! against the [`KernelCtx`] trait — the complete kernel-facing surface
+//! (`global_id`, `ld`/`ldg`/`st`/`st_warp`, atomics, local and shared
+//! memory, `alu`) — so the *same* kernel source runs under two execution
+//! backends:
+//!
+//! * [`ThreadCtx`] — the simulator context: every memory access is
+//!   performed functionally against the shared arena *and* recorded in the
+//!   warp's flat trace for the timing model (the paper-faithful path).
+//! * [`crate::native::NativeCtx`] — the production context: the same
+//!   accesses with zero trace/timing machinery, for full host-speed runs.
 
 use crate::mem::{Buffer, GpuMem, Word};
 use crate::trace::{Op, OpKind, WarpTrace};
 
-/// Execution context of one thread. Mirrors the CUDA built-ins
-/// (`threadIdx`, `blockIdx`, `blockDim`, `gridDim`) and exposes typed
-/// memory operations.
+/// The kernel-facing execution surface: every operation a kernel body may
+/// perform. Mirrors the CUDA built-ins (`threadIdx`, `blockIdx`,
+/// `blockDim`, `gridDim`) and the memory-operation vocabulary of Fig. 4.
+///
+/// Implemented by the tracing simulator context ([`ThreadCtx`]) and the
+/// native host context ([`crate::native::NativeCtx`]); kernels take
+/// `&mut impl KernelCtx` and are oblivious to which backend runs them.
+pub trait KernelCtx {
+    /// Thread index within the block (`threadIdx.x`).
+    fn tid(&self) -> u32;
+    /// Block index within the grid (`blockIdx.x`).
+    fn bid(&self) -> u32;
+    /// Threads per block (`blockDim.x`).
+    fn bdim(&self) -> u32;
+    /// Blocks in the grid (`gridDim.x`).
+    fn gdim(&self) -> u32;
+
+    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+    #[inline]
+    fn global_id(&self) -> u32 {
+        self.bid() * self.bdim() + self.tid()
+    }
+
+    /// Normal global load (`ld`, Fig. 4 left): misses L1, served by L2 or
+    /// DRAM.
+    fn ld<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T;
+
+    /// Read-only-cache load (`__ldg`, Fig. 4 right): may be served by the
+    /// per-SM read-only L1. Only correct for data that no thread writes
+    /// during the kernel — not enforced, exactly like real hardware.
+    fn ldg<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T;
+
+    /// Global store.
+    fn st<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T);
+
+    /// Global store with *warp-synchronous visibility*: the write becomes
+    /// visible to other threads only after this thread's entire warp has
+    /// finished executing — modeling SIMT lockstep, where the 32 lanes of a
+    /// warp cannot observe each other's same-instruction stores. The
+    /// speculative coloring kernels use this for `color[v]`, which is what
+    /// makes speculation conflicts deterministic and faithful to lockstep
+    /// hardware (two adjacent vertices handled by the same warp *will*
+    /// race, exactly as on a real GPU).
+    fn st_warp<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T);
+
+    /// `atomicAdd`, returning the old value.
+    fn atomic_add(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32;
+
+    /// `atomicMax`, returning the old value.
+    fn atomic_max(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32;
+
+    /// `atomicMin`, returning the old value.
+    fn atomic_min(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32;
+
+    /// `atomicCAS`, returning the old value.
+    fn atomic_cas(&mut self, buf: Buffer<u32>, i: usize, expected: u32, new: u32) -> u32;
+
+    /// Charges `n` arithmetic instructions (loop bookkeeping, comparisons,
+    /// hash math, …). Kernels annotate their compute so the timing model
+    /// can weigh compute against memory; free on the native backend.
+    fn alu(&mut self, n: u32);
+
+    /// Ensures the thread-local scratch array (the `colorMask` of
+    /// Algorithm 1, which lives in local memory / register spill on a real
+    /// GPU) has at least `n` entries. Growing is free; contents persist
+    /// across threads, which is safe for mask arrays that use unique
+    /// marker values (the paper's no-reinitialization trick).
+    fn local_reserve(&mut self, n: usize);
+
+    /// Local-memory load (L1-cached on Kepler; cheap but not free).
+    fn local_ld(&mut self, i: usize) -> u32;
+
+    /// Local-memory store.
+    fn local_st(&mut self, i: usize, v: u32);
+
+    /// Shared-memory (scratchpad) load of word `i`. The scratchpad is
+    /// per-block, zero-initialized and sized by `Kernel::smem_per_block`.
+    ///
+    /// Visibility follows the executors' lane order: a lane sees the
+    /// *final* values written by lower-numbered lanes of its own warp and
+    /// by earlier warps of its block (lane-ordered visibility). This is
+    /// *stronger* than hardware lockstep, so warp collectives should be
+    /// written in the lane-ordered form (e.g. `prefix[i] = x[i] +
+    /// prefix[i-1]`), which is correct under both semantics.
+    fn smem_ld(&mut self, i: usize) -> u32;
+
+    /// Shared-memory store of word `i`; see [`KernelCtx::smem_ld`] for the
+    /// visibility model.
+    fn smem_st(&mut self, i: usize, v: u32);
+}
+
+/// Execution context of one simulated thread: performs every operation
+/// functionally against the shared arena *and* records it in the warp's
+/// flat trace for the timing model. This is the paper-faithful
+/// [`KernelCtx`] implementation driven by [`crate::exec::launch`].
 pub struct ThreadCtx<'a> {
     mem: &'a GpuMem,
     /// Thread index within the block (`threadIdx.x`).
@@ -67,17 +166,31 @@ impl<'a> ThreadCtx<'a> {
             self.mem.store_raw(addr as usize, bits);
         }
     }
+}
 
-    /// Global thread id (`blockIdx.x * blockDim.x + threadIdx.x`).
+impl KernelCtx for ThreadCtx<'_> {
     #[inline]
-    pub fn global_id(&self) -> u32 {
-        self.bid * self.bdim + self.tid
+    fn tid(&self) -> u32 {
+        self.tid
     }
 
-    /// Normal global load (`ld`, Fig. 4 left): misses L1, served by L2 or
-    /// DRAM.
     #[inline]
-    pub fn ld<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
+    fn bid(&self) -> u32 {
+        self.bid
+    }
+
+    #[inline]
+    fn bdim(&self) -> u32 {
+        self.bdim
+    }
+
+    #[inline]
+    fn gdim(&self) -> u32 {
+        self.gdim
+    }
+
+    #[inline]
+    fn ld<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
         self.trace.push(Op {
             kind: OpKind::Ld,
             addr: buf.addr(i),
@@ -85,12 +198,8 @@ impl<'a> ThreadCtx<'a> {
         self.mem.load(buf, i)
     }
 
-    /// Read-only-cache load (`__ldg`, Fig. 4 right): may be served by the
-    /// per-SM read-only L1. Only correct for data that no thread writes
-    /// during the kernel — the executor does not enforce this, exactly
-    /// like real hardware.
     #[inline]
-    pub fn ldg<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
+    fn ldg<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T {
         self.trace.push(Op {
             kind: OpKind::Ldg,
             addr: buf.addr(i),
@@ -98,9 +207,8 @@ impl<'a> ThreadCtx<'a> {
         self.mem.load(buf, i)
     }
 
-    /// Global store.
     #[inline]
-    pub fn st<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
+    fn st<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
         self.trace.push(Op {
             kind: OpKind::St,
             addr: buf.addr(i),
@@ -108,16 +216,10 @@ impl<'a> ThreadCtx<'a> {
         self.mem.store(buf, i, v);
     }
 
-    /// Global store with *warp-synchronous visibility*: the write becomes
-    /// visible to other threads only after this thread's entire warp has
-    /// finished executing — modeling SIMT lockstep, where the 32 lanes of a
-    /// warp cannot observe each other's same-instruction stores. The
-    /// speculative coloring kernels use this for `color[v]`, which is what
-    /// makes speculation conflicts deterministic and faithful to lockstep
-    /// hardware (two adjacent vertices handled by the same warp *will*
-    /// race, exactly as on a real GPU). Timing-wise identical to [`ThreadCtx::st`].
+    /// Timing-wise identical to [`KernelCtx::st`]; the store is deferred
+    /// until the warp completes.
     #[inline]
-    pub fn st_warp<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
+    fn st_warp<T: Word>(&mut self, buf: Buffer<T>, i: usize, v: T) {
         self.trace.push(Op {
             kind: OpKind::St,
             addr: buf.addr(i),
@@ -125,9 +227,8 @@ impl<'a> ThreadCtx<'a> {
         self.deferred.push((buf.addr(i), v.to_bits()));
     }
 
-    /// `atomicAdd`, returning the old value.
     #[inline]
-    pub fn atomic_add(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+    fn atomic_add(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
         self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
@@ -135,9 +236,8 @@ impl<'a> ThreadCtx<'a> {
         self.mem.fetch_add(buf, i, v)
     }
 
-    /// `atomicMax`, returning the old value.
     #[inline]
-    pub fn atomic_max(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+    fn atomic_max(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
         self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
@@ -145,9 +245,8 @@ impl<'a> ThreadCtx<'a> {
         self.mem.fetch_max(buf, i, v)
     }
 
-    /// `atomicMin`, returning the old value.
     #[inline]
-    pub fn atomic_min(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
+    fn atomic_min(&mut self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
         self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
@@ -155,9 +254,8 @@ impl<'a> ThreadCtx<'a> {
         self.mem.fetch_min(buf, i, v)
     }
 
-    /// `atomicCAS`, returning the old value.
     #[inline]
-    pub fn atomic_cas(&mut self, buf: Buffer<u32>, i: usize, expected: u32, new: u32) -> u32 {
+    fn atomic_cas(&mut self, buf: Buffer<u32>, i: usize, expected: u32, new: u32) -> u32 {
         self.trace.push(Op {
             kind: OpKind::Atomic,
             addr: buf.addr(i),
@@ -165,29 +263,20 @@ impl<'a> ThreadCtx<'a> {
         self.mem.compare_exchange(buf, i, expected, new)
     }
 
-    /// Charges `n` arithmetic instructions (loop bookkeeping, comparisons,
-    /// hash math, …). Kernels annotate their compute so the timing model
-    /// can weigh compute against memory.
     #[inline]
-    pub fn alu(&mut self, n: u32) {
+    fn alu(&mut self, n: u32) {
         self.trace.add_alu(n as u64);
     }
 
-    /// Ensures the thread-local scratch array (the `colorMask` of
-    /// Algorithm 1, which lives in local memory / register spill on a real
-    /// GPU) has at least `n` entries. Growing is free; contents persist
-    /// across threads, which is safe for mask arrays that use unique
-    /// marker values (the paper's no-reinitialization trick).
     #[inline]
-    pub fn local_reserve(&mut self, n: usize) {
+    fn local_reserve(&mut self, n: usize) {
         if self.scratch.len() < n {
             self.scratch.resize(n, u32::MAX);
         }
     }
 
-    /// Local-memory load (L1-cached on Kepler; cheap but not free).
     #[inline]
-    pub fn local_ld(&mut self, i: usize) -> u32 {
+    fn local_ld(&mut self, i: usize) -> u32 {
         self.trace.push(Op {
             kind: OpKind::Local,
             addr: 0,
@@ -195,9 +284,8 @@ impl<'a> ThreadCtx<'a> {
         self.scratch[i]
     }
 
-    /// Local-memory store.
     #[inline]
-    pub fn local_st(&mut self, i: usize, v: u32) {
+    fn local_st(&mut self, i: usize, v: u32) {
         self.trace.push(Op {
             kind: OpKind::Local,
             addr: 0,
@@ -205,22 +293,10 @@ impl<'a> ThreadCtx<'a> {
         self.scratch[i] = v;
     }
 
-    /// Shared-memory (scratchpad) load of word `i`. The scratchpad is
-    /// per-block, zero-initialized, sized by `Kernel::smem_per_block`, and
-    /// banked: lanes of a warp touching different words in the same bank
+    /// Banked: lanes of a warp touching different words in the same bank
     /// serialize (`Device::smem_banks` / `Device::smem_cycles`).
-    ///
-    /// Visibility follows this executor's lane order: a lane sees the
-    /// *final* values written by lower-numbered lanes of its own warp and
-    /// by earlier warps of its block (lane-ordered visibility). This is
-    /// *stronger* than hardware lockstep — classic per-step idioms like
-    /// Hillis–Steele would observe intermediate values on real silicon
-    /// but final values here — so warp collectives should be written in
-    /// the lane-ordered form (e.g. `prefix[i] = x[i] + prefix[i-1]`),
-    /// which is correct under both semantics' timing and this executor's
-    /// functional model.
     #[inline]
-    pub fn smem_ld(&mut self, i: usize) -> u32 {
+    fn smem_ld(&mut self, i: usize) -> u32 {
         self.trace.push(Op {
             kind: OpKind::Smem,
             addr: i as u32,
@@ -228,10 +304,8 @@ impl<'a> ThreadCtx<'a> {
         self.smem[i]
     }
 
-    /// Shared-memory store of word `i`; see [`ThreadCtx::smem_ld`] for
-    /// the banking and visibility model.
     #[inline]
-    pub fn smem_st(&mut self, i: usize, v: u32) {
+    fn smem_st(&mut self, i: usize, v: u32) {
         self.trace.push(Op {
             kind: OpKind::Smem,
             addr: i as u32,
@@ -247,8 +321,9 @@ pub trait Kernel: Sync {
         "kernel"
     }
 
-    /// Per-thread body.
-    fn run(&self, t: &mut ThreadCtx<'_>);
+    /// Per-thread body, written against the backend-agnostic
+    /// [`KernelCtx`] surface.
+    fn run(&self, t: &mut impl KernelCtx);
 
     /// Registers per thread (occupancy input). 36 matches what nvcc
     /// produces for the coloring kernels' CSR traversal + first-fit scan.
@@ -279,12 +354,12 @@ pub trait CoopKernel: Sync {
 
     /// Phase 1: do the thread's reading work; return the carry and the
     /// number of items (0 or more) this thread will emit.
-    fn count(&self, t: &mut ThreadCtx<'_>) -> (Self::Carry, u32);
+    fn count(&self, t: &mut impl KernelCtx) -> (Self::Carry, u32);
 
     /// Phase 2: `dst` is this thread's exclusive global offset (block
     ///   base + in-block scan result); emit exactly the promised number of
     ///   items at `dst`, `dst + 1`, ….
-    fn emit(&self, t: &mut ThreadCtx<'_>, carry: Self::Carry, dst: u32);
+    fn emit(&self, t: &mut impl KernelCtx, carry: Self::Carry, dst: u32);
 
     /// Registers per thread; block scans cost a few more than plain
     /// kernels.
@@ -332,6 +407,10 @@ mod tests {
         t.bdim = 128;
         t.tid = 5;
         assert_eq!(t.global_id(), 389);
+        // Field and trait accessors agree.
+        assert_eq!(KernelCtx::tid(&t), 5);
+        assert_eq!(KernelCtx::bid(&t), 3);
+        assert_eq!(KernelCtx::bdim(&t), 128);
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //! ## Layers
 //!
 //! * [`mem`] — device memory arena and typed [`Buffer`]s.
-//! * [`kernel`] — [`Kernel`] / [`CoopKernel`] traits and [`ThreadCtx`]
+//! * [`kernel`] — [`Kernel`] / [`CoopKernel`] traits, the backend-agnostic
+//!   [`KernelCtx`] surface and its tracing impl [`ThreadCtx`]
 //!   (`ld`/`ldg`/`st`/atomics/local memory, Fig. 4 of the paper).
 //! * [`exec`] — [`launch`] / [`launch_coop`]: round-robin block→SM
 //!   scheduling, per-SM deterministic timing, rayon across SMs.
+//! * [`native`] — [`NativeBackend`]'s executor: the same kernels over
+//!   rayon at host speed, no tracing.
+//! * [`backend`] — the [`Backend`] abstraction selecting between the two.
 //! * [`timing`] — caches, occupancy, the cycle model, [`KernelStats`]
 //!   (with the stall breakdown and achieved-of-peak metrics of Fig. 3).
 //! * [`xfer`] / [`cpu`] — PCIe and host-CPU cost models (the 3-step GM
@@ -25,13 +29,13 @@
 //! ## Example: SAXPY on the simulated K20c
 //!
 //! ```
-//! use gcol_simt::{Device, ExecMode, GpuMem, Kernel, ThreadCtx, launch, grid_for};
+//! use gcol_simt::{Device, ExecMode, GpuMem, Kernel, KernelCtx, launch, grid_for};
 //! use gcol_simt::mem::Buffer;
 //!
 //! struct Saxpy { a: f32, x: Buffer<f32>, y: Buffer<f32> }
 //! impl Kernel for Saxpy {
 //!     fn name(&self) -> &'static str { "saxpy" }
-//!     fn run(&self, t: &mut ThreadCtx<'_>) {
+//!     fn run(&self, t: &mut impl KernelCtx) {
 //!         let i = t.global_id() as usize;
 //!         if i < self.x.len() {
 //!             let v = t.ldg(self.x, i);
@@ -55,21 +59,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod config;
 pub mod cpu;
 pub mod exec;
 pub mod kernel;
 pub mod mem;
+pub mod native;
 pub mod profile;
 pub mod timing;
 pub mod trace;
 pub mod xfer;
 
+pub use backend::{Backend, BackendKind, NativeBackend, SimtBackend};
 pub use config::Device;
 pub use cpu::CpuModel;
 pub use exec::{grid_for, launch, launch_coop, ExecMode};
-pub use kernel::{CoopKernel, Kernel, ThreadCtx};
+pub use kernel::{CoopKernel, Kernel, KernelCtx, ThreadCtx};
 pub use mem::{Buffer, GpuMem, Word};
+pub use native::{launch_coop_native, launch_native, NativeCtx};
 pub use profile::{Phase, RunProfile};
 pub use timing::occupancy::{occupancy, Limiter, Occupancy};
 pub use timing::{KernelStats, StallBreakdown};

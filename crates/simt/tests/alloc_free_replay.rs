@@ -10,7 +10,7 @@
 //! perturb the count.
 
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, ThreadCtx};
+use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, KernelCtx};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -53,7 +53,7 @@ impl Kernel for Churn {
         "churn"
     }
 
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.n {
             return;
@@ -91,7 +91,14 @@ fn steady_state_replay_does_not_allocate() {
     // Warm-up: grows the trace vectors to their steady-state capacity and
     // pays every one-time setup cost.
     for _ in 0..3 {
-        launch(&mem, &dev, ExecMode::Deterministic, grid_for(n, 128), 128, &k);
+        launch(
+            &mem,
+            &dev,
+            ExecMode::Deterministic,
+            grid_for(n, 128),
+            128,
+            &k,
+        );
     }
 
     // A launch still allocates O(1) per call outside the replay itself
@@ -107,11 +114,19 @@ fn steady_state_replay_does_not_allocate() {
     };
     let per_launch_large = {
         let before = ALLOCS.load(Ordering::Relaxed);
-        launch(&mem, &dev, ExecMode::Deterministic, grid_for(n, 128), 128, &k);
+        launch(
+            &mem,
+            &dev,
+            ExecMode::Deterministic,
+            grid_for(n, 128),
+            128,
+            &k,
+        );
         ALLOCS.load(Ordering::Relaxed) - before
     };
     assert_eq!(
-        per_launch_small, per_launch_large,
+        per_launch_small,
+        per_launch_large,
         "allocation count must not grow with warp count: \
          {per_launch_small} allocs for 1 block vs {per_launch_large} for {} blocks",
         grid_for(n, 128)

@@ -9,7 +9,7 @@
 //! scheduling must not leak into any modeled counter.
 
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, KernelStats, ThreadCtx};
+use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, KernelCtx, KernelStats};
 use proptest::prelude::*;
 
 /// A race-free kernel touching every traced op kind: per-thread output
@@ -28,7 +28,7 @@ impl Kernel for MixedSaxpy {
         "mixed-saxpy"
     }
 
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.n {
             return;
@@ -62,7 +62,13 @@ fn run_once(n: usize, block: u32, seed: u64, mode: ExecMode) -> (Vec<u32>, u32, 
     let y = mem.alloc_from_slice(&(0..n).map(|_| next()).collect::<Vec<u32>>());
     let out = mem.alloc::<u32>(n.max(1));
     let total = mem.alloc::<u32>(1);
-    let k = MixedSaxpy { x, y, out, total, n };
+    let k = MixedSaxpy {
+        x,
+        y,
+        out,
+        total,
+        n,
+    };
     let stats = launch(&mem, &Device::k20c(), mode, grid_for(n, block), block, &k);
     (mem.read_vec(out), mem.load(total, 0), stats)
 }

@@ -3,7 +3,7 @@
 //! global-load caching, and the timing model's monotonicity laws.
 
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, ThreadCtx};
+use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, KernelCtx};
 
 /// Reads the same array twice per thread through the chosen load path.
 struct DoubleRead {
@@ -16,7 +16,7 @@ impl Kernel for DoubleRead {
     fn name(&self) -> &'static str {
         "double-read"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.data.len() {
             return;
@@ -100,7 +100,7 @@ impl Kernel for WarpVisibility {
     fn name(&self) -> &'static str {
         "warp-visibility"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.slots.len() {
             return;
@@ -162,7 +162,7 @@ impl Kernel for Spin {
     fn name(&self) -> &'static str {
         "spin"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         if (t.global_id() as usize) < self.n {
             t.alu(self.iters);
         }
@@ -259,7 +259,7 @@ impl Kernel for StridedReuse {
     fn name(&self) -> &'static str {
         "strided-reuse"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let n = self.data.len();
         let i = t.global_id() as usize;
         if i >= n {

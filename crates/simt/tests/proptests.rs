@@ -4,9 +4,7 @@
 
 use gcol_simt::mem::Buffer;
 use gcol_simt::timing::cache::Cache;
-use gcol_simt::{
-    grid_for, launch, occupancy, Device, ExecMode, GpuMem, Kernel, ThreadCtx,
-};
+use gcol_simt::{grid_for, launch, occupancy, Device, ExecMode, GpuMem, Kernel, KernelCtx};
 use proptest::prelude::*;
 use std::collections::VecDeque;
 
@@ -93,7 +91,7 @@ impl Kernel for PatternLoad {
     fn name(&self) -> &'static str {
         "pattern-load"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.pattern.len() {
             return;

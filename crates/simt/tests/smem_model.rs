@@ -3,7 +3,7 @@
 //! warp-scan idiom it enables.
 
 use gcol_simt::mem::Buffer;
-use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, ThreadCtx};
+use gcol_simt::{grid_for, launch, Device, ExecMode, GpuMem, Kernel, KernelCtx};
 
 /// Every thread stores to a strided smem slot and reads it back; the
 /// stride controls the bank-conflict degree.
@@ -21,12 +21,12 @@ impl Kernel for StridedSmem {
         // Enough words for the largest strided slot of a 128-thread block.
         (128 * self.stride as u32 + 1) * 4
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.n {
             return;
         }
-        let slot = (t.tid as usize) * self.stride;
+        let slot = (t.tid() as usize) * self.stride;
         t.smem_st(slot, i as u32 + 1);
         let v = t.smem_ld(slot);
         t.st(self.sink, i, v);
@@ -80,12 +80,12 @@ impl Kernel for Broadcast {
     fn smem_per_block(&self) -> u32 {
         4
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.n {
             return;
         }
-        if t.tid == 0 {
+        if t.tid() == 0 {
             t.smem_st(0, 77);
         }
         let v = t.smem_ld(0);
@@ -136,13 +136,13 @@ impl Kernel for WarpScan {
     fn smem_per_block(&self) -> u32 {
         128 * 4
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         if i >= self.data.len() {
             return;
         }
-        let lane = (t.tid % 32) as usize;
-        let warp_base = (t.tid - t.tid % 32) as usize;
+        let lane = (t.tid() % 32) as usize;
+        let warp_base = (t.tid() - t.tid() % 32) as usize;
         let own = t.ld(self.data, i);
         let prefix = if lane == 0 {
             own
@@ -200,13 +200,13 @@ fn smem_is_zeroed_per_block() {
         fn smem_per_block(&self) -> u32 {
             64 * 4
         }
-        fn run(&self, t: &mut ThreadCtx<'_>) {
+        fn run(&self, t: &mut impl KernelCtx) {
             let i = t.global_id() as usize;
             if i >= self.n {
                 return;
             }
-            let before = t.smem_ld((t.tid % 64) as usize);
-            t.smem_st((t.tid % 64) as usize, 0xBEEF);
+            let before = t.smem_ld((t.tid() % 64) as usize);
+            t.smem_st((t.tid() % 64) as usize, 0xBEEF);
             t.st(self.sink, i, before);
         }
     }

@@ -115,7 +115,10 @@ fn main() {
          {} evaluations; max |error| vs direct differencing = {max_err:.2e}",
         coloring.num_colors
     );
-    assert!(max_err < 1e-4, "compressed Jacobian must match the direct one");
+    assert!(
+        max_err < 1e-4,
+        "compressed Jacobian must match the direct one"
+    );
     println!(
         "✓ the {}-color compressed Jacobian matches the {}-evaluation \
          direct estimate.",

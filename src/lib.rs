@@ -31,7 +31,9 @@ pub use gcol_simt as simt;
 
 /// Convenient glob-import of the most commonly used items.
 pub mod prelude {
-    pub use gcol_core::{verify_coloring, ColorOptions, Coloring, ColoringViolation, Scheme};
+    pub use gcol_core::{
+        verify_coloring, ColorError, ColorOptions, Coloring, ColoringViolation, Scheme,
+    };
     pub use gcol_graph::{gen::RmatParams, Csr, CsrBuilder, DegreeStats, VertexId};
-    pub use gcol_simt::{Device, ExecMode};
+    pub use gcol_simt::{Backend, BackendKind, Device, ExecMode, NativeBackend, SimtBackend};
 }

@@ -6,7 +6,7 @@
 use gcol::scan::exclusive_scan;
 use gcol::simt::mem::Buffer;
 use gcol::simt::{
-    grid_for, launch, launch_coop, CoopKernel, Device, ExecMode, GpuMem, Kernel, ThreadCtx,
+    grid_for, launch, launch_coop, CoopKernel, Device, ExecMode, GpuMem, Kernel, KernelCtx,
 };
 use proptest::prelude::*;
 
@@ -23,7 +23,7 @@ impl Kernel for Affine {
     fn name(&self) -> &'static str {
         "affine"
     }
-    fn run(&self, t: &mut ThreadCtx<'_>) {
+    fn run(&self, t: &mut impl KernelCtx) {
         let i = t.global_id() as usize;
         let n = self.x.len();
         if i >= n {
@@ -50,7 +50,7 @@ impl CoopKernel for RisingEdges {
     fn name(&self) -> &'static str {
         "rising"
     }
-    fn count(&self, t: &mut ThreadCtx<'_>) -> (Self::Carry, u32) {
+    fn count(&self, t: &mut impl KernelCtx) -> (Self::Carry, u32) {
         let i = t.global_id() as usize;
         if i == 0 || i >= self.x.len() {
             return ((0, false), 0);
@@ -61,7 +61,7 @@ impl CoopKernel for RisingEdges {
         let rising = cur > prev;
         ((cur, rising), rising as u32)
     }
-    fn emit(&self, t: &mut ThreadCtx<'_>, carry: Self::Carry, dst: u32) {
+    fn emit(&self, t: &mut impl KernelCtx, carry: Self::Carry, dst: u32) {
         if carry.1 {
             t.st(self.out, dst as usize, carry.0);
         }
@@ -135,13 +135,13 @@ proptest! {
         struct Emitter { reqs: Buffer<u32>, out: Buffer<u32> }
         impl CoopKernel for Emitter {
             type Carry = u32;
-            fn count(&self, t: &mut ThreadCtx<'_>) -> (u32, u32) {
+            fn count(&self, t: &mut impl KernelCtx) -> (u32, u32) {
                 let i = t.global_id() as usize;
                 if i >= self.reqs.len() { return (0, 0); }
                 let r = t.ld(self.reqs, i);
                 (r, r)
             }
-            fn emit(&self, t: &mut ThreadCtx<'_>, r: u32, dst: u32) {
+            fn emit(&self, t: &mut impl KernelCtx, r: u32, dst: u32) {
                 for k in 0..r {
                     t.st(self.out, (dst + k) as usize, 1);
                 }

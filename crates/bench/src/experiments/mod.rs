@@ -16,6 +16,7 @@ pub mod profile;
 pub mod quality;
 pub mod relabel;
 pub mod scaling;
+pub mod shardscale;
 pub mod table1;
 pub mod variance;
 
@@ -35,6 +36,9 @@ pub struct ExpConfig {
     pub exec_mode: ExecMode,
     /// Execution backend: the timing simulator (default) or native rayon.
     pub backend: BackendKind,
+    /// Device count for the GPU schemes (1 = the single-device driver;
+    /// more shards the graph across modeled devices).
+    pub shards: usize,
     /// Optional JSON output path.
     pub json: Option<String>,
 }
@@ -46,6 +50,7 @@ impl Default for ExpConfig {
             block_size: 128,
             exec_mode: ExecMode::Deterministic,
             backend: BackendKind::Simt,
+            shards: 1,
             json: None,
         }
     }
@@ -58,6 +63,7 @@ impl ExpConfig {
             block_size: self.block_size,
             exec_mode: self.exec_mode,
             backend: self.backend,
+            num_shards: self.shards,
             ..ColorOptions::default()
         }
     }

@@ -1,5 +1,5 @@
 //! Locality-preprocessing ablation: the paper stores graphs "in the order
-//! they are defined and do[es] not perform any preprocessing in order to
+//! they are defined and do\[es\] not perform any preprocessing in order to
 //! improve locality or load balance" (§III-C). This experiment measures
 //! what a reverse Cuthill–McKee relabeling — the standard
 //! bandwidth-reducing preprocessing — would have bought: CSR bandwidth

@@ -1,0 +1,133 @@
+//! Multi-device scaling study: the sharded driver on P ∈ {1, 2, 4}
+//! devices (plus `--shards P` if it names a different count), every GPU
+//! scheme, on the paper's rmat-er workload.
+//!
+//! On the simt backend the times are the modeled critical path — phase-A
+//! local coloring at max-over-devices plus the ghost-frontier exchange
+//! rounds with their d2d transfer charges — so the speedup column shows
+//! what the model predicts multi-GPU sharding buys (and where the cut
+//! traffic eats the gain). On the native backend the times are wall
+//! clock: the shards genuinely run the same kernels over smaller
+//! subgraphs, and P=1 reproduces the single-device driver exactly.
+
+use super::ExpConfig;
+use crate::report::{f, maybe_write_json, speedup, Table};
+use gcol_core::Scheme;
+use gcol_graph::gen::{self, RmatParams};
+use gcol_simt::Device;
+use serde::Serialize;
+
+/// The scaling sweep every run covers.
+pub const BASE_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct Row {
+    scheme: &'static str,
+    shards: usize,
+    num_colors: usize,
+    iterations: usize,
+    ms: f64,
+    speedup_vs_one: f64,
+}
+
+fn shard_counts(cfg: &ExpConfig) -> Vec<usize> {
+    let mut counts = BASE_SHARD_COUNTS.to_vec();
+    if cfg.shards > 1 && !counts.contains(&cfg.shards) {
+        counts.push(cfg.shards);
+        counts.sort_unstable();
+    }
+    counts
+}
+
+/// Runs the sweep: every GPU scheme at every shard count, colorings
+/// verified, times relative to the same scheme's single-device run.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dev = Device::k20c();
+    let counts = shard_counts(cfg);
+    let g = gen::rmat(RmatParams::erdos_renyi(cfg.scale, 20), 0xE5);
+    let mut table = Table::new(vec![
+        "scheme".to_string(),
+        "P".to_string(),
+        "colors".to_string(),
+        "iters".to_string(),
+        format!("ms ({})", cfg.backend),
+        "speedup vs P=1".to_string(),
+    ]);
+    let mut rows = Vec::new();
+    for scheme in Scheme::GPU {
+        let mut one_device_ms = f64::NAN;
+        for &p in &counts {
+            let opts = cfg.color_options().with_shards(p);
+            let r = match scheme.try_color(&g, &dev, &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warning: {scheme} at P={p} skipped: {e}");
+                    continue;
+                }
+            };
+            gcol_core::verify_coloring(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{scheme} improper at P={p}: {e}"));
+            if p == 1 {
+                one_device_ms = r.total_ms();
+            }
+            let sp = one_device_ms / r.total_ms();
+            table.row(vec![
+                scheme.name().to_string(),
+                format!("{p}"),
+                r.num_colors.to_string(),
+                r.iterations.to_string(),
+                f(r.total_ms(), 2),
+                speedup(sp),
+            ]);
+            rows.push(Row {
+                scheme: scheme.name(),
+                shards: p,
+                num_colors: r.num_colors,
+                iterations: r.iterations,
+                ms: r.total_ms(),
+                speedup_vs_one: sp,
+            });
+        }
+    }
+    maybe_write_json(cfg.json.as_deref(), &rows).expect("json write");
+    format!(
+        "Sharded multi-device scaling — rmat-er scale {} on the {} backend.\n\
+         Every coloring is verified proper; P=1 is the single-device driver\n\
+         (label-identical by construction). Expected shape: local-phase time\n\
+         shrinks with P while exchange rounds add a cut-proportional tax.\n\n{}",
+        cfg.scale,
+        cfg.backend,
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcol_core::BackendKind;
+
+    #[test]
+    fn shardscale_report_covers_every_scheme_and_count() {
+        let cfg = ExpConfig {
+            scale: 10,
+            backend: BackendKind::Native,
+            shards: 3,
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg);
+        for scheme in Scheme::GPU {
+            assert!(out.contains(scheme.name()), "missing {scheme}");
+        }
+        // 1, 2, 4 plus the requested 3.
+        assert_eq!(shard_counts(&cfg), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn default_counts_have_no_duplicates() {
+        let cfg = ExpConfig {
+            shards: 4,
+            ..ExpConfig::default()
+        };
+        assert_eq!(shard_counts(&cfg), vec![1, 2, 4]);
+    }
+}

@@ -2,7 +2,7 @@
 
 use gcol_bench::experiments::{
     self, ablation, archsweep, calibrate, convergence, fig1, fig3, fig6, fig7, fig8, hashsweep,
-    profile, quality, relabel, scaling, table1, variance, ExpConfig,
+    profile, quality, relabel, scaling, shardscale, table1, variance, ExpConfig,
 };
 use gcol_simt::ExecMode;
 
@@ -27,6 +27,7 @@ COMMANDS:
     convergence per-round worklist drain of the speculative scheme
     quality     color-count league table across every scheme + bounds
     scaling     headline speedups vs suite scale
+    shardscale  multi-device scaling: every GPU scheme at P = 1/2/4 shards
     relabel     RCM locality-preprocessing ablation (the choice of SIII-C)
     variance    seed-robustness study (the paper's 10-run averaging analogue)
     all         run every experiment (colors the suite once)
@@ -42,6 +43,9 @@ OPTIONS:
                   simulator, default) or native (rayon, wall-clock only —
                   no modeled kernel times, so speedup columns lose their
                   paper meaning)
+    --shards N    device count for the GPU schemes (default 1): partition
+                  the graph into N shards colored on independent backend
+                  instances with ghost-frontier exchange rounds
     --json PATH   also write the raw results as JSON
 ";
 
@@ -82,6 +86,14 @@ fn main() {
                     .unwrap_or_else(|| die("--backend needs 'simt' or 'native'"));
                 i += 2;
             }
+            "--shards" => {
+                cfg.shards = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--shards needs a positive integer"));
+                i += 2;
+            }
             "--json" => {
                 cfg.json = Some(
                     args.get(i + 1)
@@ -114,6 +126,7 @@ fn main() {
         "convergence" => println!("{}", convergence::run(&cfg)),
         "quality" => println!("{}", quality::run(&cfg)),
         "scaling" => println!("{}", scaling::run(&cfg)),
+        "shardscale" => println!("{}", shardscale::run(&cfg)),
         "relabel" => println!("{}", relabel::run(&cfg)),
         "variance" => println!("{}", variance::run(&cfg)),
         "profile" => {

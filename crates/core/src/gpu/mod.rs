@@ -5,16 +5,20 @@
 //!   (D-base / D-ldg).
 //! * [`csrcolor`] — the cuSPARSE multi-hash MIS coloring (§II-C).
 //! * [`threestep`] — Grosset et al.'s 3-step GM baseline (§II-C).
+//! * [`sharded`] — the multi-device extension: any of the above schemes
+//!   per graph shard, plus ghost-frontier boundary-exchange rounds.
 
 pub mod csrcolor;
 pub mod data;
 pub mod data_atomic;
 pub mod driver;
+pub mod sharded;
 pub mod threestep;
 pub mod topo;
 pub mod topo_edge;
 
 pub use driver::SpecGreedyDriver;
+pub use sharded::color_sharded;
 
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
@@ -103,7 +107,13 @@ pub fn speculative_first_fit(
         let w = g.load_c(t, e, use_ldg);
         let cw = t.ld(color, w as usize);
         t.alu(2); // loop bookkeeping + index math
-        t.local_st(cw as usize, marker);
+                  // Single-device colors never exceed max_degree + 1, but sharded
+                  // ghost neighbors can carry a larger color from another shard's
+                  // palette; anything past the scannable range cannot block the
+                  // first-fit scan, so it needs no mark (and the mask never grows).
+        if (cw as usize) < g.max_degree + 2 {
+            t.local_st(cw as usize, marker);
+        }
     }
     // min { i > 0 : colorMask[i] != marker }
     let mut c = 1usize;

@@ -1,0 +1,498 @@
+//! Sharded multi-device speculative-greedy coloring.
+//!
+//! The paper's schemes (§III, Alg. 4/5) are single-device; this module
+//! scales them across P modeled devices the way Bogle & Slota ("Parallel
+//! Graph Coloring Algorithms for Distributed GPU Environments", 2021)
+//! extend speculative greedy to partitioned graphs:
+//!
+//! 1. **Partition** — the CSR graph is split into P contiguous shards
+//!    (reusing [`Partitioning`]), each extended with read-only *ghost*
+//!    copies of its out-of-shard neighbors ([`Shard`]).
+//! 2. **Local speculation** — every device runs the *unmodified* scheme on
+//!    its local subgraph. Interior vertices are final; boundary vertices
+//!    (and the ghost copies) are speculative, because each device guessed
+//!    its neighbors' colors independently.
+//! 3. **Boundary exchange rounds** — devices exchange boundary colors
+//!    (the replicated *ghost-color frontier*, charged as modeled
+//!    device-to-device transfers), detect cross-shard conflicts against
+//!    it, and recolor the losing endpoints with the same speculate/detect
+//!    kernels the single-device schemes use — until no cut edge is
+//!    monochromatic. Rokos et al. (2015) show this conflict-resolution
+//!    loop is where scalability is won or lost; here it only ever touches
+//!    boundary vertices, so its cost shrinks with the cut.
+//!
+//! The cross-shard tie-break is global-id based (the larger global id
+//! yields), so both owners of a cut edge reach the same verdict without
+//! communicating — exactly one side recolors.
+//!
+//! With one shard the local subgraph *is* the input graph and there are no
+//! ghosts, so the result is label-identical to the single-device driver —
+//! the anchor the differential test suite pins down.
+//!
+//! **Profile semantics.** Devices run concurrently, so the merged
+//! [`RunProfile`] records each stage at its *critical path* (max over
+//! devices) as a `Host` phase, plus one `Transfer` phase per exchange
+//! round carrying the ghost-frontier bytes (`4 * total_ghosts`). Under
+//! `ExecMode::Deterministic` on the SIMT backend every number is
+//! bit-stable — the golden sharded fingerprints rely on that.
+
+use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
+use crate::{ColorError, ColorOptions, Coloring, Scheme};
+use gcol_graph::partition::{Partitioning, Shard};
+use gcol_graph::Csr;
+use gcol_simt::mem::Buffer;
+use gcol_simt::{Backend, Kernel, KernelCtx, RunProfile, ShardedBackend};
+
+/// Clears `colored` for every owned vertex whose color collides with a
+/// ghost neighbor of smaller global id. Both shards sharing a cut edge
+/// apply the same rule to their own endpoint, so exactly one of them
+/// recolors.
+struct CrossDetect {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    colored: Buffer<u32>,
+    conflict: Buffer<u32>,
+    gid: Buffer<u32>,
+    num_owned: u32,
+}
+
+impl Kernel for CrossDetect {
+    fn name(&self) -> &'static str {
+        "shard-cross-detect"
+    }
+
+    fn run(&self, t: &mut impl KernelCtx) {
+        let v = t.global_id();
+        if v >= self.num_owned {
+            return;
+        }
+        let cv = t.ld(self.color, v as usize);
+        let start = self.g.load_r(t, v as usize, false) as usize;
+        let end = self.g.load_r(t, v as usize + 1, false) as usize;
+        for e in start..end {
+            let w = self.g.load_c(t, e, false);
+            t.alu(3); // ghost test, color compare, loop bookkeeping
+            if w >= self.num_owned
+                && cv == t.ld(self.color, w as usize)
+                && t.ld(self.gid, v as usize) > t.ld(self.gid, w as usize)
+            {
+                t.st(self.colored, v as usize, 0);
+                t.st(self.conflict, 0, 1);
+                return; // first conflict suffices
+            }
+        }
+    }
+}
+
+/// Speculatively recolors every conflicted owned vertex: first-fit over
+/// the local colors with the ghost frontier included, exactly the inner
+/// loop of the paper's Alg. 4 speculation kernel.
+struct ShardRecolor {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    colored: Buffer<u32>,
+    changed: Buffer<u32>,
+    pass: u32,
+    num_owned: u32,
+}
+
+impl Kernel for ShardRecolor {
+    fn name(&self) -> &'static str {
+        "shard-recolor"
+    }
+
+    fn run(&self, t: &mut impl KernelCtx) {
+        let v = t.global_id();
+        if v >= self.num_owned {
+            return;
+        }
+        t.alu(2);
+        if t.ld(self.colored, v as usize) != 0 {
+            return;
+        }
+        let marker = pass_marker(self.pass, self.g.n, v);
+        let c = speculative_first_fit(t, &self.g, self.color, v, marker, false);
+        t.st_warp(self.color, v as usize, c);
+        t.st(self.colored, v as usize, 1);
+        t.st(self.changed, 0, 1);
+    }
+}
+
+/// Detects conflicts among concurrently recolored *owned* vertices
+/// (owned-owned edges only; cut edges are [`CrossDetect`]'s job, and the
+/// ghost frontier never changes mid-round).
+struct OwnedDetect {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    colored: Buffer<u32>,
+    num_owned: u32,
+}
+
+impl Kernel for OwnedDetect {
+    fn name(&self) -> &'static str {
+        "shard-owned-detect"
+    }
+
+    fn run(&self, t: &mut impl KernelCtx) {
+        let v = t.global_id();
+        if v >= self.num_owned {
+            return;
+        }
+        let cv = t.ld(self.color, v as usize);
+        if cv == 0 {
+            return;
+        }
+        let start = self.g.load_r(t, v as usize, false) as usize;
+        let end = self.g.load_r(t, v as usize + 1, false) as usize;
+        for e in start..end {
+            let w = self.g.load_c(t, e, false);
+            t.alu(3);
+            if w < self.num_owned && v < w && cv == t.ld(self.color, w as usize) {
+                t.st(self.colored, v as usize, 0);
+                return;
+            }
+        }
+    }
+}
+
+/// One device's exchange-round state: the shard, its driver (device
+/// memory + profile) and the resident buffers.
+struct ShardState<'b, B: Backend> {
+    shard: Shard,
+    d: SpecGreedyDriver<'b, B>,
+    color: Buffer<u32>,
+    colored: Buffer<u32>,
+    changed: Buffer<u32>,
+    conflict: Buffer<u32>,
+    gid: Buffer<u32>,
+    /// Monotone pass counter, so recolor markers stay distinct across
+    /// exchange rounds (see [`pass_marker`]).
+    pass_base: u32,
+}
+
+impl<'b, B: Backend> ShardState<'b, B> {
+    /// Runs the intra-shard speculate/detect loop over the currently
+    /// uncolored owned vertices until it converges locally. Returns the
+    /// number of passes.
+    fn recolor_to_local_fixpoint(&mut self) -> Result<usize, ColorError> {
+        let gg = self.d.gg;
+        let (color, colored, changed) = (self.color, self.colored, self.changed);
+        let (num_owned, base) = (self.shard.num_owned as u32, self.pass_base);
+        let n_local = self.shard.num_local();
+        let passes = self.d.run_passes(|d, pass| {
+            d.mem.store(changed, 0, 0);
+            d.launch(
+                n_local,
+                &ShardRecolor {
+                    g: gg,
+                    color,
+                    colored,
+                    changed,
+                    pass: base + pass,
+                    num_owned,
+                },
+            );
+            d.launch(
+                n_local,
+                &OwnedDetect {
+                    g: gg,
+                    color,
+                    colored,
+                    num_owned,
+                },
+            );
+            d.read_flag("recolor changed flag d2h", changed) != 0
+        })?;
+        self.pass_base += passes as u32;
+        Ok(passes)
+    }
+}
+
+/// Colors `g` with `scheme` across the fleet's devices: partition, local
+/// speculation per shard, then ghost-frontier exchange rounds until no
+/// cut edge is monochromatic.
+///
+/// `Coloring::iterations` is the slowest device's local iteration count
+/// plus the number of exchange rounds. Exceeding
+/// [`ColorOptions::max_iterations`] exchange rounds yields
+/// [`ColorError::MaxIterations`].
+pub fn color_sharded<B: Backend>(
+    scheme: Scheme,
+    g: &Csr,
+    fleet: &ShardedBackend<B>,
+    opts: &ColorOptions,
+) -> Result<Coloring, ColorError> {
+    let n = g.num_vertices();
+    let plan = Partitioning::contiguous(g, fleet.num_devices());
+    let shards = plan.extract_shards(g);
+    // Tiny graphs can yield fewer shards than devices; the surplus
+    // devices simply idle.
+    let p_count = shards.len();
+    let mut profile = RunProfile::new();
+
+    // Phase 1+2: independent local speculation per device. Sequential
+    // here, concurrent on real hardware — accounted at critical path.
+    let mut global_colors = vec![0u32; n];
+    let mut local_colorings = Vec::with_capacity(p_count);
+    let mut local_ms = 0.0f64;
+    let mut local_iters = 0usize;
+    for (p, shard) in shards.iter().enumerate() {
+        let r = scheme.try_color_on(fleet.device(p), &shard.graph, opts)?;
+        let owned = shard.owned_start as usize;
+        global_colors[owned..owned + shard.num_owned].copy_from_slice(&r.colors[..shard.num_owned]);
+        local_ms = local_ms.max(r.total_ms());
+        local_iters = local_iters.max(r.iterations);
+        local_colorings.push(r.colors);
+    }
+    profile.host(
+        format!("sharded local coloring: critical path over {p_count} device(s)"),
+        local_ms,
+    );
+
+    let total_ghosts: usize = shards.iter().map(|s| s.ghost_gids.len()).sum();
+    let finish = |profile: RunProfile, colors: Vec<u32>, iterations: usize| {
+        let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
+        Ok(Coloring {
+            scheme,
+            colors,
+            num_colors,
+            iterations,
+            profile,
+        })
+    };
+    if total_ghosts == 0 {
+        // One shard (or a cut-free partition): the local colorings are
+        // already globally proper and label-identical to the
+        // single-device driver.
+        return finish(profile, global_colors, local_iters);
+    }
+
+    // Device-resident exchange state: local graph, colors (owned from the
+    // local run, ghosts filled by the first frontier push), global-id map.
+    let mut states: Vec<ShardState<'_, B>> = Vec::with_capacity(p_count);
+    for (p, shard) in shards.into_iter().enumerate() {
+        let mut d = SpecGreedyDriver::new(fleet.device(p), scheme, &shard.graph, opts);
+        let color = d.alloc_vertex_buf();
+        let colored = d.alloc_vertex_buf();
+        let changed = d.alloc_flag();
+        let conflict = d.alloc_flag();
+        let gids: Vec<u32> = (0..shard.num_local() as u32)
+            .map(|l| shard.global_of(l))
+            .collect();
+        let gid = d.mem.alloc_from_slice(&gids);
+        d.mem.write_slice(color, &local_colorings[p]);
+        d.mem.fill(colored, 1u32);
+        states.push(ShardState {
+            shard,
+            d,
+            color,
+            colored,
+            changed,
+            conflict,
+            gid,
+            pass_base: 0,
+        });
+    }
+
+    let frontier_bytes = 4 * total_ghosts;
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        if rounds > opts.max_iterations {
+            return Err(ColorError::MaxIterations {
+                scheme,
+                limit: opts.max_iterations,
+            });
+        }
+
+        // Push the ghost-color frontier to every replica (d2d).
+        fleet.exchange(
+            "ghost frontier exchange (d2d)",
+            frontier_bytes,
+            &mut profile,
+        );
+        for st in &mut states {
+            for (k, &gg) in st.shard.ghost_gids.iter().enumerate() {
+                st.d.mem
+                    .store(st.color, st.shard.num_owned + k, global_colors[gg as usize]);
+            }
+        }
+
+        // Detect cross-shard conflicts against the frontier.
+        let round_t0: Vec<f64> = states.iter().map(|s| s.d.profile.total_ms()).collect();
+        let mut conflicted = vec![false; p_count];
+        for st in states.iter_mut() {
+            st.d.mem.store(st.conflict, 0, 0);
+            st.d.launch(
+                st.shard.num_local(),
+                &CrossDetect {
+                    g: st.d.gg,
+                    color: st.color,
+                    colored: st.colored,
+                    conflict: st.conflict,
+                    gid: st.gid,
+                    num_owned: st.shard.num_owned as u32,
+                },
+            );
+        }
+        for (p, st) in states.iter_mut().enumerate() {
+            conflicted[p] = st.d.read_flag("cross-conflict flag d2h", st.conflict) != 0;
+        }
+
+        // Recolor the losing endpoints to a local fixpoint.
+        let any = conflicted.iter().any(|&c| c);
+        if any {
+            for (p, st) in states.iter_mut().enumerate() {
+                if conflicted[p] {
+                    st.recolor_to_local_fixpoint()?;
+                }
+            }
+        }
+        let round_ms = states
+            .iter()
+            .zip(&round_t0)
+            .map(|(s, t0)| s.d.profile.total_ms() - t0)
+            .fold(0.0f64, f64::max);
+        profile.host(
+            format!(
+                "exchange round {rounds}: detect+recolor critical path over {p_count} device(s)"
+            ),
+            round_ms,
+        );
+        if !any {
+            break;
+        }
+
+        // Publish the (possibly) updated owned colors into the global
+        // frontier for the next round's push.
+        for st in &states {
+            let owned = st.shard.owned_start as usize;
+            let local = st.d.mem.read_vec(st.color);
+            global_colors[owned..owned + st.shard.num_owned]
+                .copy_from_slice(&local[..st.shard.num_owned]);
+        }
+    }
+
+    finish(profile, global_colors, local_iters + rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcol_graph::check::verify_coloring;
+    use gcol_graph::gen::simple::{complete, cycle, erdos_renyi};
+    use gcol_simt::{Device, ExecMode, NativeBackend, SimtBackend};
+
+    fn simt_fleet(dev: &Device, p: usize) -> ShardedBackend<SimtBackend<'_>> {
+        ShardedBackend::uniform(p, |_| SimtBackend::new(dev, ExecMode::Deterministic))
+    }
+
+    #[test]
+    fn sharded_topo_is_proper_across_shard_counts() {
+        let dev = Device::tiny();
+        let g = erdos_renyi(500, 3000, 13);
+        let opts = ColorOptions::default();
+        for p in [1, 2, 3, 5] {
+            let r = color_sharded(Scheme::TopoBase, &g, &simt_fleet(&dev, p), &opts).unwrap();
+            verify_coloring(&g, &r.colors).unwrap_or_else(|e| panic!("P={p}: {e}"));
+            assert!(r.num_colors <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn one_shard_is_label_identical_to_single_device() {
+        let dev = Device::tiny();
+        let g = erdos_renyi(400, 2400, 5);
+        let opts = ColorOptions::default();
+        let single = Scheme::DataBase.try_color(&g, &dev, &opts).unwrap();
+        let sharded = color_sharded(Scheme::DataBase, &g, &simt_fleet(&dev, 1), &opts).unwrap();
+        assert_eq!(single.colors, sharded.colors);
+        assert_eq!(single.iterations, sharded.iterations);
+    }
+
+    #[test]
+    fn sharded_profile_records_exchange_transfers() {
+        let dev = Device::tiny();
+        // A cycle cut into 3 shards always has 6 cut endpoints → ghosts.
+        let g = cycle(90);
+        let opts = ColorOptions::default();
+        let r = color_sharded(Scheme::TopoBase, &g, &simt_fleet(&dev, 3), &opts).unwrap();
+        verify_coloring(&g, &r.colors).unwrap();
+        let xfer_bytes: usize = r
+            .profile
+            .phases
+            .iter()
+            .filter_map(|p| match p {
+                gcol_simt::Phase::Transfer { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        // 6 ghosts * 4 bytes per exchange round, at least one round.
+        assert!(xfer_bytes >= 24, "no d2d frontier traffic recorded");
+        assert!(r.profile.host_ms() > 0.0, "no critical-path phases");
+    }
+
+    #[test]
+    fn deterministic_sharded_runs_are_reproducible() {
+        let dev = Device::tiny();
+        let g = erdos_renyi(600, 4200, 2);
+        let opts = ColorOptions::default();
+        let a = color_sharded(Scheme::TopoLdg, &g, &simt_fleet(&dev, 4), &opts).unwrap();
+        let b = color_sharded(Scheme::TopoLdg, &g, &simt_fleet(&dev, 4), &opts).unwrap();
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.total_ms().to_bits(), b.total_ms().to_bits());
+    }
+
+    #[test]
+    fn complete_graph_forces_exchange_rounds() {
+        // Every cut edge of K24 is monochromatic-prone: shard-local
+        // speculation reuses low colors on both devices, so the exchange
+        // loop must do real recoloring work.
+        let dev = Device::tiny();
+        let g = complete(24);
+        let opts = ColorOptions::default();
+        let r = color_sharded(Scheme::DataBase, &g, &simt_fleet(&dev, 2), &opts).unwrap();
+        verify_coloring(&g, &r.colors).unwrap();
+        assert_eq!(r.num_colors, 24);
+    }
+
+    #[test]
+    fn native_fleet_matches_simt_properness() {
+        let g = erdos_renyi(800, 5600, 21);
+        let fleet = ShardedBackend::uniform(4, |_| NativeBackend::new());
+        let opts = ColorOptions::default();
+        for scheme in [Scheme::TopoBase, Scheme::CsrColor] {
+            let r = color_sharded(scheme, &g, &fleet, &opts).unwrap();
+            verify_coloring(&g, &r.colors).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        }
+    }
+
+    #[test]
+    fn more_shards_than_vertices() {
+        let dev = Device::tiny();
+        let g = cycle(5);
+        let r = color_sharded(
+            Scheme::TopoBase,
+            &g,
+            &simt_fleet(&dev, 16),
+            &ColorOptions::default(),
+        )
+        .unwrap();
+        verify_coloring(&g, &r.colors).unwrap();
+    }
+
+    #[test]
+    fn empty_graph() {
+        let dev = Device::tiny();
+        let r = color_sharded(
+            Scheme::DataBase,
+            &Csr::empty(0),
+            &simt_fleet(&dev, 4),
+            &ColorOptions::default(),
+        )
+        .unwrap();
+        assert!(r.colors.is_empty());
+        assert_eq!(r.num_colors, 0);
+    }
+}

@@ -68,6 +68,11 @@ pub struct ColorOptions {
     /// Execution backend for the GPU schemes: the paper-faithful timing
     /// simulator (default) or the native rayon path.
     pub backend: BackendKind,
+    /// Number of devices for the GPU schemes. With more than one, the
+    /// graph is partitioned into that many shards, each colored on its
+    /// own backend instance with ghost-frontier boundary-exchange rounds
+    /// (see `gpu::sharded`). CPU schemes ignore it.
+    pub num_shards: usize,
 }
 
 impl ColorOptions {
@@ -113,6 +118,12 @@ impl ColorOptions {
         self.backend = backend;
         self
     }
+
+    /// Fluent setter: device/shard count for the GPU schemes.
+    pub fn with_shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards;
+        self
+    }
 }
 
 impl Default for ColorOptions {
@@ -127,6 +138,7 @@ impl Default for ColorOptions {
             threestep_rounds: 2,
             charge_h2d: false,
             backend: BackendKind::Simt,
+            num_shards: 1,
         }
     }
 }
@@ -292,6 +304,27 @@ impl Scheme {
         ]
     }
 
+    /// The eight GPU-resident schemes: everything that launches kernels
+    /// through a [`Backend`] and therefore shards across devices. (The
+    /// 3-step GM baseline is included — its GPU rounds shard; its CPU
+    /// resolution step runs on the host like any other scheme's driver
+    /// loop.)
+    pub const GPU: [Scheme; 8] = [
+        Scheme::ThreeStepGm,
+        Scheme::TopoBase,
+        Scheme::TopoLdg,
+        Scheme::DataBase,
+        Scheme::DataLdg,
+        Scheme::CsrColor,
+        Scheme::DataAtomic,
+        Scheme::TopoEdge,
+    ];
+
+    /// `true` for the GPU-resident schemes (see [`Scheme::GPU`]).
+    pub fn is_gpu(&self) -> bool {
+        Self::GPU.contains(self)
+    }
+
     /// The paper's own four proposed implementations.
     pub fn proposed_four() -> [Scheme; 4] {
         [
@@ -342,6 +375,24 @@ impl Scheme {
         dev: &Device,
         opts: &ColorOptions,
     ) -> Result<Coloring, ColorError> {
+        if opts.num_shards > 1 && self.is_gpu() {
+            return match opts.backend {
+                BackendKind::Simt => gpu::color_sharded(
+                    *self,
+                    g,
+                    &gcol_simt::ShardedBackend::uniform(opts.num_shards, |_| {
+                        SimtBackend::new(dev, opts.exec_mode)
+                    }),
+                    opts,
+                ),
+                BackendKind::Native => gpu::color_sharded(
+                    *self,
+                    g,
+                    &gcol_simt::ShardedBackend::uniform(opts.num_shards, |_| NativeBackend::new()),
+                    opts,
+                ),
+            };
+        }
         match opts.backend {
             BackendKind::Simt => self.try_color_on(&SimtBackend::new(dev, opts.exec_mode), g, opts),
             BackendKind::Native => self.try_color_on(&NativeBackend::new(), g, opts),

@@ -110,11 +110,75 @@ fn capture() -> Vec<Golden> {
     out
 }
 
+/// One sharded Deterministic run's captured fingerprint: colors, rounds
+/// and the modeled ghost-frontier traffic must stay bit-stable for the
+/// pinned rmat graph at 2 and 4 devices.
+#[derive(Debug, PartialEq, Eq)]
+struct GoldenSharded {
+    shards: usize,
+    scheme: &'static str,
+    colors_fnv: u64,
+    num_colors: usize,
+    /// Phase-A critical-path iterations plus exchange rounds.
+    iterations: usize,
+    total_ms_bits: u64,
+    transfer_ms_bits: u64,
+    /// Total d2d ghost-frontier bytes (frontier size × rounds).
+    transfer_bytes: u64,
+}
+
+fn capture_sharded() -> Vec<GoldenSharded> {
+    let dev = Device::k20c();
+    let opts = opts();
+    let g = rmat(RmatParams::skewed(11, 8), 7);
+    let mut out = Vec::new();
+    for shards in [2usize, 4] {
+        for scheme in Scheme::proposed_four() {
+            let r = scheme.color(&g, &dev, &opts.clone().with_shards(shards));
+            let bytes: u64 = r
+                .profile
+                .phases
+                .iter()
+                .filter_map(|p| match p {
+                    Phase::Transfer { bytes, .. } => Some(*bytes as u64),
+                    _ => None,
+                })
+                .sum();
+            out.push(GoldenSharded {
+                shards,
+                scheme: scheme.name(),
+                colors_fnv: fnv1a(&r.colors),
+                num_colors: r.num_colors,
+                iterations: r.iterations,
+                total_ms_bits: r.profile.total_ms().to_bits(),
+                transfer_ms_bits: r.profile.transfer_ms().to_bits(),
+                transfer_bytes: bytes,
+            });
+        }
+    }
+    out
+}
+
 #[test]
 #[ignore = "regeneration helper, run with GCOL_REGEN_GOLDEN=1"]
 fn regen() {
     if std::env::var("GCOL_REGEN_GOLDEN").is_err() {
         return;
+    }
+    for g in capture_sharded() {
+        println!(
+            "    GoldenSharded {{ shards: {}, scheme: {:?}, colors_fnv: 0x{:016x}, \
+             num_colors: {}, iterations: {}, total_ms_bits: 0x{:016x}, \
+             transfer_ms_bits: 0x{:016x}, transfer_bytes: {} }},",
+            g.shards,
+            g.scheme,
+            g.colors_fnv,
+            g.num_colors,
+            g.iterations,
+            g.total_ms_bits,
+            g.transfer_ms_bits,
+            g.transfer_bytes
+        );
     }
     for g in capture() {
         println!(
@@ -148,6 +212,100 @@ fn deterministic_simt_path_is_bit_stable_across_refactors() {
         assert_eq!(m, g, "paper-path drift on {} / {}", g.graph, g.scheme);
     }
 }
+
+#[test]
+fn deterministic_sharded_profiles_are_bit_stable() {
+    let measured = capture_sharded();
+    assert_eq!(measured.len(), GOLDEN_SHARDED.len());
+    for (m, g) in measured.iter().zip(GOLDEN_SHARDED.iter()) {
+        assert_eq!(m, g, "sharded-path drift on {} at P={}", g.scheme, g.shards);
+    }
+}
+
+/// Captured from the initial sharded-driver implementation on the pinned
+/// `rmat-skew-11` graph; regenerate like `GOLDEN` (see module docs).
+const GOLDEN_SHARDED: &[GoldenSharded] = &[
+    GoldenSharded {
+        shards: 2,
+        scheme: "T-base",
+        colors_fnv: 0x7d432d374e88709b,
+        num_colors: 13,
+        iterations: 7,
+        total_ms_bits: 0x3fe24b6bd4b5f5ae,
+        transfer_ms_bits: 0x3f96bbf24260860b,
+        transfer_bytes: 13208,
+    },
+    GoldenSharded {
+        shards: 2,
+        scheme: "T-ldg",
+        colors_fnv: 0x7d432d374e88709b,
+        num_colors: 13,
+        iterations: 7,
+        total_ms_bits: 0x3fe12ef6c0aa78e9,
+        transfer_ms_bits: 0x3f96bbf24260860b,
+        transfer_bytes: 13208,
+    },
+    GoldenSharded {
+        shards: 2,
+        scheme: "D-base",
+        colors_fnv: 0x6ef7e5843b111c3e,
+        num_colors: 11,
+        iterations: 6,
+        total_ms_bits: 0x3fe40a5b731da0a0,
+        transfer_ms_bits: 0x3f96bbf24260860b,
+        transfer_bytes: 13208,
+    },
+    GoldenSharded {
+        shards: 2,
+        scheme: "D-ldg",
+        colors_fnv: 0x6ef7e5843b111c3e,
+        num_colors: 11,
+        iterations: 6,
+        total_ms_bits: 0x3fe286129a80e384,
+        transfer_ms_bits: 0x3f96bbf24260860b,
+        transfer_bytes: 13208,
+    },
+    GoldenSharded {
+        shards: 4,
+        scheme: "T-base",
+        colors_fnv: 0xbfb453ab43f12c59,
+        num_colors: 12,
+        iterations: 9,
+        total_ms_bits: 0x3ff6fe9906cea9fb,
+        transfer_ms_bits: 0x3fa9d0d3335ff072,
+        transfer_bytes: 62528,
+    },
+    GoldenSharded {
+        shards: 4,
+        scheme: "T-ldg",
+        colors_fnv: 0xbfb453ab43f12c59,
+        num_colors: 12,
+        iterations: 9,
+        total_ms_bits: 0x3ff5cc4d85f513ba,
+        transfer_ms_bits: 0x3fa9d0d3335ff072,
+        transfer_bytes: 62528,
+    },
+    GoldenSharded {
+        shards: 4,
+        scheme: "D-base",
+        colors_fnv: 0x56e0e0a837893b4b,
+        num_colors: 10,
+        iterations: 8,
+        total_ms_bits: 0x3ff2d61faafbd0e2,
+        transfer_ms_bits: 0x3fa9d0d3335ff072,
+        transfer_bytes: 62528,
+    },
+    GoldenSharded {
+        shards: 4,
+        scheme: "D-ldg",
+        colors_fnv: 0x56e0e0a837893b4b,
+        num_colors: 10,
+        iterations: 8,
+        total_ms_bits: 0x3ff1e24443d8ca84,
+        transfer_ms_bits: 0x3fa9d0d3335ff072,
+        transfer_bytes: 62528,
+    },
+];
 
 /// Captured on the pre-refactor tree; see module docs.
 const GOLDEN: &[Golden] = &[

@@ -18,16 +18,7 @@ use gcol_graph::Csr;
 use gcol_simt::{BackendKind, Device, ExecMode, NativeBackend, SimtBackend};
 
 /// The schemes that launch kernels (everything the backend layer affects).
-const GPU_SCHEMES: [Scheme; 8] = [
-    Scheme::ThreeStepGm,
-    Scheme::TopoBase,
-    Scheme::TopoLdg,
-    Scheme::DataBase,
-    Scheme::DataLdg,
-    Scheme::CsrColor,
-    Scheme::DataAtomic,
-    Scheme::TopoEdge,
-];
+const GPU_SCHEMES: [Scheme; 8] = Scheme::GPU;
 
 fn graphs() -> Vec<(&'static str, Csr)> {
     vec![

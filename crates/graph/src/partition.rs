@@ -1,4 +1,5 @@
-//! Contiguous block partitioning with boundary-vertex detection.
+//! Contiguous block partitioning with boundary-vertex detection and
+//! ghost/halo shard extraction.
 //!
 //! The 3-step GM baseline (Grosset et al., §II-C of the paper) partitions
 //! the graph into per-thread-block subgraphs and distinguishes *interior*
@@ -7,6 +8,13 @@
 //! neighbor elsewhere — these are where speculative conflicts can appear).
 //! Grosset's framework uses simple contiguous index ranges; we reproduce
 //! that, not a min-cut partitioner.
+//!
+//! [`Partitioning::extract_shards`] turns the same contiguous ranges into
+//! per-device [`Shard`] subgraphs for the multi-device driver: each shard
+//! holds its owned vertices plus read-only *ghost* (halo) copies of every
+//! out-of-shard neighbor, so a cut edge appears in both endpoints' shards
+//! and an interior edge in exactly one — the cover invariant the
+//! boundary-exchange rounds rely on.
 
 use crate::csr::{Csr, VertexId};
 use rayon::prelude::*;
@@ -67,6 +75,129 @@ impl Partitioning {
     pub fn num_boundary(&self) -> usize {
         self.boundary.iter().filter(|&&b| b).count()
     }
+
+    /// Extracts one [`Shard`] per partition: the owned contiguous range
+    /// plus ghost copies of every out-of-shard neighbor, as a standalone
+    /// local CSR graph. With a single partition the shard's graph is `g`
+    /// itself (identity vertex mapping, no ghosts), which is what makes
+    /// the sharded driver label-identical to the single-device one at
+    /// P = 1.
+    pub fn extract_shards(&self, g: &Csr) -> Vec<Shard> {
+        self.ranges
+            .par_iter()
+            .enumerate()
+            .map(|(pid, &(lo, hi))| Shard::extract(g, pid as u32, lo, hi))
+            .collect()
+    }
+}
+
+/// One device's view of the graph: its owned contiguous vertex range plus
+/// read-only ghost (halo) copies of every neighbor owned elsewhere.
+///
+/// Local vertex ids put the owned vertices first (`local = global - owned_start`
+/// for `0..num_owned`) and the ghosts after them in ascending global-id
+/// order. Ghost adjacency keeps only the edges back into the owned range:
+/// ghost–ghost edges belong to the shards that own those endpoints.
+#[derive(Debug, Clone)]
+pub struct Shard {
+    /// Partition / device index this shard belongs to.
+    pub id: u32,
+    /// Global id of the first owned vertex.
+    pub owned_start: VertexId,
+    /// Number of owned vertices (local ids `0..num_owned`).
+    pub num_owned: usize,
+    /// Global ids of the ghost vertices, ascending (local ids
+    /// `num_owned..num_owned + ghost_gids.len()`).
+    pub ghost_gids: Vec<VertexId>,
+    /// The local subgraph over owned ++ ghost vertices. Symmetric, no
+    /// self-loops, sorted adjacency — a full-fledged [`Csr`] any coloring
+    /// scheme can run on unchanged.
+    pub graph: Csr,
+}
+
+impl Shard {
+    fn extract(g: &Csr, id: u32, lo: VertexId, hi: VertexId) -> Self {
+        let num_owned = (hi - lo) as usize;
+        let owned = || (lo..hi).flat_map(|v| g.neighbors(v).iter().copied());
+        let mut ghost_gids: Vec<VertexId> = owned().filter(|&w| w < lo || w >= hi).collect();
+        ghost_gids.sort_unstable();
+        ghost_gids.dedup();
+
+        let to_local = |w: VertexId| -> u32 {
+            if (lo..hi).contains(&w) {
+                w - lo
+            } else {
+                // Ghosts are exactly the out-of-range neighbors collected
+                // above, so the lookup cannot miss.
+                num_owned as u32 + ghost_gids.binary_search(&w).unwrap() as u32
+            }
+        };
+
+        let num_local = num_owned + ghost_gids.len();
+        let mut row_offsets = Vec::with_capacity(num_local + 1);
+        let mut col_indices = Vec::new();
+        row_offsets.push(0u32);
+        for v in lo..hi {
+            let row_start = col_indices.len();
+            col_indices.extend(g.neighbors(v).iter().map(|&w| to_local(w)));
+            // Mapping owned neighbors preserves order but ghosts land past
+            // `num_owned`, so mixed rows need a re-sort to keep the CSR
+            // sorted-adjacency invariant.
+            col_indices[row_start..].sort_unstable();
+            row_offsets.push(col_indices.len() as u32);
+        }
+        for &gw in &ghost_gids {
+            // Only the edges back into the owned range: these are the cut
+            // edges mirrored, which keeps the local graph symmetric.
+            col_indices.extend(
+                g.neighbors(gw)
+                    .iter()
+                    .filter(|&&w| (lo..hi).contains(&w))
+                    .map(|&w| w - lo),
+            );
+            row_offsets.push(col_indices.len() as u32);
+        }
+        Self {
+            id,
+            owned_start: lo,
+            num_owned,
+            ghost_gids,
+            graph: Csr::new(row_offsets, col_indices),
+        }
+    }
+
+    /// Owned + ghost vertex count (the local graph's vertex count).
+    pub fn num_local(&self) -> usize {
+        self.num_owned + self.ghost_gids.len()
+    }
+
+    /// `true` if the local id names a ghost copy rather than an owned
+    /// vertex.
+    pub fn is_ghost(&self, local: VertexId) -> bool {
+        local as usize >= self.num_owned
+    }
+
+    /// Global id of a local vertex (owned or ghost).
+    pub fn global_of(&self, local: VertexId) -> VertexId {
+        if self.is_ghost(local) {
+            self.ghost_gids[local as usize - self.num_owned]
+        } else {
+            self.owned_start + local
+        }
+    }
+
+    /// Local id of a global vertex, if this shard holds it (owned or
+    /// ghost).
+    pub fn local_of(&self, global: VertexId) -> Option<VertexId> {
+        if (self.owned_start..self.owned_start + self.num_owned as u32).contains(&global) {
+            Some(global - self.owned_start)
+        } else {
+            self.ghost_gids
+                .binary_search(&global)
+                .ok()
+                .map(|k| (self.num_owned + k) as VertexId)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +253,66 @@ mod tests {
         let p = Partitioning::contiguous(&g, 4);
         assert_eq!(p.part_of.len(), 0);
         assert_eq!(p.num_boundary(), 0);
+    }
+
+    #[test]
+    fn single_shard_is_the_graph_itself() {
+        let g = complete(9);
+        let shards = Partitioning::contiguous(&g, 1).extract_shards(&g);
+        assert_eq!(shards.len(), 1);
+        let s = &shards[0];
+        assert_eq!(s.num_owned, 9);
+        assert!(s.ghost_gids.is_empty());
+        assert_eq!(s.graph, g);
+        assert_eq!(s.global_of(4), 4);
+        assert_eq!(s.local_of(4), Some(4));
+    }
+
+    #[test]
+    fn path_shards_have_cut_ghosts() {
+        // path(10) cut at 3-4 and 7-8: shard 1 owns {4..=7}, ghosts {3, 8}.
+        let g = path(10);
+        let shards = Partitioning::contiguous(&g, 3).extract_shards(&g);
+        assert_eq!(shards.len(), 3);
+        let s = &shards[1];
+        assert_eq!((s.owned_start, s.num_owned), (4, 4));
+        assert_eq!(s.ghost_gids, vec![3, 8]);
+        assert_eq!(s.num_local(), 6);
+        // Owned local ids 0..4 map to globals 4..8; ghosts follow.
+        assert_eq!(s.global_of(0), 4);
+        assert_eq!(s.global_of(4), 3);
+        assert_eq!(s.global_of(5), 8);
+        assert_eq!(s.local_of(3), Some(4));
+        assert_eq!(s.local_of(0), None);
+        assert!(s.is_ghost(4) && !s.is_ghost(3));
+        // The local graph is a valid symmetric CSR: ghost 3 links back to
+        // owned 4 (local 0), ghost 8 back to owned 7 (local 3).
+        s.graph.validate().unwrap();
+        assert!(s.graph.is_symmetric());
+        assert_eq!(s.graph.neighbors(4), &[0]);
+        assert_eq!(s.graph.neighbors(5), &[3]);
+    }
+
+    #[test]
+    fn shards_cover_every_edge() {
+        let g = crate::gen::simple::erdos_renyi(120, 700, 3);
+        let p = Partitioning::contiguous(&g, 4);
+        let shards = p.extract_shards(&g);
+        assert_eq!(shards.iter().map(|s| s.num_owned).sum::<usize>(), 120);
+        for (u, w) in g.edges() {
+            let (pu, pw) = (p.part_of[u as usize], p.part_of[w as usize]);
+            let su = &shards[pu as usize];
+            let (lu, lw) = (su.local_of(u).unwrap(), su.local_of(w).unwrap());
+            assert!(
+                su.graph.has_edge_sorted(lu, lw),
+                "edge ({u},{w}) missing from owner shard {pu}"
+            );
+            if pu != pw {
+                // Cut edge: the other endpoint's shard sees it too, and
+                // each endpoint is a ghost in the other's halo.
+                assert!(shards[pw as usize].ghost_gids.binary_search(&u).is_ok());
+                assert!(su.ghost_gids.binary_search(&w).is_ok());
+            }
+        }
     }
 }

@@ -117,6 +117,43 @@ proptest! {
     }
 
     #[test]
+    fn shards_are_an_edge_cover((n, edges) in arb_graph_inputs(),
+                                k in 1usize..8) {
+        let g = from_undirected_edges(n, edges);
+        let p = Partitioning::contiguous(&g, k);
+        let shards = p.extract_shards(&g);
+        // No vertex lost: the owned ranges partition the vertex set, and
+        // local↔global id maps round-trip for owned and ghost vertices.
+        prop_assert_eq!(shards.iter().map(|s| s.num_owned).sum::<usize>(), n);
+        for s in &shards {
+            prop_assert!(s.graph.validate().is_ok());
+            prop_assert!(s.graph.is_symmetric());
+            for l in 0..s.num_local() as VertexId {
+                prop_assert_eq!(s.local_of(s.global_of(l)), Some(l));
+            }
+        }
+        // Every edge is interior to exactly one shard, or a cut edge
+        // present in both endpoints' halos (and in no third shard).
+        for (u, w) in g.edges() {
+            let (pu, pw) = (p.part_of[u as usize], p.part_of[w as usize]);
+            for (q, s) in shards.iter().enumerate() {
+                let present = match (s.local_of(u), s.local_of(w)) {
+                    (Some(lu), Some(lw)) => s.graph.has_edge_sorted(lu, lw),
+                    _ => false,
+                };
+                let expect = q == pu as usize || q == pw as usize;
+                prop_assert_eq!(present, expect,
+                    "edge ({}, {}) in shard {}: present {} expected {}",
+                    u, w, q, present, expect);
+            }
+            if pu != pw {
+                prop_assert!(shards[pu as usize].ghost_gids.binary_search(&w).is_ok());
+                prop_assert!(shards[pw as usize].ghost_gids.binary_search(&u).is_ok());
+            }
+        }
+    }
+
+    #[test]
     fn conflict_count_zero_iff_proper((n, edges) in arb_graph_inputs(),
                                       seed in 0u64..1000) {
         let g = from_undirected_edges(n, edges);

@@ -155,6 +155,52 @@ impl Backend for NativeBackend {
     fn transfer(&self, _label: &'static str, _bytes: usize, _profile: &mut RunProfile) {}
 }
 
+/// A fleet of backend instances modeling P devices, one graph shard each.
+///
+/// The sharded driver runs its per-shard work on `device(p)` and charges
+/// ghost-frontier exchanges through [`ShardedBackend::exchange`]. The
+/// exchange is priced by the *device's own* transfer model — on the
+/// modeled K20c-era hardware peer-to-peer copies traverse the same PCIe
+/// fabric as host copies, so [`SimtBackend`] charges them identically,
+/// while [`NativeBackend`] keeps them free (shards share one address
+/// space on the host path).
+pub struct ShardedBackend<B: Backend> {
+    devices: Vec<B>,
+}
+
+impl<B: Backend> ShardedBackend<B> {
+    /// A fleet over the given device backends.
+    ///
+    /// # Panics
+    /// Panics on an empty fleet — the sharded driver needs at least one
+    /// device.
+    pub fn new(devices: Vec<B>) -> Self {
+        assert!(!devices.is_empty(), "a sharded fleet needs >= 1 device");
+        Self { devices }
+    }
+
+    /// A homogeneous fleet of `n` devices built by `make(device_index)`.
+    pub fn uniform(n: usize, make: impl FnMut(usize) -> B) -> Self {
+        Self::new((0..n.max(1)).map(make).collect())
+    }
+
+    /// Number of devices in the fleet.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The backend instance for shard/device `p`.
+    pub fn device(&self, p: usize) -> &B {
+        &self.devices[p]
+    }
+
+    /// Charges a modeled device-to-device exchange of `bytes` into
+    /// `profile` (free on backends without a modeled interconnect).
+    pub fn exchange(&self, label: &'static str, bytes: usize, profile: &mut RunProfile) {
+        self.devices[0].transfer(label, bytes, profile);
+    }
+}
+
 /// Which backend to run a scheme on — the selection that rides through
 /// `ColorOptions` and the bench CLI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -250,6 +296,33 @@ mod tests {
         assert!(matches!(native_prof.phases[0], Phase::Host { .. }));
         assert_eq!(native_prof.transfer_ms(), 0.0);
         assert_eq!(native_prof.num_kernels(), 0);
+    }
+
+    #[test]
+    fn sharded_fleet_exposes_devices_and_charges_exchanges() {
+        let dev = Device::tiny();
+        let fleet = ShardedBackend::uniform(3, |_| SimtBackend::new(&dev, ExecMode::Deterministic));
+        assert_eq!(fleet.num_devices(), 3);
+        assert_eq!(fleet.device(2).name(), "simt");
+        let mut profile = RunProfile::new();
+        fleet.exchange("ghost frontier (d2d)", 4096, &mut profile);
+        assert!(profile.transfer_ms() > 0.0);
+        assert!(matches!(
+            &profile.phases[0],
+            Phase::Transfer { bytes: 4096, .. }
+        ));
+
+        // Native fleets keep exchanges free: one address space.
+        let native = ShardedBackend::uniform(2, |_| NativeBackend::new());
+        let mut np = RunProfile::new();
+        native.exchange("ghost frontier (d2d)", 4096, &mut np);
+        assert!(np.phases.is_empty());
+    }
+
+    #[test]
+    fn uniform_fleet_never_empty() {
+        let fleet = ShardedBackend::uniform(0, |_| NativeBackend::new());
+        assert_eq!(fleet.num_devices(), 1);
     }
 
     #[test]

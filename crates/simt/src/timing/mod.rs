@@ -19,7 +19,7 @@
 //! pass over the lanes; only genuinely divergent slots fall back to the
 //! serialized per-kind replay. All replay scratch (the ≤32-entry lane
 //! address buffer and the per-bank conflict counters) lives in a
-//! [`WarpScratch`] owned by the `SmState`, so steady-state replay performs
+//! `WarpScratch` owned by the `SmState`, so steady-state replay performs
 //! zero heap allocations (see `tests/alloc_free_replay.rs`).
 
 pub mod cache;

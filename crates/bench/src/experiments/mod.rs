@@ -15,6 +15,7 @@ pub mod hashsweep;
 pub mod profile;
 pub mod quality;
 pub mod relabel;
+pub mod sanitize;
 pub mod scaling;
 pub mod shardscale;
 pub mod table1;

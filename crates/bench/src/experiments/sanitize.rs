@@ -1,0 +1,126 @@
+//! Launch-sanitizer audit: every GPU scheme, single-device and sharded
+//! (P = 2, ghost-exchange rounds included), with each kernel launch run
+//! under shadow-memory analysis — race detection, `ldg`-coherence,
+//! bounds and read-before-init checks.
+//!
+//! The expected steady state is one finding class and one only: the
+//! paper's benign `st_warp` speculation race (adjacent vertices in one
+//! launch tentatively writing/reading `color[]`; conflicts are detected
+//! and repaired by construction). Any *harmful* finding — a plain-store
+//! race, an `ldg` of a buffer written in the same launch, an OOB access,
+//! an uninitialized read, mixed atomic/plain traffic — aborts the run
+//! with the full report, so wiring this into CI turns the sanitizer
+//! into a regression gate for every kernel in the repo.
+
+use super::ExpConfig;
+use crate::report::{maybe_write_json, Table};
+use gcol_core::{color_sanitized, Scheme};
+use gcol_graph::gen::{self, RmatParams, StencilKind};
+use gcol_graph::Csr;
+use gcol_simt::Device;
+use serde::Serialize;
+
+/// Shard counts the audit covers: the single-device driver plus the
+/// sharded driver with its ghost-frontier exchange traffic.
+pub const SHARD_COUNTS: [usize; 2] = [1, 2];
+
+#[derive(Serialize)]
+struct Row {
+    scheme: &'static str,
+    graph: &'static str,
+    shards: usize,
+    benign: u64,
+    harmful: u64,
+}
+
+fn graphs(cfg: &ExpConfig) -> Vec<(&'static str, Csr)> {
+    // The sanitizer checks per-launch invariants, not throughput; small
+    // graphs already exercise every kernel and branch, so the audit caps
+    // its own scale to stay cheap even inside `all`.
+    let scale = cfg.scale.min(12);
+    let side = 1usize << (scale / 2);
+    vec![
+        (
+            "rmat-er",
+            gen::rmat(RmatParams::erdos_renyi(scale, 16), 0x5A),
+        ),
+        ("grid", gen::grid2d(side, side, StencilKind::NinePoint)),
+    ]
+}
+
+/// Runs the audit. Panics with the offending report if any scheme
+/// produces a harmful finding, so a CI invocation fails loudly.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dev = Device::k20c();
+    let mut table = Table::new(vec![
+        "scheme".to_string(),
+        "graph".to_string(),
+        "P".to_string(),
+        "benign (st_warp)".to_string(),
+        "harmful".to_string(),
+    ]);
+    let mut rows = Vec::new();
+    let mut bad = Vec::new();
+    for scheme in Scheme::GPU {
+        for (name, g) in graphs(cfg) {
+            for p in SHARD_COUNTS {
+                let opts = cfg.color_options().with_shards(p);
+                let (coloring, report) = color_sanitized(scheme, &g, &dev, &opts)
+                    .unwrap_or_else(|e| panic!("{scheme}/{name} P={p}: {e}"));
+                gcol_core::verify_coloring(&g, &coloring.colors)
+                    .unwrap_or_else(|e| panic!("{scheme}/{name} P={p} improper: {e}"));
+                let benign: u64 = report.benign().map(|f| f.occurrences).sum();
+                let harmful: u64 = report.harmful().map(|f| f.occurrences).sum();
+                table.row(vec![
+                    scheme.name().to_string(),
+                    name.to_string(),
+                    p.to_string(),
+                    benign.to_string(),
+                    harmful.to_string(),
+                ]);
+                rows.push(Row {
+                    scheme: scheme.name(),
+                    graph: name,
+                    shards: p,
+                    benign,
+                    harmful,
+                });
+                if harmful > 0 {
+                    bad.push(format!("{scheme}/{name} P={p}:\n{report}"));
+                }
+            }
+        }
+    }
+    maybe_write_json(cfg.json.as_deref(), &rows).expect("json write");
+    assert!(
+        bad.is_empty(),
+        "sanitizer found harmful launches:\n{}",
+        bad.join("\n")
+    );
+    format!(
+        "Kernel launch sanitizer — every GPU scheme, P ∈ {{1, 2}}.\n\
+         Shadow-memory analysis of each launch: data races, ldg-coherence,\n\
+         bounds, read-before-init. All runs are clean; the benign column\n\
+         counts occurrences of the documented st_warp speculation race\n\
+         (the tentative-coloring write the schemes repair by design).\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_is_clean_and_covers_every_scheme() {
+        let cfg = ExpConfig {
+            scale: 8,
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg);
+        for scheme in Scheme::GPU {
+            assert!(out.contains(scheme.name()), "missing {scheme}");
+        }
+        assert!(out.contains("clean"));
+    }
+}

@@ -2,7 +2,7 @@
 
 use gcol_bench::experiments::{
     self, ablation, archsweep, calibrate, convergence, fig1, fig3, fig6, fig7, fig8, hashsweep,
-    profile, quality, relabel, scaling, shardscale, table1, variance, ExpConfig,
+    profile, quality, relabel, sanitize, scaling, shardscale, table1, variance, ExpConfig,
 };
 use gcol_simt::ExecMode;
 
@@ -29,6 +29,9 @@ COMMANDS:
     scaling     headline speedups vs suite scale
     shardscale  multi-device scaling: every GPU scheme at P = 1/2/4 shards
     relabel     RCM locality-preprocessing ablation (the choice of SIII-C)
+    sanitize    kernel launch sanitizer audit: every GPU scheme, P = 1/2,
+                shadow-memory race/ldg/bounds/init analysis (fails on any
+                harmful finding)
     variance    seed-robustness study (the paper's 10-run averaging analogue)
     all         run every experiment (colors the suite once)
 
@@ -40,9 +43,11 @@ OPTIONS:
     --parallel    simulate SMs on multiple host threads (results may vary
                   across runs where the algorithm itself races)
     --backend B   execution backend for the GPU schemes: simt (the timing
-                  simulator, default) or native (rayon, wall-clock only —
+                  simulator, default), native (rayon, wall-clock only —
                   no modeled kernel times, so speedup columns lose their
-                  paper meaning)
+                  paper meaning) or sanitize (simt + shadow-memory launch
+                  analysis; identical colors and modeled times)
+    --sanitize    shorthand for --backend sanitize
     --shards N    device count for the GPU schemes (default 1): partition
                   the graph into N shards colored on independent backend
                   instances with ghost-frontier exchange rounds
@@ -83,8 +88,12 @@ fn main() {
                 cfg.backend = args
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--backend needs 'simt' or 'native'"));
+                    .unwrap_or_else(|| die("--backend needs 'simt', 'native' or 'sanitize'"));
                 i += 2;
+            }
+            "--sanitize" => {
+                cfg.backend = gcol_core::BackendKind::Sanitize;
+                i += 1;
             }
             "--shards" => {
                 cfg.shards = args
@@ -128,6 +137,7 @@ fn main() {
         "scaling" => println!("{}", scaling::run(&cfg)),
         "shardscale" => println!("{}", shardscale::run(&cfg)),
         "relabel" => println!("{}", relabel::run(&cfg)),
+        "sanitize" => println!("{}", sanitize::run(&cfg)),
         "variance" => println!("{}", variance::run(&cfg)),
         "profile" => {
             let graph = positional
@@ -158,6 +168,7 @@ fn main() {
             println!("{}", convergence::run(&cfg));
             println!("{}", quality::run(&cfg));
             println!("{}", relabel::run(&cfg));
+            println!("{}", sanitize::run(&cfg));
             println!("{}", variance::run(&cfg));
         }
         other => die(&format!("unknown command {other:?}")),

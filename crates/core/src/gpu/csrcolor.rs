@@ -153,6 +153,7 @@ pub fn color_csrcolor<B: Backend>(
     let n = g.num_vertices();
     let mut d = SpecGreedyDriver::new(backend, Scheme::CsrColor, g, opts);
     let color = d.alloc_vertex_buf();
+    d.label(color, "color");
     d.charge_upload("graph h2d", &[color]);
 
     let gg = d.gg;

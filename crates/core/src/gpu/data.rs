@@ -139,8 +139,13 @@ pub fn color_data<B: Backend>(
     let n = g.num_vertices();
     let mut d = SpecGreedyDriver::new(backend, scheme, g, opts);
     let color = d.alloc_vertex_buf();
-    let mut w_in = d.alloc_vertex_buf();
-    let mut w_out = d.alloc_vertex_buf();
+    // Worklists are write-before-read by construction; allocating them
+    // uninitialized lets the sanitizer check that claim.
+    let mut w_in = d.alloc_vertex_buf_uninit();
+    let mut w_out = d.alloc_vertex_buf_uninit();
+    d.label(color, "color");
+    d.label(w_in, "worklist-a");
+    d.label(w_out, "worklist-b");
     d.charge_upload("graph h2d", &[color]);
 
     d.launch(n, &InitWorklist { w: w_in });

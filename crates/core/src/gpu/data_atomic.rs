@@ -106,9 +106,15 @@ pub fn color_data_atomic<B: Backend>(
     let n = g.num_vertices();
     let mut d = SpecGreedyDriver::new(backend, Scheme::DataAtomic, g, opts);
     let color = d.alloc_vertex_buf();
-    let mut w_in = d.alloc_vertex_buf();
-    let mut w_out = d.alloc_vertex_buf();
+    // Worklists are write-before-read by construction; allocating them
+    // uninitialized lets the sanitizer check that claim.
+    let mut w_in = d.alloc_vertex_buf_uninit();
+    let mut w_out = d.alloc_vertex_buf_uninit();
     let counter = d.alloc_flag();
+    d.label(color, "color");
+    d.label(w_in, "worklist-a");
+    d.label(w_out, "worklist-b");
+    d.label(counter, "worklist-counter");
 
     d.launch(n, &Iota { w: w_in });
 

@@ -54,9 +54,26 @@ impl<'b, B: Backend> SpecGreedyDriver<'b, B> {
         self.mem.alloc(n)
     }
 
+    /// Allocates an *uninitialized* per-vertex buffer (a bare
+    /// `cudaMalloc`): functionally zeroed like
+    /// [`SpecGreedyDriver::alloc_vertex_buf`], but the sanitizer backend
+    /// flags any read of a word no kernel or host write has touched.
+    /// Used for the worklists every entry of which is written before
+    /// being read.
+    pub fn alloc_vertex_buf_uninit(&mut self) -> Buffer<u32> {
+        let n = self.gg.n.max(1);
+        self.mem.alloc_uninit(n)
+    }
+
     /// Allocates a single-word flag/counter buffer.
     pub fn alloc_flag(&mut self) -> Buffer<u32> {
         self.mem.alloc(1)
+    }
+
+    /// Names a buffer for sanitizer reports (no effect on execution or
+    /// timing).
+    pub fn label(&mut self, buf: Buffer<u32>, name: &str) {
+        self.mem.set_label(buf, name);
     }
 
     /// Bytes of the initial upload: the CSR arrays plus the listed staged

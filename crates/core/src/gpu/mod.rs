@@ -12,6 +12,7 @@ pub mod csrcolor;
 pub mod data;
 pub mod data_atomic;
 pub mod driver;
+pub mod sanitize;
 pub mod sharded;
 pub mod threestep;
 pub mod topo;
@@ -44,6 +45,8 @@ impl GpuGraph {
     pub fn upload(mem: &mut GpuMem, g: &Csr) -> Self {
         let r = mem.alloc_from_slice(g.row_offsets());
         let c = mem.alloc_from_slice(g.col_indices());
+        mem.set_label(r, "csr-r");
+        mem.set_label(c, "csr-c");
         Self {
             r,
             c,

@@ -276,10 +276,15 @@ pub fn color_sharded<B: Backend>(
         let colored = d.alloc_vertex_buf();
         let changed = d.alloc_flag();
         let conflict = d.alloc_flag();
+        d.label(color, "shard-color");
+        d.label(colored, "shard-colored");
+        d.label(changed, "shard-changed");
+        d.label(conflict, "shard-conflict");
         let gids: Vec<u32> = (0..shard.num_local() as u32)
             .map(|l| shard.global_of(l))
             .collect();
         let gid = d.mem.alloc_from_slice(&gids);
+        d.label(gid, "shard-gid");
         d.mem.write_slice(color, &local_colorings[p]);
         d.mem.fill(colored, 1u32);
         states.push(ShardState {

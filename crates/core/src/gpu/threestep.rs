@@ -108,6 +108,8 @@ pub fn color_threestep<B: Backend>(
 
     let color = d.alloc_vertex_buf();
     let colored = d.alloc_vertex_buf();
+    d.label(color, "color");
+    d.label(colored, "colored");
     // The 3-step framework always pays the graph upload inside its timed
     // region (its steps are separate host-driven stages).
     let up_bytes = d.upload_bytes(&[color, colored]);

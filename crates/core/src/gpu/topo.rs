@@ -103,6 +103,9 @@ pub fn color_topo<B: Backend>(
     let color = d.alloc_vertex_buf();
     let colored = d.alloc_vertex_buf();
     let changed = d.alloc_flag();
+    d.label(color, "color");
+    d.label(colored, "colored");
+    d.label(changed, "changed");
     d.charge_upload("graph h2d", &[color, colored]);
 
     let gg = d.gg;

@@ -102,6 +102,10 @@ pub fn color_topo_edge<B: Backend>(
     let color = d.alloc_vertex_buf();
     let colored = d.alloc_vertex_buf();
     let changed = d.alloc_flag();
+    d.label(src, "edge-src");
+    d.label(color, "color");
+    d.label(colored, "colored");
+    d.label(changed, "changed");
 
     let gg = d.gg;
     let n = g.num_vertices();

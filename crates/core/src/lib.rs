@@ -40,7 +40,8 @@ use serde::{Deserialize, Serialize};
 pub use gcol_graph::check::{
     compact_colors, count_colors, count_conflicts, verify_coloring, ColoringViolation,
 };
-pub use gcol_simt::{Backend, BackendKind};
+pub use gcol_simt::{Backend, BackendKind, SanitizerReport};
+pub use gpu::sanitize::color_sanitized;
 
 /// Tuning knobs shared by every scheme.
 #[derive(Debug, Clone)]
@@ -365,16 +366,30 @@ impl Scheme {
 
     /// Runs this scheme on `g`. GPU schemes execute on the backend chosen
     /// by [`ColorOptions::backend`] — the timing simulator of `dev`
-    /// (default) or the native rayon path; CPU schemes run natively and
-    /// record their time in the profile (the sequential baseline records
-    /// its *modeled* Xeon time so that paper-style speedup ratios are
-    /// meaningful).
+    /// (default), the native rayon path, or the simulator under
+    /// shadow-memory launch analysis ([`BackendKind::Sanitize`]; see
+    /// [`color_sanitized`] to also get the report); CPU schemes run
+    /// natively and record their time in the profile (the sequential
+    /// baseline records its *modeled* Xeon time so that paper-style
+    /// speedup ratios are meaningful).
     pub fn try_color(
         &self,
         g: &Csr,
         dev: &Device,
         opts: &ColorOptions,
     ) -> Result<Coloring, ColorError> {
+        if opts.backend == BackendKind::Sanitize {
+            // The sanitizer entry point handles both the single-device
+            // and the sharded path itself. Harmful findings go to stderr
+            // (this signature has nowhere to return a report); call
+            // `gpu::sanitize::color_sanitized` directly to inspect it.
+            return gpu::sanitize::color_sanitized(*self, g, dev, opts).map(|(c, report)| {
+                if !report.is_clean() {
+                    eprintln!("sanitizer: {self} has harmful findings:\n{report}");
+                }
+                c
+            });
+        }
         if opts.num_shards > 1 && self.is_gpu() {
             return match opts.backend {
                 BackendKind::Simt => gpu::color_sharded(
@@ -391,11 +406,13 @@ impl Scheme {
                     &gcol_simt::ShardedBackend::uniform(opts.num_shards, |_| NativeBackend::new()),
                     opts,
                 ),
+                BackendKind::Sanitize => unreachable!("routed above"),
             };
         }
         match opts.backend {
             BackendKind::Simt => self.try_color_on(&SimtBackend::new(dev, opts.exec_mode), g, opts),
             BackendKind::Native => self.try_color_on(&NativeBackend::new(), g, opts),
+            BackendKind::Sanitize => unreachable!("routed above"),
         }
     }
 

@@ -210,17 +210,26 @@ pub enum BackendKind {
     Simt,
     /// The rayon host path ([`NativeBackend`]).
     Native,
+    /// The tracing simulator wrapped in the launch sanitizer
+    /// ([`crate::sanitize::SanitizeBackend`]): identical execution and
+    /// timing, plus shadow-memory race/`ldg`/bounds analysis per launch.
+    Sanitize,
 }
 
 impl BackendKind {
     /// Every selectable backend.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Simt, BackendKind::Native];
+    pub const ALL: [BackendKind; 3] = [
+        BackendKind::Simt,
+        BackendKind::Native,
+        BackendKind::Sanitize,
+    ];
 
     /// The CLI name.
     pub fn name(&self) -> &'static str {
         match self {
             BackendKind::Simt => "simt",
             BackendKind::Native => "native",
+            BackendKind::Sanitize => "sanitize",
         }
     }
 }
@@ -238,7 +247,9 @@ impl std::str::FromStr for BackendKind {
         Self::ALL
             .into_iter()
             .find(|b| b.name() == s)
-            .ok_or_else(|| format!("unknown backend {s:?} (expected \"simt\" or \"native\")"))
+            .ok_or_else(|| {
+                format!("unknown backend {s:?} (expected \"simt\", \"native\" or \"sanitize\")")
+            })
     }
 }
 

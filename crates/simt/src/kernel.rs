@@ -47,7 +47,11 @@ pub trait KernelCtx {
 
     /// Read-only-cache load (`__ldg`, Fig. 4 right): may be served by the
     /// per-SM read-only L1. Only correct for data that no thread writes
-    /// during the kernel — not enforced, exactly like real hardware.
+    /// during the kernel. The default backends do not enforce this,
+    /// exactly like real hardware; running under
+    /// [`crate::sanitize::SanitizeBackend`] *does* enforce it — any
+    /// launch that both `ldg`-reads and stores to one buffer is reported
+    /// as an `ldg`-coherence finding (see [`crate::sanitize`]).
     fn ldg<T: Word>(&mut self, buf: Buffer<T>, i: usize) -> T;
 
     /// Global store.

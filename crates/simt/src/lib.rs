@@ -19,6 +19,10 @@
 //! * [`native`] — [`NativeBackend`]'s executor: the same kernels over
 //!   rayon at host speed, no tracing.
 //! * [`backend`] — the [`Backend`] abstraction selecting between the two.
+//! * [`sanitize`] — [`SanitizeBackend`], a cuda-memcheck-style decorator
+//!   for either backend: shadow-memory race, `ldg`-coherence, bounds and
+//!   initialization analysis per launch, reported as a
+//!   [`SanitizerReport`].
 //! * [`timing`] — caches, occupancy, the cycle model, [`KernelStats`]
 //!   (with the stall breakdown and achieved-of-peak metrics of Fig. 3).
 //! * [`xfer`] / [`cpu`] — PCIe and host-CPU cost models (the 3-step GM
@@ -67,6 +71,7 @@ pub mod kernel;
 pub mod mem;
 pub mod native;
 pub mod profile;
+pub mod sanitize;
 pub mod timing;
 pub mod trace;
 pub mod xfer;
@@ -79,5 +84,6 @@ pub use kernel::{CoopKernel, Kernel, KernelCtx, ThreadCtx};
 pub use mem::{Buffer, GpuMem, Word};
 pub use native::{launch_coop_native, launch_native, NativeCtx};
 pub use profile::{Phase, RunProfile};
+pub use sanitize::{Finding, FindingKind, SanitizeBackend, SanitizeCtx, SanitizerReport};
 pub use timing::occupancy::{occupancy, Limiter, Occupancy};
 pub use timing::{KernelStats, StallBreakdown};

@@ -90,6 +90,30 @@ impl<T: Word> Buffer<T> {
         debug_assert!(i < self.len, "index {i} out of bounds ({})", self.len);
         (self.base + i) as u32
     }
+
+    /// Base word address of the allocation: element 0's [`Buffer::addr`]
+    /// without the bounds assertion, so shadow tooling (the sanitizer)
+    /// can resolve raw addresses and candidate indices against the
+    /// allocation without tripping the debug bounds check.
+    #[inline]
+    pub fn base_addr(&self) -> u32 {
+        self.base as u32
+    }
+}
+
+/// Metadata for one arena allocation. `GpuMem` records every allocation
+/// (cold path, `&mut self`) so analysis layers — the sanitizer's race and
+/// bounds findings — can resolve a raw word address back to a buffer and
+/// a human-readable name.
+#[derive(Debug, Clone)]
+pub struct AllocInfo {
+    /// Base word address of the allocation.
+    pub base: usize,
+    /// Length in words.
+    pub len: usize,
+    /// Name for reports; `"alloc#k"` until [`GpuMem::set_label`] renames
+    /// it.
+    pub label: String,
 }
 
 /// Device global memory: a growable arena of words. Allocation requires
@@ -98,6 +122,12 @@ impl<T: Word> Buffer<T> {
 #[derive(Default)]
 pub struct GpuMem {
     words: Vec<AtomicU32>,
+    allocs: Vec<AllocInfo>,
+    /// Shadow initialized-word map, one flag word per arena word. `None`
+    /// until the first [`GpuMem::alloc_uninit`] — the common case — so
+    /// default runs pay only a never-taken branch per store. Created
+    /// lazily with every pre-existing word marked initialized.
+    init: Option<Vec<AtomicU32>>,
 }
 
 /// Alignment (in words) of every allocation: 256 bytes like `cudaMalloc`,
@@ -118,16 +148,87 @@ impl GpuMem {
     fn alloc_words(&mut self, len: usize) -> usize {
         let base = self.words.len().next_multiple_of(ALLOC_ALIGN_WORDS);
         self.words.resize_with(base + len, || AtomicU32::new(0));
+        // Padding and fresh words default to "initialized"; alloc_uninit
+        // clears its own range afterwards.
+        if let Some(map) = &mut self.init {
+            map.resize_with(base + len, || AtomicU32::new(1));
+        }
+        self.allocs.push(AllocInfo {
+            base,
+            len,
+            label: format!("alloc#{}", self.allocs.len()),
+        });
         base
     }
 
-    /// Allocates a zero-initialized buffer of `len` elements.
+    /// Allocates a zero-initialized buffer of `len` elements (models
+    /// `cudaMalloc` + `cudaMemset(0)`: the sanitizer treats every word as
+    /// initialized).
     pub fn alloc<T: Word>(&mut self, len: usize) -> Buffer<T> {
         let base = self.alloc_words(len);
         Buffer {
             base,
             len,
             _marker: PhantomData,
+        }
+    }
+
+    /// Allocates a buffer whose words count as *uninitialized* for the
+    /// sanitizer's shadow state (a bare `cudaMalloc`): a read of any word
+    /// that no host write or kernel store has touched yet is reported as a
+    /// read-before-init finding by [`crate::sanitize::SanitizeBackend`].
+    /// Functionally the words still read as zero, so default (unsanitized)
+    /// runs behave exactly like [`GpuMem::alloc`].
+    pub fn alloc_uninit<T: Word>(&mut self, len: usize) -> Buffer<T> {
+        if self.init.is_none() {
+            // First uninitialized allocation: materialize the shadow map
+            // with everything allocated so far marked initialized.
+            let map = (0..self.words.len()).map(|_| AtomicU32::new(1)).collect();
+            self.init = Some(map);
+        }
+        let buf = self.alloc::<T>(len);
+        let map = self.init.as_ref().expect("init map just created");
+        for w in &map[buf.base..buf.base + len] {
+            w.store(0, Ordering::Relaxed);
+        }
+        buf
+    }
+
+    /// Renames the allocation backing `buf` for sanitizer reports (e.g.
+    /// `"color"`, `"worklist-a"`). No effect on execution or timing.
+    pub fn set_label<T: Word>(&mut self, buf: Buffer<T>, label: &str) {
+        if let Some(a) = self.allocs.iter_mut().find(|a| a.base == buf.base) {
+            a.label = label.to_string();
+        }
+    }
+
+    /// Resolves a raw word address to the allocation containing it, if
+    /// any (addresses in alignment padding belong to no allocation).
+    pub fn alloc_info(&self, word_addr: usize) -> Option<&AllocInfo> {
+        // Allocations are recorded in increasing base order.
+        let idx = self.allocs.partition_point(|a| a.base <= word_addr);
+        let a = self.allocs.get(idx.checked_sub(1)?)?;
+        (word_addr < a.base + a.len).then_some(a)
+    }
+
+    /// Whether a word has been written since allocation. Always `true`
+    /// when no [`GpuMem::alloc_uninit`] buffer exists (no shadow map).
+    pub fn word_init(&self, word_addr: usize) -> bool {
+        match &self.init {
+            None => true,
+            Some(map) => map
+                .get(word_addr)
+                .is_none_or(|w| w.load(Ordering::Relaxed) != 0),
+        }
+    }
+
+    /// Marks a word initialized in the shadow map, if one exists. Called
+    /// on every store path; a predictable never-taken branch when no
+    /// `alloc_uninit` buffer exists.
+    #[inline]
+    fn mark_init(&self, word_addr: usize) {
+        if let Some(map) = &self.init {
+            map[word_addr].store(1, Ordering::Relaxed);
         }
     }
 
@@ -155,6 +256,7 @@ impl GpuMem {
     /// warp-deferred stores).
     #[inline]
     pub(crate) fn store_raw(&self, word_addr: usize, bits: u32) {
+        self.mark_init(word_addr);
         self.words[word_addr].store(bits, Ordering::Relaxed);
     }
 
@@ -169,6 +271,7 @@ impl GpuMem {
     #[inline]
     pub fn store<T: Word>(&self, buf: Buffer<T>, i: usize, v: T) {
         debug_assert!(i < buf.len, "store out of bounds: {i} >= {}", buf.len);
+        self.mark_init(buf.base + i);
         self.words[buf.base + i].store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -176,6 +279,7 @@ impl GpuMem {
     #[inline]
     pub fn fetch_add(&self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
         debug_assert!(i < buf.len);
+        self.mark_init(buf.base + i);
         self.words[buf.base + i].fetch_add(v, Ordering::Relaxed)
     }
 
@@ -183,6 +287,7 @@ impl GpuMem {
     #[inline]
     pub fn fetch_max(&self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
         debug_assert!(i < buf.len);
+        self.mark_init(buf.base + i);
         self.words[buf.base + i].fetch_max(v, Ordering::Relaxed)
     }
 
@@ -190,6 +295,7 @@ impl GpuMem {
     #[inline]
     pub fn fetch_min(&self, buf: Buffer<u32>, i: usize, v: u32) -> u32 {
         debug_assert!(i < buf.len);
+        self.mark_init(buf.base + i);
         self.words[buf.base + i].fetch_min(v, Ordering::Relaxed)
     }
 
@@ -197,6 +303,10 @@ impl GpuMem {
     #[inline]
     pub fn compare_exchange(&self, buf: Buffer<u32>, i: usize, expected: u32, new: u32) -> u32 {
         debug_assert!(i < buf.len);
+        // Marked regardless of CAS success: a failed CAS still proves the
+        // thread brought the word into a register, so "init" is the
+        // conservative shadow state.
+        self.mark_init(buf.base + i);
         match self.words[buf.base + i].compare_exchange(
             expected,
             new,
@@ -305,5 +415,54 @@ mod tests {
         let mut mem = GpuMem::new();
         let a = mem.alloc::<u32>(2);
         mem.load(a, 2);
+    }
+
+    #[test]
+    fn alloc_info_resolves_addresses_and_labels() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc::<u32>(3);
+        let b = mem.alloc::<u32>(5);
+        mem.set_label(b, "color");
+        let ia = mem.alloc_info(a.addr(2) as usize).expect("a resolves");
+        assert_eq!((ia.base, ia.len, ia.label.as_str()), (0, 3, "alloc#0"));
+        let ib = mem.alloc_info(b.addr(0) as usize).expect("b resolves");
+        assert_eq!(ib.label, "color");
+        assert_eq!(ib.base, b.base_addr() as usize);
+        // Alignment padding between the two belongs to no allocation.
+        assert!(mem.alloc_info(3).is_none());
+        assert!(mem.alloc_info(b.base_addr() as usize + 5).is_none());
+    }
+
+    #[test]
+    fn init_map_tracks_stores_lazily() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc::<u32>(2);
+        // No alloc_uninit yet: everything reads as initialized.
+        assert!(mem.word_init(a.addr(0) as usize));
+        let b = mem.alloc_uninit::<u32>(4);
+        // Pre-existing words stay initialized; b's words start clear.
+        assert!(mem.word_init(a.addr(1) as usize));
+        assert!(!mem.word_init(b.addr(0) as usize));
+        mem.store(b, 0, 7u32);
+        assert!(mem.word_init(b.addr(0) as usize));
+        assert!(!mem.word_init(b.addr(3) as usize));
+        mem.fetch_add(b, 3, 1);
+        assert!(mem.word_init(b.addr(3) as usize));
+        // Functionally an uninit buffer still reads as zero.
+        assert_eq!(mem.load(b, 1), 0u32);
+        // A later zeroed alloc is fully initialized even with a live map.
+        let c = mem.alloc::<u32>(3);
+        assert!(mem.word_init(c.addr(2) as usize));
+    }
+
+    #[test]
+    fn write_slice_and_fill_mark_init() {
+        let mut mem = GpuMem::new();
+        let a = mem.alloc_uninit::<u32>(4);
+        mem.write_slice(a, &[1, 2]);
+        assert!(mem.word_init(a.addr(1) as usize));
+        assert!(!mem.word_init(a.addr(2) as usize));
+        mem.fill(a, 9);
+        assert!(mem.word_init(a.addr(3) as usize));
     }
 }

@@ -306,8 +306,8 @@ mod tests {
             },
         );
         let out = mem.read_vec(yb);
-        for i in 0..n {
-            assert_eq!(out[i], 2.0 * i as f32 + 3.0 * i as f32);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2.0 * i as f32 + 3.0 * i as f32);
         }
     }
 

@@ -289,4 +289,54 @@ mod tests {
             assert_eq!(OpKind::from_bit(kind.bit()), kind);
         }
     }
+
+    #[test]
+    fn kind_bits_match_kind_order_positions() {
+        // The sanitizer (and the replay fallback) rely on the exact
+        // bit-per-kind layout: bit k of a slot mask is KIND_ORDER[k].
+        assert_eq!(OpKind::Ld.bit(), 0b000001);
+        assert_eq!(OpKind::Ldg.bit(), 0b000010);
+        assert_eq!(OpKind::St.bit(), 0b000100);
+        assert_eq!(OpKind::Atomic.bit(), 0b001000);
+        assert_eq!(OpKind::Local.bit(), 0b010000);
+        assert_eq!(OpKind::Smem.bit(), 0b100000);
+        // Every kind maps to a distinct single bit.
+        let mut seen = 0u8;
+        for kind in KIND_ORDER {
+            assert_eq!(kind.bit().count_ones(), 1);
+            assert_eq!(seen & kind.bit(), 0, "duplicate bit for {kind:?}");
+            seen |= kind.bit();
+        }
+        assert_eq!(seen, 0b111111);
+    }
+
+    #[test]
+    fn slot_kind_summary_mixed_slots_over_many_lanes() {
+        let mut t = WarpTrace::default();
+        // Lane 0: Ld, Ldg, St   — three slots.
+        t.begin_lane();
+        t.push(op(OpKind::Ld, 0));
+        t.push(op(OpKind::Ldg, 1));
+        t.push(op(OpKind::St, 2));
+        // Lane 1: Ld, Local     — shorter lane.
+        t.begin_lane();
+        t.push(op(OpKind::Ld, 3));
+        t.push(op(OpKind::Local, 0));
+        // Lane 2: Smem, Ldg, Atomic.
+        t.begin_lane();
+        t.push(op(OpKind::Smem, 0));
+        t.push(op(OpKind::Ldg, 4));
+        t.push(op(OpKind::Atomic, 5));
+
+        // Slot 0: Ld | Ld | Smem.
+        assert_eq!(t.slot_kind_mask(0), OpKind::Ld.bit() | OpKind::Smem.bit());
+        // Slot 1: Ldg | Local | Ldg.
+        assert_eq!(t.slot_kind_mask(1), OpKind::Ldg.bit() | OpKind::Local.bit());
+        // Slot 2: St | (lane 1 ended) | Atomic — absent lanes contribute
+        // nothing.
+        assert_eq!(t.slot_kind_mask(2), OpKind::St.bit() | OpKind::Atomic.bit());
+        // A uniform mask round-trips to its kind; a mixed one is multi-bit.
+        assert_eq!(OpKind::from_bit(OpKind::Ld.bit()), OpKind::Ld);
+        assert!(t.slot_kind_mask(0).count_ones() > 1);
+    }
 }

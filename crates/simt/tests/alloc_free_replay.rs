@@ -66,7 +66,7 @@ impl Kernel for Churn {
         t.alu(3);
         let v = t.local_ld(0).wrapping_add(t.local_ld(1));
         t.st(self.out, i, v);
-        if i % 3 == 0 {
+        if i.is_multiple_of(3) {
             // Divergent tail: some lanes issue an extra atomic slot.
             t.atomic_add(self.counter, i % 4, 1);
         }

@@ -2,9 +2,13 @@
 
 use gcol_bench::experiments::{
     self, ablation, archsweep, calibrate, convergence, fig1, fig3, fig6, fig7, fig8, hashsweep,
-    profile, quality, relabel, sanitize, scaling, shardscale, table1, variance, ExpConfig,
+    loadgen, profile, quality, relabel, sanitize, scaling, shardscale, table1, variance, ExpConfig,
 };
+use gcol_graph::gen::{self, RmatParams};
+use gcol_graph::Csr;
+use gcol_serve::{serve_lines, Service, ServiceConfig};
 use gcol_simt::ExecMode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 gcol-bench — regenerate the paper's tables and figures
@@ -33,6 +37,15 @@ COMMANDS:
                 shadow-memory race/ldg/bounds/init analysis (fails on any
                 harmful finding)
     variance    seed-robustness study (the paper's 10-run averaging analogue)
+    loadgen     coloring-service load generator: open-loop arrival traces
+                (unique / bursty / duplicate-heavy) vs worker count, with
+                throughput + latency percentiles; default (no --trace) runs
+                the {1,--workers} x {unique,duplicate} A/B grid; --smoke runs
+                the CI invariant checks (0 rejections idle, 100% cache hits
+                on a duplicate-only replay)
+    serve       run the coloring service on stdio (or --listen HOST:PORT,
+                one connection), speaking the line-delimited JSON protocol
+                of gcol-serve: {\"op\":\"color\",\"graph\":{...},...} per line
     all         run every experiment (colors the suite once)
 
 OPTIONS:
@@ -52,6 +65,17 @@ OPTIONS:
                   the graph into N shards colored on independent backend
                   instances with ghost-frontier exchange rounds
     --json PATH   also write the raw results as JSON
+
+SERVICE OPTIONS (loadgen / serve):
+    --workers N   service worker threads (default 4)
+    --jobs N      loadgen: jobs per trace replay (default 200)
+    --rate R      loadgen: open-loop arrival rate in jobs/s (default 0 =
+                  unpaced: the whole trace is submitted at once)
+    --trace T     loadgen: replay a single trace — uniform, bursty,
+                  duplicate or unique — instead of the A/B grid
+    --smoke       loadgen: run the CI invariant checks and exit
+    --listen A    serve: accept one TCP connection on A (e.g. 127.0.0.1:7070)
+                  instead of serving stdio
 ";
 
 fn main() {
@@ -62,6 +86,8 @@ fn main() {
     }
     let command = args[0].clone();
     let mut cfg = ExpConfig::default();
+    let mut lg = loadgen::LoadgenOptions::default();
+    let mut listen: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
@@ -111,6 +137,52 @@ fn main() {
                 );
                 i += 2;
             }
+            "--workers" => {
+                lg.workers = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--workers needs a positive integer"));
+                i += 2;
+            }
+            "--jobs" => {
+                lg.jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
+                i += 2;
+            }
+            "--rate" => {
+                lg.rate = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r.is_finite() && r >= 0.0)
+                    .unwrap_or_else(|| die("--rate needs a non-negative number"));
+                i += 2;
+            }
+            "--trace" => {
+                lg.trace = Some(
+                    args.get(i + 1)
+                        .and_then(|v| loadgen::TraceKind::parse(v))
+                        .unwrap_or_else(|| {
+                            die("--trace needs uniform, bursty, duplicate or unique")
+                        }),
+                );
+                i += 2;
+            }
+            "--smoke" => {
+                lg.smoke = true;
+                i += 1;
+            }
+            "--listen" => {
+                listen = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("--listen needs HOST:PORT")),
+                );
+                i += 2;
+            }
             other if !other.starts_with('-') => {
                 positional.push(other.to_string());
                 i += 1;
@@ -139,6 +211,8 @@ fn main() {
         "relabel" => println!("{}", relabel::run(&cfg)),
         "sanitize" => println!("{}", sanitize::run(&cfg)),
         "variance" => println!("{}", variance::run(&cfg)),
+        "loadgen" => println!("{}", loadgen::run(&cfg, &lg)),
+        "serve" => run_serve(&lg, listen.as_deref()),
         "profile" => {
             let graph = positional
                 .first()
@@ -179,4 +253,61 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{USAGE}");
     std::process::exit(2);
+}
+
+/// Resolves the protocol's named-graph requests (`{"gen":name,...}`):
+/// the Table I suite names, plus `rmat`/`rmat-er`/`rmat-g` with the
+/// request's own seed. Suite stand-ins keep their pinned seeds, so the
+/// request seed only matters for the plain rmat generators.
+fn resolve_graph(name: &str, scale: u32, seed: u64) -> Result<Arc<Csr>, String> {
+    if !(8..=22).contains(&scale) {
+        return Err(format!("scale {scale} out of the supported 8..=22 range"));
+    }
+    match name {
+        "rmat" | "rmat-er" => Ok(Arc::new(gen::rmat(RmatParams::erdos_renyi(scale, 20), seed))),
+        "rmat-g" => Ok(Arc::new(gen::rmat(RmatParams::skewed(scale, 20), seed))),
+        "thermal2" | "atmosmodd" | "Hamrle3" | "G3_circuit" => {
+            Ok(Arc::new(gcol_bench::suite::build_graph(name, scale)))
+        }
+        other => Err(format!(
+            "unknown graph {other:?} (known: rmat-er, rmat-g, thermal2, atmosmodd, Hamrle3, G3_circuit)"
+        )),
+    }
+}
+
+/// `gcol-bench serve`: the coloring service over stdio, or over a single
+/// TCP connection with `--listen`.
+fn run_serve(lg: &loadgen::LoadgenOptions, listen: Option<&str>) {
+    let service = Service::start(ServiceConfig {
+        num_workers: lg.workers,
+        ..ServiceConfig::default()
+    });
+    let stats = match listen {
+        None => {
+            eprintln!(
+                "gcol-bench serve: {} workers, line protocol on stdio (EOF or {{\"op\":\"shutdown\"}} to stop)",
+                lg.workers
+            );
+            serve_lines(
+                service,
+                std::io::stdin().lock(),
+                std::io::stdout(),
+                &resolve_graph,
+            )
+        }
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .unwrap_or_else(|e| die(&format!("--listen {addr}: {e}")));
+            eprintln!(
+                "gcol-bench serve: {} workers, listening on {addr} (serving one connection)",
+                lg.workers
+            );
+            let (stream, peer) = listener.accept().expect("accept");
+            eprintln!("gcol-bench serve: connection from {peer}");
+            let reader = std::io::BufReader::new(stream.try_clone().expect("clone stream"));
+            serve_lines(service, reader, stream, &resolve_graph)
+        }
+    }
+    .expect("serve I/O");
+    eprintln!("gcol-bench serve: drained\n{stats}");
 }

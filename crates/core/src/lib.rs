@@ -26,6 +26,7 @@ pub mod d2;
 pub mod gm;
 pub mod gpu;
 pub mod hash;
+pub mod job;
 pub mod jp;
 pub mod jp_orderings;
 pub mod rokos;
@@ -34,14 +35,15 @@ pub mod seq;
 use gcol_graph::check::Color;
 use gcol_graph::ordering::Ordering;
 use gcol_graph::Csr;
-use gcol_simt::{CpuModel, Device, ExecMode, NativeBackend, RunProfile, SimtBackend};
+use gcol_simt::{CpuModel, Device, ExecMode, NativeBackend, SimtBackend};
 use serde::{Deserialize, Serialize};
 
 pub use gcol_graph::check::{
     compact_colors, count_colors, count_conflicts, verify_coloring, ColoringViolation,
 };
-pub use gcol_simt::{Backend, BackendKind, SanitizerReport};
+pub use gcol_simt::{Backend, BackendKind, RunProfile, SanitizerReport};
 pub use gpu::sanitize::color_sanitized;
+pub use job::{Fingerprint, JobSpec};
 
 /// Tuning knobs shared by every scheme.
 #[derive(Debug, Clone)]

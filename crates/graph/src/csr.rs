@@ -217,6 +217,53 @@ impl Csr {
     pub fn footprint_bytes(&self) -> usize {
         self.row_offsets.len() * 4 + self.col_indices.len() * 4
     }
+
+    /// A stable 64-bit content fingerprint of the graph: a hash over
+    /// `n`, `m` and every word of the `R` and `C` arrays, in order.
+    ///
+    /// Two graphs fingerprint equal iff their CSR arrays are
+    /// byte-identical (up to 64-bit hash collisions), which is exactly
+    /// the notion of identity a result cache needs: every coloring
+    /// scheme is a pure function of the CSR bytes plus its options, so
+    /// equal fingerprints plus equal options mean an identical result.
+    /// Relabeling a graph with a non-identity permutation — even an
+    /// automorphism — changes the bytes and therefore the fingerprint;
+    /// that is deliberate (colorings are not relabel-equivariant
+    /// caches).
+    ///
+    /// The hash is implemented in-house (multiply-xorshift chaining with
+    /// a splitmix64 finalizer, like the rest of the crate's RNG) so the
+    /// value is bit-stable across platforms and dependency versions; the
+    /// unit test pins it for the Fig. 2 example graph.
+    pub fn content_fingerprint(&self) -> u64 {
+        #[inline]
+        fn mix(h: u64, w: u64) -> u64 {
+            let x = (h ^ w).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^ (x >> 32)
+        }
+        // Domain-separate the four sections (n, m, R, C) so that moving a
+        // word across an array boundary cannot cancel out.
+        let mut h = 0x6763_6F6C_2D63_7372u64; // "gcol-csr"
+        h = mix(h, self.num_vertices() as u64);
+        h = mix(h, self.num_edges() as u64);
+        h = mix(h, 0x52); // 'R'
+        let fold = |h0: u64, words: &[u32]| {
+            let mut h = h0;
+            let mut it = words.chunks_exact(2);
+            for pair in &mut it {
+                h = mix(h, (pair[0] as u64) << 32 | pair[1] as u64);
+            }
+            if let [last] = it.remainder() {
+                h = mix(h, 1u64 << 33 | *last as u64);
+            }
+            h
+        };
+        h = fold(h, &self.row_offsets);
+        h = mix(h, 0x43); // 'C'
+        h = fold(h, &self.col_indices);
+        // splitmix64 finalizer for full avalanche of the last words.
+        crate::rng::splitmix64(&mut h)
+    }
 }
 
 impl fmt::Debug for Csr {
@@ -385,5 +432,38 @@ mod tests {
     fn footprint_counts_both_arrays() {
         let g = fig2_graph();
         assert_eq!(g.footprint_bytes(), 6 * 4 + 14 * 4);
+    }
+
+    #[test]
+    fn content_fingerprint_is_pinned() {
+        // The fingerprint is part of the service-cache contract: it must
+        // be bit-stable across platforms, compilers and releases. If this
+        // value ever changes, every persisted cache key changes with it —
+        // treat that as a breaking change, not a test to update casually.
+        let g = fig2_graph();
+        assert_eq!(g.content_fingerprint(), 0x5e47_041d_72bb_63bb);
+    }
+
+    #[test]
+    fn content_fingerprint_separates_structure() {
+        let g = fig2_graph();
+        // Same arrays -> same hash.
+        assert_eq!(g.content_fingerprint(), g.clone().content_fingerprint());
+        // Dropping one directed edge changes it.
+        let h = Csr::new(
+            vec![0, 2, 6, 9, 11, 13],
+            vec![1, 2, 0, 2, 3, 4, 0, 1, 4, 1, 4, 1, 2],
+        );
+        assert_ne!(g.content_fingerprint(), h.content_fingerprint());
+        // Isolated-vertex padding (same C, longer R) changes it.
+        let mut r = g.row_offsets().to_vec();
+        r.push(*r.last().unwrap());
+        let padded = Csr::new(r, g.col_indices().to_vec());
+        assert_ne!(g.content_fingerprint(), padded.content_fingerprint());
+        // The empty graph and a single isolated vertex differ too.
+        assert_ne!(
+            Csr::empty(0).content_fingerprint(),
+            Csr::empty(1).content_fingerprint()
+        );
     }
 }

@@ -213,3 +213,42 @@ fn barabasi_albert_has_power_law_hubs() {
     // Deterministic per seed.
     assert_eq!(g, barabasi_albert(4000, 4, 11));
 }
+
+proptest! {
+    #[test]
+    fn fingerprint_stable_under_identity_relabel((n, edges) in arb_graph_inputs()) {
+        // relabel() with the identity permutation rebuilds the CSR arrays
+        // through an entirely different code path (counting sort + per-list
+        // re-sort); the bytes — and hence the fingerprint — must match.
+        let g = from_undirected_edges(n, edges);
+        let identity: Vec<VertexId> = (0..n as VertexId).collect();
+        let relabeled = gcol_graph::relabel::relabel(&g, &identity);
+        prop_assert_eq!(g.clone(), relabeled.clone());
+        prop_assert_eq!(g.content_fingerprint(), relabeled.content_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_changes_on_single_edge_flip((n, edges) in arb_graph_inputs(),
+                                               sel in 0u64..1_000_000) {
+        // Toggle the membership of one undirected pair (u, v): the two
+        // graphs differ in exactly one edge, and a content hash worth its
+        // name separates them.
+        let g = from_undirected_edges(n, edges.clone());
+        let mut pairs: Vec<(VertexId, VertexId)> = Vec::new();
+        for a in 0..n as VertexId {
+            for b in (a + 1)..n as VertexId {
+                pairs.push((a, b));
+            }
+        }
+        let (u, v) = pairs[(sel % pairs.len() as u64) as usize];
+        let mut undirected: Vec<(VertexId, VertexId)> =
+            g.edges().filter(|&(a, b)| a < b).collect();
+        if let Some(i) = undirected.iter().position(|&e| e == (u, v)) {
+            undirected.swap_remove(i); // flip off
+        } else {
+            undirected.push((u, v)); // flip on
+        }
+        let flipped = from_undirected_edges(n, undirected);
+        prop_assert_ne!(g.content_fingerprint(), flipped.content_fingerprint());
+    }
+}

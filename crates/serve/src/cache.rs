@@ -1,0 +1,167 @@
+//! Fingerprint-keyed LRU result cache.
+//!
+//! Keys are [`Fingerprint`]s (the 128-bit job fingerprint of
+//! `gcol_core::job`), values are shared [`Coloring`]s. Capacity is a
+//! *entry* count, not bytes: a `Coloring` is `4n` bytes of colors plus a
+//! small profile, and the service bounds `n` via admission control, so
+//! an entry cap is an effective (and much simpler) memory bound.
+//!
+//! The implementation is a `HashMap` with per-entry monotonic use
+//! stamps; eviction scans for the minimum stamp. That makes `get`/
+//! `insert` O(1) and eviction O(capacity) — deliberate: capacities are
+//! service-configured small numbers (hundreds), and an O(1) linked-list
+//! LRU is not worth its intrusive bookkeeping at that size.
+
+use gcol_core::{Coloring, Fingerprint};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An LRU map from job fingerprints to finished colorings.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<u128, Entry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<Coloring>,
+    last_used: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results. Zero disables caching
+    /// (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks up `fp`, refreshing its recency on a hit.
+    pub fn get(&mut self, fp: Fingerprint) -> Option<Arc<Coloring>> {
+        self.tick += 1;
+        match self.map.get_mut(&fp.0) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.value))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry if full.
+    pub fn insert(&mut self, fp: Fingerprint, value: Arc<Coloring>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&fp.0) {
+            if let Some(&oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            fp.0,
+            Entry {
+                value,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime counters: `(hits, misses, evictions)`.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gcol_core::{RunProfile, Scheme};
+
+    fn coloring(tag: u32) -> Arc<Coloring> {
+        Arc::new(Coloring {
+            scheme: Scheme::Sequential,
+            colors: vec![tag],
+            num_colors: 1,
+            iterations: 1,
+            profile: RunProfile::new(),
+        })
+    }
+
+    fn fp(k: u128) -> Fingerprint {
+        Fingerprint(k)
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let mut c = ResultCache::new(2);
+        assert!(c.get(fp(1)).is_none());
+        c.insert(fp(1), coloring(10));
+        assert_eq!(c.get(fp(1)).unwrap().colors, vec![10]);
+        assert_eq!(c.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ResultCache::new(2);
+        c.insert(fp(1), coloring(1));
+        c.insert(fp(2), coloring(2));
+        c.get(fp(1)); // 2 is now the LRU entry
+        c.insert(fp(3), coloring(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(fp(2)).is_none(), "LRU entry should have been evicted");
+        assert!(c.get(fp(1)).is_some());
+        assert!(c.get(fp(3)).is_some());
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let mut c = ResultCache::new(1);
+        c.insert(fp(1), coloring(1));
+        c.insert(fp(1), coloring(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(fp(1)).unwrap().colors, vec![9]);
+        assert_eq!(c.counters().2, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.insert(fp(1), coloring(1));
+        assert!(c.is_empty());
+        assert!(c.get(fp(1)).is_none());
+    }
+}

@@ -1,0 +1,375 @@
+//! The line-delimited JSON protocol: one request object per line in,
+//! one response object per line out.
+//!
+//! Designed for external load generators (`netcat`, a script, the
+//! `gcol-bench loadgen` harness): plain text, one message per line, no
+//! framing beyond `\n`, every response carrying the request's `id` so
+//! clients may pipeline.
+//!
+//! ## Requests
+//!
+//! ```text
+//! {"op":"color","id":1,"graph":{"gen":"rmat-er","scale":12,"seed":5},
+//!  "scheme":"T-base","backend":"native","shards":1,"seed":7,
+//!  "block":128,"deadline_ms":2000,"assignment":false}
+//! {"op":"color","id":2,"graph":{"r":[0,2,4],"c":[1,0,0,1]},"scheme":"D-ldg"}
+//! {"op":"stats","id":3}
+//! {"op":"shutdown","id":4}
+//! ```
+//!
+//! `op` defaults to `"color"`. Every field except `graph` is optional
+//! and defaults to the service's [`gcol_core::ColorOptions`] defaults.
+//! Graphs come inline (`r`/`c`, the CSR arrays of the paper's Fig. 2) or
+//! by generator name — resolution of names is delegated to the embedding
+//! (the bench CLI resolves the Table I suite names), keeping this crate
+//! free of generator policy.
+//!
+//! ## Responses
+//!
+//! ```text
+//! {"id":1,"ok":true,"source":"cold","fingerprint":"93b1…","colors":11,
+//!  "iterations":4,"modeled_ms":12.8,"queue_ms":0.1,"exec_ms":40.2,"total_ms":40.4}
+//! {"id":1,"ok":false,"error":"queue-full","detail":"queue full (capacity 256)"}
+//! ```
+//!
+//! `"assignment":true` adds the dense per-vertex color array to the
+//! response (off by default: it is `n` integers).
+
+use crate::json::{self, obj, Json};
+use crate::service::{JobResponse, Rejection, ServeError, ServiceStats};
+use gcol_core::{BackendKind, ColorOptions, Coloring, JobSpec, Scheme};
+use gcol_graph::Csr;
+use gcol_simt::ExecMode;
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run (or fetch) a coloring.
+    Color {
+        /// Client-chosen correlation id, echoed in the response.
+        id: Option<u64>,
+        /// The graph, inline or by name.
+        graph: GraphSpec,
+        /// Scheme + options to run.
+        spec: JobSpec,
+        /// Optional deadline in milliseconds.
+        deadline_ms: Option<u64>,
+        /// Include the per-vertex color array in the response.
+        assignment: bool,
+    },
+    /// Return the service stats snapshot.
+    Stats {
+        /// Correlation id.
+        id: Option<u64>,
+    },
+    /// Drain and stop the service.
+    Shutdown {
+        /// Correlation id.
+        id: Option<u64>,
+    },
+}
+
+/// A graph reference inside a request.
+#[derive(Debug, Clone)]
+pub enum GraphSpec {
+    /// Inline CSR arrays.
+    Inline(Csr),
+    /// A named generated graph, resolved by the embedding.
+    Named {
+        /// Generator/suite name (e.g. `"rmat-er"`).
+        name: String,
+        /// log2-equivalent scale.
+        scale: u32,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl Request {
+    /// The correlation id, whatever the operation.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Request::Color { id, .. } | Request::Stats { id } | Request::Shutdown { id } => *id,
+        }
+    }
+
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let id = v.get("id").and_then(Json::as_u64);
+        match v.get("op").and_then(Json::as_str).unwrap_or("color") {
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            "color" => {
+                let graph = parse_graph(v.get("graph").ok_or("missing \"graph\"")?)?;
+                let scheme = match v.get("scheme").and_then(Json::as_str) {
+                    None => Scheme::TopoBase,
+                    Some(name) => {
+                        Scheme::from_name(name).ok_or_else(|| format!("unknown scheme {name:?}"))?
+                    }
+                };
+                let mut opts = ColorOptions::default();
+                if let Some(b) = v.get("backend").and_then(Json::as_str) {
+                    opts.backend = b
+                        .parse::<BackendKind>()
+                        .map_err(|_| format!("unknown backend {b:?}"))?;
+                }
+                if let Some(s) = v.get("shards").and_then(Json::as_u64) {
+                    if s == 0 {
+                        return Err("\"shards\" must be >= 1".into());
+                    }
+                    opts.num_shards = s as usize;
+                }
+                if let Some(s) = v.get("seed").and_then(Json::as_u64) {
+                    opts.seed = s;
+                }
+                if let Some(b) = v.get("block").and_then(Json::as_u64) {
+                    opts.block_size = b as u32;
+                }
+                if let Some(h) = v.get("hashes").and_then(Json::as_u64) {
+                    opts.num_hashes = h as usize;
+                }
+                if let Some(m) = v.get("mode").and_then(Json::as_str) {
+                    opts.exec_mode = match m {
+                        "deterministic" | "det" => ExecMode::Deterministic,
+                        "parallel" | "par" => ExecMode::Parallel,
+                        other => return Err(format!("unknown exec mode {other:?}")),
+                    };
+                }
+                Ok(Request::Color {
+                    id,
+                    graph,
+                    spec: JobSpec { scheme, opts },
+                    deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
+                    assignment: v.get("assignment").and_then(Json::as_bool).unwrap_or(false),
+                })
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
+    if let (Some(r), Some(c)) = (v.get("r"), v.get("c")) {
+        let to_u32s = |a: &Json, what: &str| -> Result<Vec<u32>, String> {
+            a.as_arr()
+                .ok_or_else(|| format!("\"{what}\" must be an array"))?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .filter(|&x| x <= u32::MAX as u64)
+                        .map(|x| x as u32)
+                        .ok_or_else(|| format!("\"{what}\" entries must be u32"))
+                })
+                .collect()
+        };
+        let g = Csr::try_new(to_u32s(r, "r")?, to_u32s(c, "c")?)
+            .map_err(|e| format!("invalid CSR arrays: {e:?}"))?;
+        return Ok(GraphSpec::Inline(g));
+    }
+    if let Some(name) = v.get("gen").and_then(Json::as_str) {
+        return Ok(GraphSpec::Named {
+            name: name.to_string(),
+            scale: v
+                .get("scale")
+                .and_then(Json::as_u64)
+                .map(|s| s as u32)
+                .unwrap_or(12),
+            seed: v.get("seed").and_then(Json::as_u64).unwrap_or(0),
+        });
+    }
+    Err("\"graph\" needs either inline {\"r\":…,\"c\":…} or {\"gen\":…}".into())
+}
+
+/// Renders the success response for a resolved job.
+pub fn ok_response(id: Option<u64>, r: &JobResponse, assignment: bool) -> String {
+    let coloring: &Coloring = &r.coloring;
+    let mut o = obj([
+        ("ok", Json::Bool(true)),
+        ("source", Json::Str(r.source.name().into())),
+        ("fingerprint", Json::Str(r.fingerprint.to_string())),
+        ("scheme", Json::Str(coloring.scheme.name().into())),
+        ("colors", Json::Num(coloring.num_colors as f64)),
+        ("iterations", Json::Num(coloring.iterations as f64)),
+        ("modeled_ms", Json::Num(coloring.total_ms())),
+        ("queue_ms", Json::Num(r.queue_ms)),
+        ("exec_ms", Json::Num(r.exec_ms)),
+        ("total_ms", Json::Num(r.total_ms)),
+    ]);
+    with_id(&mut o, id);
+    if assignment {
+        if let Json::Obj(m) = &mut o {
+            m.insert(
+                "assignment".into(),
+                Json::Arr(
+                    coloring
+                        .colors
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            );
+        }
+    }
+    o.to_string()
+}
+
+/// Renders a positive acknowledgement (control ops with no payload).
+pub fn ack_response(id: Option<u64>, status: &str) -> String {
+    let mut o = obj([
+        ("ok", Json::Bool(true)),
+        ("status", Json::Str(status.into())),
+    ]);
+    with_id(&mut o, id);
+    o.to_string()
+}
+
+/// Renders an error response. `error` is a stable machine-readable code,
+/// `detail` the human text.
+pub fn error_response(id: Option<u64>, error: &str, detail: &str) -> String {
+    let mut o = obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(error.into())),
+        ("detail", Json::Str(detail.into())),
+    ]);
+    with_id(&mut o, id);
+    o.to_string()
+}
+
+/// The stable error code for an admission rejection.
+pub fn rejection_code(r: &Rejection) -> &'static str {
+    match r {
+        Rejection::QueueFull { .. } => "queue-full",
+        Rejection::GraphTooLarge { .. } => "graph-too-large",
+        Rejection::ShuttingDown => "shutting-down",
+    }
+}
+
+/// The stable error code for a completion failure.
+pub fn serve_error_code(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::DeadlineExceeded => "deadline-exceeded",
+        ServeError::Coloring(_) => "coloring-failed",
+    }
+}
+
+/// Renders the stats snapshot response.
+pub fn stats_response(id: Option<u64>, s: &ServiceStats) -> String {
+    let mut o = obj([
+        ("ok", Json::Bool(true)),
+        ("submitted", Json::Num(s.submitted as f64)),
+        ("accepted", Json::Num(s.accepted as f64)),
+        ("executions", Json::Num(s.executions as f64)),
+        ("cache_hits", Json::Num(s.cache_hits as f64)),
+        ("coalesced", Json::Num(s.coalesced as f64)),
+        (
+            "rejected_queue_full",
+            Json::Num(s.rejected_queue_full as f64),
+        ),
+        ("rejected_too_large", Json::Num(s.rejected_too_large as f64)),
+        ("rejected_shutdown", Json::Num(s.rejected_shutdown as f64)),
+        ("deadline_exceeded", Json::Num(s.deadline_exceeded as f64)),
+        ("cache_entries", Json::Num(s.cache_entries as f64)),
+        ("cache_evictions", Json::Num(s.cache_evictions as f64)),
+        ("queued", Json::Num(s.queued as f64)),
+        ("p50_ms", Json::Num(s.p50_ms)),
+        ("p95_ms", Json::Num(s.p95_ms)),
+        ("p99_ms", Json::Num(s.p99_ms)),
+    ]);
+    with_id(&mut o, id);
+    o.to_string()
+}
+
+fn with_id(o: &mut Json, id: Option<u64>) {
+    if let (Json::Obj(m), Some(id)) = (o, id) {
+        m.insert("id".into(), Json::Num(id as f64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inline_color_request() {
+        let r = Request::parse(
+            r#"{"id":7,"graph":{"r":[0,2,4],"c":[1,0,0,1]},"scheme":"D-base","backend":"native","seed":3,"deadline_ms":100}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Color {
+                id,
+                graph: GraphSpec::Inline(g),
+                spec,
+                deadline_ms,
+                assignment,
+            } => {
+                assert_eq!(id, Some(7));
+                assert_eq!(g.num_vertices(), 2);
+                assert_eq!(spec.scheme, Scheme::DataBase);
+                assert_eq!(spec.opts.backend, BackendKind::Native);
+                assert_eq!(spec.opts.seed, 3);
+                assert_eq!(deadline_ms, Some(100));
+                assert!(!assignment);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_named_graph_and_defaults() {
+        let r = Request::parse(r#"{"graph":{"gen":"rmat-er","scale":10,"seed":5}}"#).unwrap();
+        match r {
+            Request::Color {
+                id,
+                graph: GraphSpec::Named { name, scale, seed },
+                spec,
+                ..
+            } => {
+                assert_eq!(id, None);
+                assert_eq!((name.as_str(), scale, seed), ("rmat-er", 10, 5));
+                assert_eq!(spec.scheme, Scheme::TopoBase);
+                assert_eq!(spec.opts.backend, BackendKind::Simt);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_ops() {
+        assert!(matches!(
+            Request::parse(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { id: None }
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"op":"shutdown","id":1}"#).unwrap(),
+            Request::Shutdown { id: Some(1) }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for line in [
+            "",
+            "{}",
+            r#"{"op":"color"}"#,
+            r#"{"graph":{"gen":1}}"#,
+            r#"{"graph":{"r":[0],"c":[]},"scheme":"nope"}"#,
+            r#"{"graph":{"r":[0,1],"c":[9]}}"#,
+            r#"{"graph":{"r":[0,0],"c":[]},"shards":0}"#,
+            r#"{"op":"fly"}"#,
+        ] {
+            assert!(Request::parse(line).is_err(), "{line:?} should fail");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let err = error_response(Some(3), "queue-full", "queue full (capacity 1)");
+        assert!(!err.contains('\n'));
+        let v = crate::json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("error").and_then(Json::as_str), Some("queue-full"));
+    }
+}

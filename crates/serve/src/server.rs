@@ -1,0 +1,133 @@
+//! Drives a [`Service`] from a line-delimited JSON stream (stdio, a TCP
+//! socket, a unit test's byte buffer — anything `BufRead`/`Write`).
+//!
+//! Requests pipeline: each accepted job gets a responder thread that
+//! waits on its [`crate::JobHandle`] and writes the response line when
+//! the job resolves, so a fast cache hit overtakes a slow cold run that
+//! was submitted earlier. Clients correlate by `id`. Responses are
+//! whole lines written under a mutex, so concurrent resolutions never
+//! interleave bytes.
+
+use crate::proto::{self, GraphSpec, Request};
+use crate::service::{Service, ServiceStats};
+use gcol_graph::Csr;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Resolves a named graph request (`{"gen":…,"scale":…,"seed":…}`) to a
+/// graph. The embedding decides which names exist; the server memoizes
+/// results so repeated requests do not regenerate.
+pub type GraphResolver<'a> = dyn Fn(&str, u32, u64) -> Result<Arc<Csr>, String> + Sync + 'a;
+
+/// Serves `reader` until EOF or a `shutdown` request, then drains the
+/// service and returns its final stats. Every accepted job's response is
+/// written before this returns.
+pub fn serve_lines<R, W>(
+    service: Service,
+    reader: R,
+    writer: W,
+    resolve: &GraphResolver<'_>,
+) -> std::io::Result<ServiceStats>
+where
+    R: BufRead,
+    W: Write + Send + 'static,
+{
+    let writer = Arc::new(Mutex::new(writer));
+    let mut responders: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut graphs: HashMap<(String, u32, u64), Arc<Csr>> = HashMap::new();
+    let write_line = |w: &Arc<Mutex<W>>, line: String| -> std::io::Result<()> {
+        let mut w = w.lock().unwrap();
+        w.write_all(line.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    };
+
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::parse(&line) {
+            Ok(req) => req,
+            Err(msg) => {
+                write_line(&writer, proto::error_response(None, "bad-request", &msg))?;
+                continue;
+            }
+        };
+        match req {
+            Request::Stats { id } => {
+                write_line(&writer, proto::stats_response(id, &service.stats()))?;
+            }
+            Request::Shutdown { id } => {
+                write_line(&writer, proto::ack_response(id, "draining"))?;
+                break;
+            }
+            Request::Color {
+                id,
+                graph,
+                spec,
+                deadline_ms,
+                assignment,
+            } => {
+                let graph = match graph {
+                    GraphSpec::Inline(g) => Arc::new(g),
+                    GraphSpec::Named { name, scale, seed } => {
+                        let key = (name.clone(), scale, seed);
+                        match graphs.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                match resolve(&name, scale, seed) {
+                                    Ok(g) => Arc::clone(slot.insert(g)),
+                                    Err(msg) => {
+                                        write_line(
+                                            &writer,
+                                            proto::error_response(id, "unknown-graph", &msg),
+                                        )?;
+                                        continue;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                };
+                let req = crate::service::JobRequest {
+                    graph,
+                    spec,
+                    deadline: deadline_ms.map(Duration::from_millis),
+                };
+                match service.submit(req) {
+                    Err(rej) => write_line(
+                        &writer,
+                        proto::error_response(id, proto::rejection_code(&rej), &rej.to_string()),
+                    )?,
+                    Ok(handle) => {
+                        let writer = Arc::clone(&writer);
+                        responders.push(std::thread::spawn(move || {
+                            let line = match handle.wait() {
+                                Ok(r) => proto::ok_response(id, &r, assignment),
+                                Err(e) => proto::error_response(
+                                    id,
+                                    proto::serve_error_code(&e),
+                                    &e.to_string(),
+                                ),
+                            };
+                            let mut w = writer.lock().unwrap();
+                            let _ = w.write_all(line.as_bytes());
+                            let _ = w.write_all(b"\n");
+                            let _ = w.flush();
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    // Drain: every accepted handle resolves, then every responder has a
+    // resolved handle to write out.
+    let stats = service.shutdown();
+    for r in responders {
+        let _ = r.join();
+    }
+    Ok(stats)
+}

@@ -1,0 +1,209 @@
+//! Backpressure, admission-control and drain edge cases: the invariants
+//! the service docs promise, pinned deterministically.
+//!
+//! Most tests run the service in manual mode (`num_workers: 0`): nothing
+//! executes until `drain()`/`shutdown()`, so queue occupancy is exact
+//! and every rejection is reproducible — no sleeps, no racing against a
+//! worker that might dequeue before the next submit lands.
+
+use gcol_core::{JobSpec, Scheme};
+use gcol_graph::gen::{self, RmatParams};
+use gcol_graph::Csr;
+use gcol_serve::{JobRequest, Rejection, ResultSource, ServeError, Service, ServiceConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_graph(seed: u64) -> Arc<Csr> {
+    Arc::new(gen::rmat(RmatParams::erdos_renyi(8, 8), seed))
+}
+
+fn native_spec(seed: u64) -> JobSpec {
+    let mut spec = JobSpec::new(Scheme::TopoBase);
+    spec.opts = spec
+        .opts
+        .with_backend(gcol_core::BackendKind::Native)
+        .with_seed(seed);
+    spec
+}
+
+fn manual(queue_capacity: usize) -> Service {
+    Service::start(ServiceConfig {
+        num_workers: 0,
+        queue_capacity,
+        ..ServiceConfig::default()
+    })
+}
+
+#[test]
+fn queue_full_rejection_is_typed_and_never_drops_an_accepted_job() {
+    let svc = manual(3);
+    let g = small_graph(1);
+    // Three distinct jobs fill the bounded queue exactly.
+    let handles: Vec<_> = (0..3)
+        .map(|seed| {
+            svc.submit(JobRequest::new(Arc::clone(&g), native_spec(seed)))
+                .expect("within capacity")
+        })
+        .collect();
+    // The fourth distinct job is rejected with the typed reason…
+    match svc.submit(JobRequest::new(Arc::clone(&g), native_spec(99))) {
+        Err(Rejection::QueueFull { capacity: 3 }) => {}
+        other => panic!("expected QueueFull{{capacity:3}}, got {other:?}"),
+    }
+    // …but a duplicate of an accepted job still coalesces: duplicates
+    // never consume a queue slot, full or not.
+    let twin = svc
+        .submit(JobRequest::new(Arc::clone(&g), native_spec(0)))
+        .expect("duplicate coalesces past a full queue");
+    // Rejection had no effect; every accepted handle resolves on drain.
+    let stats = svc.shutdown();
+    for h in &handles {
+        let r = h.wait().expect("accepted job must resolve Ok");
+        gcol_core::verify_coloring(&g, &r.coloring.colors).unwrap();
+        assert_eq!(r.source, ResultSource::Cold);
+    }
+    assert_eq!(twin.wait().unwrap().source, ResultSource::Coalesced);
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.accepted, 4);
+    assert_eq!(stats.executions, 3, "the coalesced twin must not re-run");
+    assert_eq!(stats.coalesced, 1);
+    assert_eq!(stats.completed_ok, 3);
+}
+
+#[test]
+fn graph_too_large_is_rejected_with_the_tripped_bound() {
+    let svc = Service::start(ServiceConfig {
+        num_workers: 0,
+        max_vertices: Some(10),
+        max_edges: Some(1_000_000),
+        ..ServiceConfig::default()
+    });
+    let g = small_graph(2); // 256 vertices
+    match svc.submit(JobRequest::new(Arc::clone(&g), native_spec(0))) {
+        Err(Rejection::GraphTooLarge {
+            vertices,
+            max_vertices: Some(10),
+            max_edges: None, // the edge bound did not trip
+            ..
+        }) => assert_eq!(vertices, 256),
+        other => panic!("expected GraphTooLarge, got {other:?}"),
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.rejected_too_large, 1);
+    assert_eq!(stats.accepted, 0);
+}
+
+#[test]
+fn shutdown_drains_queued_and_inflight_jobs() {
+    // Real workers this time: submit a burst, shut down immediately —
+    // drain semantics say every accepted job still resolves with a
+    // proper coloring, whether it was running or still queued.
+    let svc = Service::start(ServiceConfig {
+        num_workers: 2,
+        queue_capacity: 64,
+        ..ServiceConfig::default()
+    });
+    let g = small_graph(3);
+    let handles: Vec<_> = (0..16)
+        .map(|seed| {
+            svc.submit(JobRequest::new(Arc::clone(&g), native_spec(seed)))
+                .expect("accepted")
+        })
+        .collect();
+    let stats = svc.shutdown();
+    for h in &handles {
+        let r = h.wait().expect("drained job resolves Ok");
+        gcol_core::verify_coloring(&g, &r.coloring.colors).unwrap();
+    }
+    assert_eq!(stats.accepted, 16);
+    assert_eq!(stats.completed_ok, 16);
+    assert_eq!(stats.queued, 0, "shutdown left jobs behind");
+}
+
+#[test]
+fn submissions_during_drain_are_rejected_shutting_down() {
+    let svc = Service::start(ServiceConfig {
+        num_workers: 1,
+        queue_capacity: 1024,
+        ..ServiceConfig::default()
+    });
+    let g = small_graph(4);
+    let accepted: Vec<_> = (0..8)
+        .map(|seed| {
+            svc.submit(JobRequest::new(Arc::clone(&g), native_spec(seed)))
+                .expect("accepted before drain")
+        })
+        .collect();
+    svc.begin_drain();
+    match svc.submit(JobRequest::new(Arc::clone(&g), native_spec(999))) {
+        Err(Rejection::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    let stats = svc.shutdown();
+    for h in accepted {
+        h.wait().expect("every job accepted before drain resolves");
+    }
+    assert_eq!(stats.rejected_shutdown, 1);
+    assert_eq!(stats.accepted, 8);
+    assert_eq!(stats.completed_ok, 8);
+}
+
+#[test]
+fn expired_deadline_resolves_typed_and_skips_execution() {
+    let svc = manual(8);
+    let g = small_graph(5);
+    let mut req = JobRequest::new(Arc::clone(&g), native_spec(0));
+    req.deadline = Some(Duration::from_millis(1));
+    let late = svc.submit(req).expect("accepted");
+    // A deadline-free twin of a *different* fingerprint still runs.
+    let fine = svc
+        .submit(JobRequest::new(Arc::clone(&g), native_spec(1)))
+        .expect("accepted");
+    std::thread::sleep(Duration::from_millis(20));
+    let stats = svc.shutdown();
+    assert!(matches!(late.wait(), Err(ServeError::DeadlineExceeded)));
+    fine.wait().expect("no-deadline job unaffected");
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(
+        stats.skipped_executions, 1,
+        "an all-expired execution must not run"
+    );
+    assert_eq!(stats.executions, 1);
+}
+
+#[test]
+fn duplicate_submissions_coalesce_and_repeats_hit_the_cache() {
+    let svc = manual(8);
+    let g = small_graph(6);
+    let a = svc
+        .submit(JobRequest::new(Arc::clone(&g), native_spec(7)))
+        .unwrap();
+    let b = svc
+        .submit(JobRequest::new(Arc::clone(&g), native_spec(7)))
+        .unwrap();
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    svc.drain();
+    let ra = a.wait().unwrap();
+    let rb = b.wait().unwrap();
+    assert_eq!(ra.source, ResultSource::Cold);
+    assert_eq!(rb.source, ResultSource::Coalesced);
+    assert!(
+        Arc::ptr_eq(&ra.coloring, &rb.coloring),
+        "coalesced jobs share one result object"
+    );
+    // Identical resubmission after completion: served from cache,
+    // resolved before any drain, sharing the cached object.
+    let c = svc
+        .submit(JobRequest::new(Arc::clone(&g), native_spec(7)))
+        .unwrap();
+    let rc = c
+        .try_wait()
+        .expect("cache hits resolve at submission")
+        .unwrap();
+    assert_eq!(rc.source, ResultSource::CacheHit);
+    assert!(Arc::ptr_eq(&ra.coloring, &rc.coloring));
+    let stats = svc.shutdown();
+    assert_eq!(stats.executions, 1);
+    assert_eq!(stats.coalesced, 1);
+    assert_eq!(stats.cache_hits, 1);
+}

@@ -1,0 +1,162 @@
+//! End-to-end line protocol test: feed a scripted session through
+//! `serve_lines` and check every response line, correlating by id
+//! (responses to accepted jobs may arrive in any order).
+
+use gcol_graph::gen::{self, RmatParams};
+use gcol_serve::json::{self, Json};
+use gcol_serve::{serve_lines, Service, ServiceConfig};
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A `Write` the test can read back after `serve_lines` consumes it.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn run_session(input: &str) -> (Vec<Json>, gcol_serve::ServiceStats) {
+    let svc = Service::start(ServiceConfig {
+        num_workers: 2,
+        ..ServiceConfig::default()
+    });
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let resolve = |name: &str, scale: u32, seed: u64| match name {
+        "rmat" => Ok(Arc::new(gen::rmat(RmatParams::erdos_renyi(scale, 8), seed))),
+        other => Err(format!("unknown graph generator '{other}'")),
+    };
+    let stats = serve_lines(svc, input.as_bytes(), buf.clone(), &resolve).unwrap();
+    let bytes = buf.0.lock().unwrap().clone();
+    let lines = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| json::parse(l).expect("every response line is valid JSON"))
+        .collect();
+    (lines, stats)
+}
+
+fn by_id(lines: &[Json]) -> HashMap<u64, &Json> {
+    lines
+        .iter()
+        .filter_map(|l| l.get("id").and_then(Json::as_u64).map(|id| (id, l)))
+        .collect()
+}
+
+#[test]
+fn scripted_session_colors_inline_and_named_graphs() {
+    let input = concat!(
+        // Inline CSR: the Fig. 2 pentagon-ish graph.
+        r#"{"id":1,"op":"color","graph":{"r":[0,2,6,9,11,14],"c":[1,2,0,2,3,4,0,1,4,1,4,1,2,3]},"scheme":"T-base","backend":"native","assignment":true}"#,
+        "\n",
+        // Named generator, default scheme.
+        r#"{"id":2,"op":"color","graph":{"gen":"rmat","scale":8,"seed":3},"backend":"native"}"#,
+        "\n",
+        // Identical repeat: must be a cache hit or coalesced, same colors.
+        r#"{"id":3,"op":"color","graph":{"gen":"rmat","scale":8,"seed":3},"backend":"native"}"#,
+        "\n",
+        r#"{"id":4,"op":"stats"}"#,
+        "\n",
+    );
+    let (lines, stats) = run_session(input);
+    let resp = by_id(&lines);
+
+    let r1 = resp[&1];
+    assert_eq!(r1.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(r1.get("colors").and_then(Json::as_u64).unwrap() >= 3);
+    let assignment = r1
+        .get("assignment")
+        .and_then(Json::as_arr)
+        .expect("assignment requested");
+    assert_eq!(assignment.len(), 5);
+    assert_eq!(r1.get("source").and_then(Json::as_str), Some("cold"));
+
+    let r2 = resp[&2];
+    let r3 = resp[&3];
+    assert_eq!(r2.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(r3.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        r2.get("colors").and_then(Json::as_u64),
+        r3.get("colors").and_then(Json::as_u64)
+    );
+    assert_eq!(
+        r2.get("fingerprint").and_then(Json::as_str),
+        r3.get("fingerprint").and_then(Json::as_str),
+        "identical requests share a fingerprint"
+    );
+    let src3 = r3.get("source").and_then(Json::as_str).unwrap();
+    assert!(
+        src3 == "cache-hit" || src3 == "coalesced",
+        "repeat must reuse work, got {src3}"
+    );
+
+    // The stats line is a snapshot taken mid-session: only fields that
+    // are stable at that point are asserted.
+    let r4 = resp[&4];
+    assert_eq!(r4.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(r4.get("accepted").and_then(Json::as_u64).unwrap() >= 1);
+
+    // Final drained stats: 3 accepted color jobs, 2 executions (the
+    // repeat reused one), nothing rejected.
+    assert_eq!(stats.accepted, 3);
+    assert_eq!(stats.executions, 2);
+    assert_eq!(stats.cache_hits + stats.coalesced, 1);
+    assert_eq!(stats.rejected_queue_full + stats.rejected_too_large, 0);
+}
+
+#[test]
+fn bad_lines_get_typed_errors_and_do_not_kill_the_session() {
+    let input = concat!(
+        "this is not json\n",
+        r#"{"id":7,"op":"color","graph":{"gen":"nope","scale":4,"seed":1}}"#,
+        "\n",
+        r#"{"id":8,"op":"color","graph":{"gen":"rmat","scale":4,"seed":1},"backend":"native"}"#,
+        "\n",
+    );
+    let (lines, stats) = run_session(input);
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.get("error").and_then(Json::as_str) == Some("bad-request")),
+        "malformed line must produce a bad-request error"
+    );
+    let resp = by_id(&lines);
+    assert_eq!(
+        resp[&7].get("error").and_then(Json::as_str),
+        Some("unknown-graph")
+    );
+    assert_eq!(resp[&8].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(stats.accepted, 1);
+}
+
+#[test]
+fn shutdown_request_acks_and_stops_reading() {
+    let input = concat!(
+        r#"{"id":1,"op":"color","graph":{"gen":"rmat","scale":4,"seed":9},"backend":"native"}"#,
+        "\n",
+        r#"{"id":2,"op":"shutdown"}"#,
+        "\n",
+        // Never read: the server stops at the shutdown request.
+        r#"{"id":3,"op":"color","graph":{"gen":"rmat","scale":4,"seed":10},"backend":"native"}"#,
+        "\n",
+    );
+    let (lines, stats) = run_session(input);
+    let resp = by_id(&lines);
+    assert_eq!(resp[&1].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        resp[&2].get("status").and_then(Json::as_str),
+        Some("draining")
+    );
+    assert!(
+        !resp.contains_key(&3),
+        "lines after shutdown must not be served"
+    );
+    assert_eq!(stats.accepted, 1);
+}

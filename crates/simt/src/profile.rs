@@ -6,7 +6,7 @@ use crate::timing::KernelStats;
 use serde::{Deserialize, Serialize};
 
 /// One entry of a run's timeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Phase {
     /// A device kernel.
     Kernel(KernelStats),
@@ -39,7 +39,7 @@ impl Phase {
 }
 
 /// The modeled timeline of one algorithm run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunProfile {
     /// Phases in execution order.
     pub phases: Vec<Phase>,

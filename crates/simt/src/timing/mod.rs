@@ -47,7 +47,7 @@ pub struct StallBreakdown {
 }
 
 /// Aggregate result of one kernel launch.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelStats {
     /// Kernel name.
     pub name: String,

@@ -23,7 +23,7 @@ pub mod table1;
 pub mod variance;
 
 use crate::suite::{build_suite, SuiteEntry};
-use gcol_core::{BackendKind, ColorOptions, Scheme};
+use gcol_core::{BackendKind, ColorOptions, ExchangeKind, Scheme};
 use gcol_simt::{Device, ExecMode};
 use serde::Serialize;
 
@@ -41,6 +41,13 @@ pub struct ExpConfig {
     /// Device count for the GPU schemes (1 = the single-device driver;
     /// more shards the graph across modeled devices).
     pub shards: usize,
+    /// Ghost-frontier wire encoding for sharded runs. `None` means "not
+    /// pinned": experiments that A/B the encodings (shardscale) sweep
+    /// both; everything else uses the library default.
+    pub exchange: Option<ExchangeKind>,
+    /// Run the experiment's CI invariant checks instead of (or on top of)
+    /// the full report. Only shardscale honors this today.
+    pub smoke: bool,
     /// Optional JSON output path.
     pub json: Option<String>,
 }
@@ -53,6 +60,8 @@ impl Default for ExpConfig {
             exec_mode: ExecMode::Deterministic,
             backend: BackendKind::Simt,
             shards: 1,
+            exchange: None,
+            smoke: false,
             json: None,
         }
     }
@@ -66,6 +75,7 @@ impl ExpConfig {
             exec_mode: self.exec_mode,
             backend: self.backend,
             num_shards: self.shards,
+            exchange: self.exchange.unwrap_or_default(),
             ..ColorOptions::default()
         }
     }

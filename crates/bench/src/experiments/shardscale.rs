@@ -1,20 +1,30 @@
 //! Multi-device scaling study: the sharded driver on P ∈ {1, 2, 4}
 //! devices (plus `--shards P` if it names a different count), every GPU
-//! scheme, on the paper's rmat-er workload.
+//! scheme, on the paper's rmat-er workload — as a dense-vs-delta
+//! frontier-encoding A/B.
 //!
 //! On the simt backend the times are the modeled critical path — phase-A
 //! local coloring at max-over-devices plus the ghost-frontier exchange
-//! rounds with their d2d transfer charges — so the speedup column shows
-//! what the model predicts multi-GPU sharding buys (and where the cut
-//! traffic eats the gain). On the native backend the times are wall
-//! clock: the shards genuinely run the same kernels over smaller
-//! subgraphs, and P=1 reproduces the single-device driver exactly.
+//! rounds, where only the copy tail the receiver cannot hide behind its
+//! own compute is charged — and the `frontier B` column is the total
+//! d2d wire traffic, straight from the profile's `Transfer` phases. The
+//! A/B shows what the delta encoding buys: round 1 is always dense (the
+//! first diff marks every ghost dirty), so one-round schemes ship
+//! identical bytes under either kind, while multi-round schemes shrink
+//! their later frames to the conflict-loser set. `--exchange` pins one
+//! encoding instead of sweeping both; `--smoke` checks the CI
+//! invariants (delta never ships more bytes than dense; no one-round
+//! scheme regresses below its dense modeled time).
+//!
+//! On the native backend the times are wall clock: the shards genuinely
+//! run the same kernels over smaller subgraphs, there is no modeled
+//! interconnect, and the frontier column reads 0.
 
 use super::ExpConfig;
 use crate::report::{f, maybe_write_json, speedup, Table};
-use gcol_core::Scheme;
+use gcol_core::{Coloring, ExchangeKind, Scheme};
 use gcol_graph::gen::{self, RmatParams};
-use gcol_simt::Device;
+use gcol_simt::{Device, Phase};
 use serde::Serialize;
 
 /// The scaling sweep every run covers.
@@ -24,8 +34,16 @@ pub const BASE_SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 struct Row {
     scheme: &'static str,
     shards: usize,
+    /// `"dense"`, `"delta"`, or `"-"` for P = 1 (no exchange happens, so
+    /// the encodings are indistinguishable and the row is shared).
+    exchange: &'static str,
     num_colors: usize,
     iterations: usize,
+    /// Ghost-frontier exchange rounds (d2d `Transfer` phases; 0 on the
+    /// native backend, which models no interconnect).
+    rounds: usize,
+    /// Total d2d frontier wire bytes across all rounds.
+    frontier_bytes: usize,
     ms: f64,
     speedup_vs_one: f64,
 }
@@ -39,65 +57,170 @@ fn shard_counts(cfg: &ExpConfig) -> Vec<usize> {
     counts
 }
 
-/// Runs the sweep: every GPU scheme at every shard count, colorings
-/// verified, times relative to the same scheme's single-device run.
+/// Sums the wire bytes of the ghost-frontier `Transfer` phases and
+/// counts the exchange rounds they stand for.
+fn frontier_traffic(r: &Coloring) -> (usize, usize) {
+    r.profile
+        .phases
+        .iter()
+        .filter_map(|p| match p {
+            Phase::Transfer { label, bytes, .. } if label.contains("ghost frontier") => {
+                Some(*bytes)
+            }
+            _ => None,
+        })
+        .fold((0, 0), |(bytes, rounds), b| (bytes + b, rounds + 1))
+}
+
+/// Runs the sweep: every GPU scheme at every shard count under each
+/// selected encoding, colorings verified, times relative to the same
+/// scheme's single-device run (shared by both encodings — P = 1 never
+/// exchanges).
 pub fn run(cfg: &ExpConfig) -> String {
+    let mut cfg = cfg.clone();
+    if cfg.smoke {
+        // The smoke invariants compare the encodings' modeled traffic, so
+        // they need both kinds and the modeled backend.
+        cfg.exchange = None;
+        cfg.backend = gcol_core::BackendKind::Simt;
+    }
+    let kinds: Vec<ExchangeKind> = match cfg.exchange {
+        Some(k) => vec![k],
+        None => ExchangeKind::ALL.to_vec(),
+    };
     let dev = Device::k20c();
-    let counts = shard_counts(cfg);
+    let counts = shard_counts(&cfg);
     let g = gen::rmat(RmatParams::erdos_renyi(cfg.scale, 20), 0xE5);
     let mut table = Table::new(vec![
         "scheme".to_string(),
         "P".to_string(),
+        "exch".to_string(),
         "colors".to_string(),
         "iters".to_string(),
+        "rounds".to_string(),
+        "frontier B".to_string(),
         format!("ms ({})", cfg.backend),
         "speedup vs P=1".to_string(),
     ]);
-    let mut rows = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for scheme in Scheme::GPU {
         let mut one_device_ms = f64::NAN;
         for &p in &counts {
-            let opts = cfg.color_options().with_shards(p);
-            let r = match scheme.try_color(&g, &dev, &opts) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("warning: {scheme} at P={p} skipped: {e}");
-                    continue;
-                }
+            // P = 1 has no ghosts, hence no frames to encode: one run
+            // covers both encodings.
+            let row_kinds: &[(&'static str, ExchangeKind)] = if p == 1 {
+                &[("-", ExchangeKind::Dense)]
+            } else if kinds.len() == 2 {
+                &[
+                    ("dense", ExchangeKind::Dense),
+                    ("delta", ExchangeKind::Delta),
+                ]
+            } else if kinds[0] == ExchangeKind::Dense {
+                &[("dense", ExchangeKind::Dense)]
+            } else {
+                &[("delta", ExchangeKind::Delta)]
             };
-            gcol_core::verify_coloring(&g, &r.colors)
-                .unwrap_or_else(|e| panic!("{scheme} improper at P={p}: {e}"));
-            if p == 1 {
-                one_device_ms = r.total_ms();
+            for &(tag, kind) in row_kinds {
+                let opts = cfg.color_options().with_shards(p).with_exchange(kind);
+                let r = match scheme.try_color(&g, &dev, &opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("warning: {scheme} at P={p} ({tag}) skipped: {e}");
+                        continue;
+                    }
+                };
+                gcol_core::verify_coloring(&g, &r.colors)
+                    .unwrap_or_else(|e| panic!("{scheme} improper at P={p} ({tag}): {e}"));
+                if p == 1 {
+                    one_device_ms = r.total_ms();
+                }
+                let (frontier_bytes, rounds) = frontier_traffic(&r);
+                let sp = one_device_ms / r.total_ms();
+                table.row(vec![
+                    scheme.name().to_string(),
+                    format!("{p}"),
+                    tag.to_string(),
+                    r.num_colors.to_string(),
+                    r.iterations.to_string(),
+                    rounds.to_string(),
+                    frontier_bytes.to_string(),
+                    f(r.total_ms(), 2),
+                    speedup(sp),
+                ]);
+                rows.push(Row {
+                    scheme: scheme.name(),
+                    shards: p,
+                    exchange: tag,
+                    num_colors: r.num_colors,
+                    iterations: r.iterations,
+                    rounds,
+                    frontier_bytes,
+                    ms: r.total_ms(),
+                    speedup_vs_one: sp,
+                });
             }
-            let sp = one_device_ms / r.total_ms();
-            table.row(vec![
-                scheme.name().to_string(),
-                format!("{p}"),
-                r.num_colors.to_string(),
-                r.iterations.to_string(),
-                f(r.total_ms(), 2),
-                speedup(sp),
-            ]);
-            rows.push(Row {
-                scheme: scheme.name(),
-                shards: p,
-                num_colors: r.num_colors,
-                iterations: r.iterations,
-                ms: r.total_ms(),
-                speedup_vs_one: sp,
-            });
         }
     }
     maybe_write_json(cfg.json.as_deref(), &rows).expect("json write");
-    format!(
-        "Sharded multi-device scaling — rmat-er scale {} on the {} backend.\n\
-         Every coloring is verified proper; P=1 is the single-device driver\n\
-         (label-identical by construction). Expected shape: local-phase time\n\
-         shrinks with P while exchange rounds add a cut-proportional tax.\n\n{}",
+    let mut report = format!(
+        "Sharded multi-device scaling — rmat-er scale {} on the {} backend,\n\
+         dense vs delta ghost-frontier encodings. Every coloring is verified\n\
+         proper; P=1 is the single-device driver (label-identical by\n\
+         construction, shared by both encodings). Expected shape: round 1\n\
+         ships the full frontier under either encoding, later delta rounds\n\
+         shrink to the conflict losers, and the modeled exchange only charges\n\
+         the copy tail the receiver cannot hide behind its own compute.\n\n{}",
         cfg.scale,
         cfg.backend,
         table.render()
+    );
+    if cfg.smoke {
+        report.push_str(&smoke_checks(&rows));
+    }
+    report
+}
+
+/// The CI invariants over the A/B rows. Panics on violation.
+fn smoke_checks(rows: &[Row]) -> String {
+    let mut checked_bytes = 0usize;
+    let mut checked_oneround = 0usize;
+    for d in rows.iter().filter(|r| r.exchange == "dense") {
+        let delta = rows
+            .iter()
+            .find(|r| r.exchange == "delta" && r.scheme == d.scheme && r.shards == d.shards)
+            .unwrap_or_else(|| panic!("smoke: no delta row for {}/P={}", d.scheme, d.shards));
+        // Invariant 1: the delta encoding never ships more bytes than
+        // dense — the encoder's per-frame fallback guarantees it frame by
+        // frame, so it must hold in aggregate for every scheme and P.
+        assert!(
+            delta.frontier_bytes <= d.frontier_bytes,
+            "smoke: {}/P={}: delta frontier ({} B) exceeds dense ({} B)",
+            d.scheme,
+            d.shards,
+            delta.frontier_bytes,
+            d.frontier_bytes
+        );
+        checked_bytes += 1;
+        // Invariant 2: a one-round scheme ships one (identical, dense-
+        // fallback) frame under either encoding, so delta may not model
+        // slower than dense. Multi-round schemes are excluded: smaller
+        // later frames change the copy/compute overlap legitimately.
+        if d.rounds <= 1 {
+            assert!(
+                delta.ms <= d.ms * (1.0 + 1e-9),
+                "smoke: one-round {}/P={}: delta modeled {} ms regressed below dense {} ms",
+                d.scheme,
+                d.shards,
+                delta.ms,
+                d.ms
+            );
+            checked_oneround += 1;
+        }
+    }
+    assert!(checked_bytes > 0, "smoke: no dense/delta pairs to compare");
+    format!(
+        "\nsmoke: OK — {checked_bytes} dense/delta byte comparisons, \
+         {checked_oneround} one-round time checks, 0 violations\n"
     )
 }
 
@@ -129,5 +252,31 @@ mod tests {
             ..ExpConfig::default()
         };
         assert_eq!(shard_counts(&cfg), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn pinned_exchange_reports_only_that_encoding() {
+        let cfg = ExpConfig {
+            scale: 9,
+            exchange: Some(ExchangeKind::Dense),
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.contains("dense"));
+        // Delta appears in the prose header, never as a table row tag.
+        if let Some(line) = out.lines().find(|l| l.contains("| delta |")) {
+            panic!("unexpected delta row under --exchange dense: {line}");
+        }
+    }
+
+    #[test]
+    fn smoke_invariants_hold_at_small_scale() {
+        let cfg = ExpConfig {
+            scale: 10,
+            smoke: true,
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.contains("smoke: OK"), "missing smoke summary:\n{out}");
     }
 }

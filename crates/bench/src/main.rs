@@ -31,7 +31,11 @@ COMMANDS:
     convergence per-round worklist drain of the speculative scheme
     quality     color-count league table across every scheme + bounds
     scaling     headline speedups vs suite scale
-    shardscale  multi-device scaling: every GPU scheme at P = 1/2/4 shards
+    shardscale  multi-device scaling: every GPU scheme at P = 1/2/4 shards,
+                dense-vs-delta frontier-encoding A/B (frontier bytes +
+                modeled ms); --exchange pins one encoding, --smoke runs
+                the CI invariant checks (delta never ships more bytes,
+                one-round schemes never regress vs dense)
     relabel     RCM locality-preprocessing ablation (the choice of SIII-C)
     sanitize    kernel launch sanitizer audit: every GPU scheme, P = 1/2,
                 shadow-memory race/ldg/bounds/init analysis (fails on any
@@ -64,6 +68,11 @@ OPTIONS:
     --shards N    device count for the GPU schemes (default 1): partition
                   the graph into N shards colored on independent backend
                   instances with ghost-frontier exchange rounds
+    --exchange E  ghost-frontier wire encoding for sharded runs: dense
+                  (ship every ghost color every round) or delta (dirty
+                  bitmask + changed colors, dense fallback). Default:
+                  delta everywhere; shardscale sweeps both when the flag
+                  is absent
     --json PATH   also write the raw results as JSON
 
 SERVICE OPTIONS (loadgen / serve):
@@ -73,7 +82,7 @@ SERVICE OPTIONS (loadgen / serve):
                   unpaced: the whole trace is submitted at once)
     --trace T     loadgen: replay a single trace — uniform, bursty,
                   duplicate or unique — instead of the A/B grid
-    --smoke       loadgen: run the CI invariant checks and exit
+    --smoke       loadgen/shardscale: run the CI invariant checks and exit
     --listen A    serve: accept one TCP connection on A (e.g. 127.0.0.1:7070)
                   instead of serving stdio
 ";
@@ -129,6 +138,14 @@ fn main() {
                     .unwrap_or_else(|| die("--shards needs a positive integer"));
                 i += 2;
             }
+            "--exchange" => {
+                cfg.exchange = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--exchange needs 'dense' or 'delta'")),
+                );
+                i += 2;
+            }
             "--json" => {
                 cfg.json = Some(
                     args.get(i + 1)
@@ -173,6 +190,7 @@ fn main() {
             }
             "--smoke" => {
                 lg.smoke = true;
+                cfg.smoke = true;
                 i += 1;
             }
             "--listen" => {

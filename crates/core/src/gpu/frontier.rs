@@ -1,0 +1,273 @@
+//! Ghost-frontier wire encodings for the sharded driver.
+//!
+//! Every exchange round each device must learn the current colors of its
+//! ghost vertices. The obvious wire format — [`ExchangeKind::Dense`] —
+//! ships all `G_p` ghost colors to device `p` at 4 bytes each, every
+//! round, even though after the first round only the vertices that lost a
+//! cross-shard conflict (a thin and shrinking boundary subset) have
+//! changed color. [`ExchangeKind::Delta`] ships a per-frame dirty bitmask
+//! (`ceil(G_p / 8)` bytes) plus 4 bytes per *changed* ghost, falls back
+//! to the dense payload whenever that would be smaller (so a delta frame
+//! never costs more than dense), and elides the frame entirely when
+//! nothing changed — the exchange is round-synchronous, so a zero-length
+//! message is all "no news" needs.
+//!
+//! The encodings differ only in wire bytes, never in decoded colors:
+//! [`FrontierFrame::apply`] reconstructs the same ghost color array under
+//! either kind, which `tests/frontier_codec.rs` proves by property. The
+//! sharded driver computes the dirty set for *both* kinds (it drives the
+//! scoped cross-detect and the detect skip either way — an unchanged
+//! frontier cannot introduce a conflict the previous round did not
+//! already clear; see `gpu::sharded`'s module docs); the kind only
+//! selects the wire format and with it the copy-readiness of the frame.
+
+/// Which wire format the sharded driver uses for ghost-frontier rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExchangeKind {
+    /// Ship every ghost color every round (4 bytes per ghost).
+    Dense,
+    /// Ship a dirty bitmask plus only the changed colors, falling back to
+    /// the dense payload when that is smaller. The default.
+    #[default]
+    Delta,
+}
+
+impl ExchangeKind {
+    /// Every selectable encoding.
+    pub const ALL: [ExchangeKind; 2] = [ExchangeKind::Dense, ExchangeKind::Delta];
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExchangeKind::Dense => "dense",
+            ExchangeKind::Delta => "delta",
+        }
+    }
+
+    /// Encodes one device's incoming frontier: `cur` holds the current
+    /// colors of its ghosts (in ghost order), `prev` the colors the device
+    /// last received (seed with `u32::MAX` so the first round marks every
+    /// ghost dirty). Both slices must have equal length.
+    pub fn encode(&self, cur: &[u32], prev: &[u32]) -> FrontierFrame {
+        assert_eq!(cur.len(), prev.len(), "frontier mirror length mismatch");
+        match self {
+            ExchangeKind::Dense => FrontierFrame::Dense {
+                colors: cur.to_vec(),
+            },
+            ExchangeKind::Delta => {
+                let dirty: Vec<usize> = (0..cur.len()).filter(|&i| cur[i] != prev[i]).collect();
+                if dirty.is_empty() {
+                    return FrontierFrame::Empty {
+                        num_ghosts: cur.len(),
+                    };
+                }
+                let delta_bytes = cur.len().div_ceil(8) + 4 * dirty.len();
+                if delta_bytes >= 4 * cur.len() {
+                    // Dense fallback: nearly everything changed, the
+                    // bitmask would only add overhead.
+                    return FrontierFrame::Dense {
+                        colors: cur.to_vec(),
+                    };
+                }
+                let mut mask = vec![0u8; cur.len().div_ceil(8)];
+                let mut payload = Vec::with_capacity(dirty.len());
+                for &i in &dirty {
+                    mask[i / 8] |= 1 << (i % 8);
+                    payload.push(cur[i]);
+                }
+                FrontierFrame::Delta { mask, payload }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ExchangeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ExchangeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| format!("unknown exchange {s:?} (expected \"dense\" or \"delta\")"))
+    }
+}
+
+/// One encoded frontier message for one device's ghosts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontierFrame {
+    /// All ghost colors, in ghost order.
+    Dense {
+        /// The full color array.
+        colors: Vec<u32>,
+    },
+    /// Changed ghosts only: bit `i` of `mask` set ⇔ ghost `i` changed;
+    /// `payload` holds the changed colors in ascending ghost order.
+    Delta {
+        /// Dirty bitmask, `ceil(num_ghosts / 8)` bytes.
+        mask: Vec<u8>,
+        /// New colors of the dirty ghosts.
+        payload: Vec<u32>,
+    },
+    /// Nothing changed; carries no payload at all.
+    Empty {
+        /// How many ghosts the (elided) frame covers.
+        num_ghosts: usize,
+    },
+}
+
+impl FrontierFrame {
+    /// Bytes this frame occupies on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            FrontierFrame::Dense { colors } => 4 * colors.len(),
+            FrontierFrame::Delta { mask, payload } => mask.len() + 4 * payload.len(),
+            FrontierFrame::Empty { .. } => 0,
+        }
+    }
+
+    /// Number of ghost entries this frame rewrites when applied.
+    pub fn num_dirty(&self) -> usize {
+        match self {
+            FrontierFrame::Dense { colors } => colors.len(),
+            FrontierFrame::Delta { payload, .. } => payload.len(),
+            FrontierFrame::Empty { .. } => 0,
+        }
+    }
+
+    /// Whether applying this frame can change anything. The sharded
+    /// driver skips the cross-shard detect kernel for devices whose
+    /// incoming frame is empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, FrontierFrame::Empty { .. })
+    }
+
+    /// Decodes the frame onto the receiver's ghost color mirror, and
+    /// returns the ghost indices that were rewritten (ascending). The
+    /// mirror must have the length the frame was encoded from.
+    pub fn apply(&self, mirror: &mut [u32]) -> Vec<usize> {
+        match self {
+            FrontierFrame::Dense { colors } => {
+                assert_eq!(colors.len(), mirror.len(), "dense frame length mismatch");
+                mirror.copy_from_slice(colors);
+                (0..mirror.len()).collect()
+            }
+            FrontierFrame::Delta { mask, payload } => {
+                assert_eq!(
+                    mask.len(),
+                    mirror.len().div_ceil(8),
+                    "delta mask length mismatch"
+                );
+                let mut touched = Vec::with_capacity(payload.len());
+                let mut next = 0;
+                for i in 0..mirror.len() {
+                    if mask[i / 8] & (1 << (i % 8)) != 0 {
+                        mirror[i] = payload[next];
+                        next += 1;
+                        touched.push(i);
+                    }
+                }
+                assert_eq!(next, payload.len(), "delta payload length mismatch");
+                touched
+            }
+            FrontierFrame::Empty { num_ghosts } => {
+                assert_eq!(*num_ghosts, mirror.len(), "empty frame length mismatch");
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_always_ships_everything() {
+        let cur = [3u32, 1, 4, 1, 5];
+        let prev = [3u32, 1, 4, 1, 5];
+        let f = ExchangeKind::Dense.encode(&cur, &prev);
+        assert_eq!(f.wire_bytes(), 20);
+        assert_eq!(f.num_dirty(), 5);
+        let mut mirror = prev;
+        f.apply(&mut mirror);
+        assert_eq!(mirror, cur);
+    }
+
+    #[test]
+    fn delta_ships_only_changes_and_elides_empty_frames() {
+        let prev = [3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3];
+        let mut cur = prev;
+        cur[2] = 7;
+        cur[8] = 8;
+        let f = ExchangeKind::Delta.encode(&cur, &prev);
+        // 10 ghosts → 2 mask bytes, 2 dirty → 8 payload bytes.
+        assert_eq!(f.wire_bytes(), 10);
+        assert_eq!(f.num_dirty(), 2);
+        let mut mirror = prev;
+        assert_eq!(f.apply(&mut mirror), vec![2, 8]);
+        assert_eq!(mirror, cur);
+
+        let g = ExchangeKind::Delta.encode(&cur, &cur);
+        assert!(g.is_empty());
+        assert_eq!(g.wire_bytes(), 0);
+        let mut mirror2 = cur;
+        assert!(g.apply(&mut mirror2).is_empty());
+        assert_eq!(mirror2, cur);
+    }
+
+    #[test]
+    fn delta_falls_back_to_dense_when_everything_is_dirty() {
+        // All-dirty: bitmask + full payload would exceed dense.
+        let prev = [u32::MAX; 6];
+        let cur = [1u32, 2, 3, 4, 5, 6];
+        let f = ExchangeKind::Delta.encode(&cur, &prev);
+        assert!(matches!(f, FrontierFrame::Dense { .. }));
+        assert_eq!(f.wire_bytes(), 24);
+        let mut mirror = prev;
+        f.apply(&mut mirror);
+        assert_eq!(mirror, cur);
+    }
+
+    #[test]
+    fn delta_never_exceeds_dense() {
+        // Sweep dirty counts on a fixed-size frontier.
+        for dirty in 0..=32usize {
+            let prev = vec![1u32; 32];
+            let mut cur = prev.clone();
+            for (i, c) in cur.iter_mut().take(dirty).enumerate() {
+                *c = 100 + i as u32;
+            }
+            let f = ExchangeKind::Delta.encode(&cur, &prev);
+            assert!(
+                f.wire_bytes() <= 4 * cur.len(),
+                "delta frame ({} bytes, {dirty} dirty) exceeds dense ({})",
+                f.wire_bytes(),
+                4 * cur.len()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_length_frontier() {
+        let f = ExchangeKind::Delta.encode(&[], &[]);
+        assert!(f.is_empty());
+        assert_eq!(f.wire_bytes(), 0);
+        let d = ExchangeKind::Dense.encode(&[], &[]);
+        assert_eq!(d.wire_bytes(), 0);
+    }
+
+    #[test]
+    fn exchange_kind_round_trips() {
+        for k in ExchangeKind::ALL {
+            assert_eq!(k.name().parse::<ExchangeKind>(), Ok(k));
+        }
+        assert!("sparse".parse::<ExchangeKind>().is_err());
+        assert_eq!(ExchangeKind::default(), ExchangeKind::Delta);
+    }
+}

@@ -12,6 +12,7 @@ pub mod csrcolor;
 pub mod data;
 pub mod data_atomic;
 pub mod driver;
+pub mod frontier;
 pub mod sanitize;
 pub mod sharded;
 pub mod threestep;
@@ -19,6 +20,7 @@ pub mod topo;
 pub mod topo_edge;
 
 pub use driver::SpecGreedyDriver;
+pub use frontier::{ExchangeKind, FrontierFrame};
 pub use sharded::color_sharded;
 
 use gcol_graph::Csr;

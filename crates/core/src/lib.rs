@@ -42,6 +42,7 @@ pub use gcol_graph::check::{
     compact_colors, count_colors, count_conflicts, verify_coloring, ColoringViolation,
 };
 pub use gcol_simt::{Backend, BackendKind, RunProfile, SanitizerReport};
+pub use gpu::frontier::ExchangeKind;
 pub use gpu::sanitize::color_sanitized;
 pub use job::{Fingerprint, JobSpec};
 
@@ -76,6 +77,10 @@ pub struct ColorOptions {
     /// own backend instance with ghost-frontier boundary-exchange rounds
     /// (see `gpu::sharded`). CPU schemes ignore it.
     pub num_shards: usize,
+    /// Wire encoding for the sharded driver's ghost-frontier rounds:
+    /// compressed deltas (default) or the dense full-frontier push.
+    /// Single-device runs ignore it; labels are identical either way.
+    pub exchange: ExchangeKind,
 }
 
 impl ColorOptions {
@@ -127,6 +132,12 @@ impl ColorOptions {
         self.num_shards = num_shards;
         self
     }
+
+    /// Fluent setter: ghost-frontier wire encoding for sharded runs.
+    pub fn with_exchange(mut self, exchange: ExchangeKind) -> Self {
+        self.exchange = exchange;
+        self
+    }
 }
 
 impl Default for ColorOptions {
@@ -142,6 +153,7 @@ impl Default for ColorOptions {
             charge_h2d: false,
             backend: BackendKind::Simt,
             num_shards: 1,
+            exchange: ExchangeKind::default(),
         }
     }
 }

@@ -1,0 +1,97 @@
+//! Property tests for the ghost-frontier wire encodings.
+//!
+//! The sharded driver's correctness argument leans on one codec fact: a
+//! delta frame applied over the previous mirror reconstructs *exactly*
+//! the colors a dense frame would have shipped. These properties pin
+//! that down for arbitrary (prev, cur) pairs — including the empty
+//! frontier, the nothing-changed frame, and the all-dirty fallback —
+//! plus the byte-economy claim that a delta frame never costs more than
+//! its dense counterpart.
+
+use gcol_core::gpu::{ExchangeKind, FrontierFrame};
+use proptest::prelude::*;
+
+/// An arbitrary (prev, cur) mirror pair of equal length. Colors are drawn
+/// from a small range so repeats (i.e. clean ghosts) are common.
+fn mirror_pair() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (0usize..128).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(1u32..20, n..n + 1),
+            proptest::collection::vec(1u32..20, n..n + 1),
+        )
+    })
+}
+
+proptest! {
+    /// Core round-trip equality: decoding the delta frame over the prev
+    /// mirror yields the exact array the dense frame ships.
+    #[test]
+    fn delta_and_dense_decode_identically((prev, cur) in mirror_pair()) {
+        let dense = ExchangeKind::Dense.encode(&cur, &prev);
+        let delta = ExchangeKind::Delta.encode(&cur, &prev);
+
+        let mut via_dense = prev.clone();
+        dense.apply(&mut via_dense);
+        let mut via_delta = prev.clone();
+        let touched = delta.apply(&mut via_delta);
+
+        prop_assert_eq!(&via_dense, &cur);
+        prop_assert_eq!(&via_delta, &cur);
+        // The touched set covers every ghost that actually changed.
+        for (i, (&p, &c)) in prev.iter().zip(cur.iter()).enumerate() {
+            if p != c {
+                prop_assert!(touched.contains(&i), "changed ghost {i} not rewritten");
+            }
+        }
+    }
+
+    /// Byte economy: a delta frame never exceeds the dense frame, and its
+    /// reported dirty count never exceeds the true number of changes.
+    #[test]
+    fn delta_never_costs_more_than_dense((prev, cur) in mirror_pair()) {
+        let dense = ExchangeKind::Dense.encode(&cur, &prev);
+        let delta = ExchangeKind::Delta.encode(&cur, &prev);
+        prop_assert!(delta.wire_bytes() <= dense.wire_bytes());
+
+        let changed = prev.iter().zip(cur.iter()).filter(|(p, c)| p != c).count();
+        if changed == 0 {
+            prop_assert!(delta.is_empty());
+        }
+    }
+
+    /// The first round seeds `prev` with `u32::MAX`, so everything is
+    /// dirty and the encoder must take the dense fallback (no bitmask
+    /// overhead on a frame that ships every color anyway).
+    #[test]
+    fn first_round_all_dirty_falls_back_to_dense(cur in proptest::collection::vec(1u32..20, 1..128)) {
+        let prev = vec![u32::MAX; cur.len()];
+        let f = ExchangeKind::Delta.encode(&cur, &prev);
+        prop_assert!(matches!(f, FrontierFrame::Dense { .. }));
+        prop_assert_eq!(f.wire_bytes(), 4 * cur.len());
+        let mut mirror = prev;
+        f.apply(&mut mirror);
+        prop_assert_eq!(mirror, cur);
+    }
+}
+
+#[test]
+fn empty_frontier_round_trips_under_both_kinds() {
+    for kind in ExchangeKind::ALL {
+        let f = kind.encode(&[], &[]);
+        assert_eq!(f.wire_bytes(), 0);
+        assert_eq!(f.num_dirty(), 0);
+        let mut mirror: Vec<u32> = Vec::new();
+        assert!(f.apply(&mut mirror).is_empty());
+    }
+}
+
+#[test]
+fn unchanged_frontier_elides_the_frame() {
+    let cur = vec![5u32; 40];
+    let f = ExchangeKind::Delta.encode(&cur, &cur);
+    assert!(f.is_empty());
+    assert_eq!(f.wire_bytes(), 0);
+    let mut mirror = cur.clone();
+    assert!(f.apply(&mut mirror).is_empty());
+    assert_eq!(mirror, cur);
+}

@@ -222,88 +222,89 @@ fn deterministic_sharded_profiles_are_bit_stable() {
     }
 }
 
-/// Captured from the initial sharded-driver implementation on the pinned
+/// Captured from the compressed-exchange sharded driver (delta frontier
+/// frames, fused cross/owned resolve, palette rotation) on the pinned
 /// `rmat-skew-11` graph; regenerate like `GOLDEN` (see module docs).
 const GOLDEN_SHARDED: &[GoldenSharded] = &[
     GoldenSharded {
         shards: 2,
         scheme: "T-base",
-        colors_fnv: 0x7d432d374e88709b,
+        colors_fnv: 0x17e7c6cddba11678,
         num_colors: 13,
         iterations: 7,
-        total_ms_bits: 0x3fe24b6bd4b5f5ae,
-        transfer_ms_bits: 0x3f96bbf24260860b,
-        transfer_bytes: 13208,
+        total_ms_bits: 0x3fe247cf29812b8b,
+        transfer_ms_bits: 0x3f9532dc84891f80,
+        transfer_bytes: 7499,
     },
     GoldenSharded {
         shards: 2,
         scheme: "T-ldg",
-        colors_fnv: 0x7d432d374e88709b,
+        colors_fnv: 0x17e7c6cddba11678,
         num_colors: 13,
         iterations: 7,
-        total_ms_bits: 0x3fe12ef6c0aa78e9,
-        transfer_ms_bits: 0x3f96bbf24260860b,
-        transfer_bytes: 13208,
+        total_ms_bits: 0x3fe0e23d26979502,
+        transfer_ms_bits: 0x3f9532dc84891f80,
+        transfer_bytes: 7499,
     },
     GoldenSharded {
         shards: 2,
         scheme: "D-base",
-        colors_fnv: 0x6ef7e5843b111c3e,
-        num_colors: 11,
-        iterations: 6,
-        total_ms_bits: 0x3fe40a5b731da0a0,
-        transfer_ms_bits: 0x3f96bbf24260860b,
-        transfer_bytes: 13208,
+        colors_fnv: 0x9c182c19fc76870e,
+        num_colors: 13,
+        iterations: 7,
+        total_ms_bits: 0x3fe1ba3d169757db,
+        transfer_ms_bits: 0x3f9531a357d01240,
+        transfer_bytes: 7471,
     },
     GoldenSharded {
         shards: 2,
         scheme: "D-ldg",
-        colors_fnv: 0x6ef7e5843b111c3e,
-        num_colors: 11,
-        iterations: 6,
-        total_ms_bits: 0x3fe286129a80e384,
-        transfer_ms_bits: 0x3f96bbf24260860b,
-        transfer_bytes: 13208,
+        colors_fnv: 0x9c182c19fc76870e,
+        num_colors: 13,
+        iterations: 7,
+        total_ms_bits: 0x3fdfee560e1bc45c,
+        transfer_ms_bits: 0x3f9531a357d01240,
+        transfer_bytes: 7471,
     },
     GoldenSharded {
         shards: 4,
         scheme: "T-base",
-        colors_fnv: 0xbfb453ab43f12c59,
-        num_colors: 12,
+        colors_fnv: 0xd9f1240d0ab26ac1,
+        num_colors: 14,
         iterations: 9,
-        total_ms_bits: 0x3ff6fe9906cea9fb,
-        transfer_ms_bits: 0x3fa9d0d3335ff072,
-        transfer_bytes: 62528,
+        total_ms_bits: 0x3fea42437c7c168f,
+        transfer_ms_bits: 0x3f9fbd10debc2a40,
+        transfer_bytes: 21716,
     },
     GoldenSharded {
         shards: 4,
         scheme: "T-ldg",
-        colors_fnv: 0xbfb453ab43f12c59,
-        num_colors: 12,
+        colors_fnv: 0xd9f1240d0ab26ac1,
+        num_colors: 14,
         iterations: 9,
-        total_ms_bits: 0x3ff5cc4d85f513ba,
-        transfer_ms_bits: 0x3fa9d0d3335ff072,
-        transfer_bytes: 62528,
+        total_ms_bits: 0x3fe902b4bc463f93,
+        transfer_ms_bits: 0x3f9fbd10debc2a40,
+        transfer_bytes: 21716,
     },
     GoldenSharded {
         shards: 4,
         scheme: "D-base",
-        colors_fnv: 0x56e0e0a837893b4b,
-        num_colors: 10,
-        iterations: 8,
-        total_ms_bits: 0x3ff2d61faafbd0e2,
-        transfer_ms_bits: 0x3fa9d0d3335ff072,
-        transfer_bytes: 62528,
+        colors_fnv: 0xea8bfb05e9e845a7,
+        num_colors: 13,
+        iterations: 7,
+        total_ms_bits: 0x3fe53a21da5de4c6,
+        transfer_ms_bits: 0x3f9fbc312c8120b0,
+        transfer_bytes: 21468,
     },
     GoldenSharded {
         shards: 4,
         scheme: "D-ldg",
-        colors_fnv: 0x56e0e0a837893b4b,
-        num_colors: 10,
-        iterations: 8,
-        total_ms_bits: 0x3ff1e24443d8ca84,
-        transfer_ms_bits: 0x3fa9d0d3335ff072,
-        transfer_bytes: 62528,
+        colors_fnv: 0xea8bfb05e9e845a7,
+        num_colors: 13,
+        iterations: 7,
+        total_ms_bits: 0x3fe431048c71b35c,
+        transfer_ms_bits: 0x3f9fbc312c8120b0,
+        transfer_bytes: 21468,
     },
 ];
 

@@ -9,7 +9,7 @@
 //! context unchanged, a sanitized run must also match the plain
 //! deterministic simulator bit for bit: same colors, same modeled time.
 
-use gcol_core::{color_sanitized, ColorOptions, Scheme};
+use gcol_core::{color_sanitized, ColorOptions, ExchangeKind, Scheme};
 use gcol_graph::check::verify_coloring;
 use gcol_graph::gen::simple::erdos_renyi;
 use gcol_graph::gen::{grid2d, StencilKind};
@@ -65,25 +65,41 @@ fn all_gpu_schemes_run_clean_single_device() {
 
 #[test]
 fn sharded_p2_runs_clean_including_ghost_exchange() {
+    // Both wire encodings go under the sanitizer: the compressed (delta)
+    // exchange applies partial frontier updates and launches the scoped
+    // CrossResolve/OwnedResolve kernels over dirty worklists — exactly
+    // the machinery most likely to read stale or uninitialized ghost
+    // slots if the dirty-set bookkeeping were wrong.
     let dev = Device::tiny();
-    let opts = ColorOptions::default().with_shards(2);
-    for scheme in Scheme::GPU {
-        for (name, g) in graphs() {
-            let (coloring, report) = color_sanitized(scheme, &g, &dev, &opts)
-                .unwrap_or_else(|e| panic!("{scheme}/{name} P=2: {e}"));
-            verify_coloring(&g, &coloring.colors)
-                .unwrap_or_else(|e| panic!("{scheme}/{name} P=2 improper: {e}"));
-            assert!(
-                report.is_clean(),
-                "{scheme}/{name} P=2 has harmful findings:\n{report}"
-            );
+    for kind in ExchangeKind::ALL {
+        let opts = ColorOptions::default().with_shards(2).with_exchange(kind);
+        for scheme in Scheme::GPU {
+            for (name, g) in graphs() {
+                let (coloring, report) = color_sanitized(scheme, &g, &dev, &opts)
+                    .unwrap_or_else(|e| panic!("{scheme}/{name}/{kind} P=2: {e}"));
+                verify_coloring(&g, &coloring.colors)
+                    .unwrap_or_else(|e| panic!("{scheme}/{name}/{kind} P=2 improper: {e}"));
+                assert!(
+                    report.is_clean(),
+                    "{scheme}/{name}/{kind} P=2 has harmful findings:\n{report}"
+                );
 
-            // Same colors as the plain sharded simt run.
-            let plain_opts = ColorOptions::default().with_shards(2);
-            let plain = scheme
-                .try_color(&g, &dev, &plain_opts)
-                .unwrap_or_else(|e| panic!("{scheme}/{name} P=2 plain: {e}"));
-            assert_eq!(coloring.colors, plain.colors, "{scheme}/{name} P=2 colors");
+                // Bit-identical to the plain sharded simt run — colors
+                // AND modeled time, so the sanitizer provably stays off
+                // the exchange timing path too.
+                let plain = scheme
+                    .try_color(&g, &dev, &opts)
+                    .unwrap_or_else(|e| panic!("{scheme}/{name}/{kind} P=2 plain: {e}"));
+                assert_eq!(
+                    coloring.colors, plain.colors,
+                    "{scheme}/{name}/{kind} P=2 colors"
+                );
+                assert_eq!(
+                    coloring.profile.total_ms().to_bits(),
+                    plain.profile.total_ms().to_bits(),
+                    "{scheme}/{name}/{kind} P=2 modeled time diverged under the sanitizer"
+                );
+            }
         }
     }
 }

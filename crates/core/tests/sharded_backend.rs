@@ -12,7 +12,7 @@
 //! ballpark; properness may never change.
 
 use gcol_core::gpu::color_sharded;
-use gcol_core::{ColorError, ColorOptions, Scheme};
+use gcol_core::{ColorError, ColorOptions, ExchangeKind, Scheme};
 use gcol_graph::check::verify_coloring;
 use gcol_graph::gen::simple::{complete, erdos_renyi, star};
 use gcol_graph::gen::{grid2d, rmat, RmatParams, StencilKind};
@@ -95,23 +95,44 @@ fn sharded_simt_is_proper_and_charges_the_modeled_frontier() {
         .map(|s| s.ghost_gids.len())
         .sum();
     assert!(total_ghosts > 0, "graph too sparse to exercise exchanges");
-    let opts = ColorOptions::default().with_shards(4);
-    for scheme in [Scheme::TopoBase, Scheme::DataLdg, Scheme::CsrColor] {
-        let r = scheme.try_color(&g, &dev, &opts).unwrap();
-        verify_coloring(&g, &r.colors).unwrap_or_else(|e| panic!("{scheme}: {e}"));
-        // Every exchange round pushes the full 4-byte-per-ghost frontier.
-        let frontier_phases: Vec<&Phase> = r
-            .profile
-            .phases
-            .iter()
-            .filter(|p| matches!(p, Phase::Transfer { label, .. } if label.contains("d2d")))
-            .collect();
-        assert!(!frontier_phases.is_empty(), "{scheme}: no d2d exchange");
-        for p in frontier_phases {
-            if let Phase::Transfer { bytes, ms, .. } = p {
-                assert_eq!(*bytes, 4 * total_ghosts, "{scheme}");
-                assert!(*ms > 0.0, "{scheme}: unpriced d2d transfer");
+    // The per-round wire bound comes from the encoding, not a magic
+    // constant: a dense round ships exactly 4 bytes per ghost, and a
+    // delta round can never exceed that (the encoder falls back to the
+    // dense payload whenever the bitmask would not pay for itself).
+    let dense_round = 4 * total_ghosts;
+    for kind in ExchangeKind::ALL {
+        let opts = ColorOptions::default().with_shards(4).with_exchange(kind);
+        for scheme in [Scheme::TopoBase, Scheme::DataLdg, Scheme::CsrColor] {
+            let r = scheme.try_color(&g, &dev, &opts).unwrap();
+            verify_coloring(&g, &r.colors).unwrap_or_else(|e| panic!("{scheme}/{kind}: {e}"));
+            let frontier_rounds: Vec<(usize, f64)> = r
+                .profile
+                .phases
+                .iter()
+                .filter_map(|p| match p {
+                    Phase::Transfer { label, bytes, ms } if label.contains("d2d") => {
+                        Some((*bytes, *ms))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                !frontier_rounds.is_empty(),
+                "{scheme}/{kind}: no d2d exchange"
+            );
+            for (round, &(bytes, ms)) in frontier_rounds.iter().enumerate() {
+                match kind {
+                    ExchangeKind::Dense => assert_eq!(bytes, dense_round, "{scheme} round {round}"),
+                    ExchangeKind::Delta => assert!(
+                        bytes <= dense_round,
+                        "{scheme} round {round}: delta frame ({bytes} B) exceeds dense ({dense_round} B)"
+                    ),
+                }
+                assert!(ms >= 0.0, "{scheme}/{kind}: negative d2d transfer time");
             }
+            // Round 1 diffs against a never-seen mirror, so every ghost is
+            // dirty and delta's dense fallback ships the full frontier.
+            assert_eq!(frontier_rounds[0].0, dense_round, "{scheme}/{kind} round 1");
         }
     }
 }

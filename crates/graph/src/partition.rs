@@ -98,6 +98,14 @@ impl Partitioning {
 /// for `0..num_owned`) and the ghosts after them in ascending global-id
 /// order. Ghost adjacency keeps only the edges back into the owned range:
 /// ghost–ghost edges belong to the shards that own those endpoints.
+///
+/// Owned vertices further split into **boundary** (at least one ghost
+/// neighbor — the only vertices a cross-shard conflict can touch, and the
+/// only ones whose colors ever travel the interconnect) and **interior**
+/// (every neighbor owned — colorable and verifiable with zero
+/// communication). The split is what lets the sharded driver restrict its
+/// cross-conflict kernels to the boundary worklist and overlap ghost
+/// exchanges with interior compute.
 #[derive(Debug, Clone)]
 pub struct Shard {
     /// Partition / device index this shard belongs to.
@@ -109,6 +117,9 @@ pub struct Shard {
     /// Global ids of the ghost vertices, ascending (local ids
     /// `num_owned..num_owned + ghost_gids.len()`).
     pub ghost_gids: Vec<VertexId>,
+    /// Local ids (ascending, all `< num_owned`) of the owned vertices
+    /// with at least one ghost neighbor — the boundary worklist.
+    pub boundary_locals: Vec<VertexId>,
     /// The local subgraph over owned ++ ghost vertices. Symmetric, no
     /// self-loops, sorted adjacency — a full-fledged [`Csr`] any coloring
     /// scheme can run on unchanged.
@@ -136,6 +147,7 @@ impl Shard {
         let num_local = num_owned + ghost_gids.len();
         let mut row_offsets = Vec::with_capacity(num_local + 1);
         let mut col_indices = Vec::new();
+        let mut boundary_locals = Vec::new();
         row_offsets.push(0u32);
         for v in lo..hi {
             let row_start = col_indices.len();
@@ -144,6 +156,13 @@ impl Shard {
             // `num_owned`, so mixed rows need a re-sort to keep the CSR
             // sorted-adjacency invariant.
             col_indices[row_start..].sort_unstable();
+            if col_indices[row_start..]
+                .last()
+                .is_some_and(|&w| w as usize >= num_owned)
+            {
+                // Sorted row: a ghost neighbor, if any, is the last entry.
+                boundary_locals.push(v - lo);
+            }
             row_offsets.push(col_indices.len() as u32);
         }
         for &gw in &ghost_gids {
@@ -162,6 +181,7 @@ impl Shard {
             owned_start: lo,
             num_owned,
             ghost_gids,
+            boundary_locals,
             graph: Csr::new(row_offsets, col_indices),
         }
     }
@@ -169,6 +189,36 @@ impl Shard {
     /// Owned + ghost vertex count (the local graph's vertex count).
     pub fn num_local(&self) -> usize {
         self.num_owned + self.ghost_gids.len()
+    }
+
+    /// The subgraph induced by the owned vertices alone (local ids
+    /// preserved, ghost edges dropped). This is what the sharded driver
+    /// colors in its local-speculation phase: interior vertices see every
+    /// neighbor, boundary vertices speculate without their ghosts and get
+    /// checked by the first exchange round — so the phase's cost scales
+    /// with the shard, not with the halo.
+    pub fn owned_subgraph(&self) -> Csr {
+        let bound = self.num_owned as u32;
+        let mut row_offsets = Vec::with_capacity(self.num_owned + 1);
+        let mut col_indices = Vec::new();
+        row_offsets.push(0u32);
+        for v in 0..bound {
+            col_indices.extend(
+                self.graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| w < bound),
+            );
+            row_offsets.push(col_indices.len() as u32);
+        }
+        Csr::new(row_offsets, col_indices)
+    }
+
+    /// Owned vertices with no ghost neighbor (colorable with zero
+    /// communication).
+    pub fn num_interior(&self) -> usize {
+        self.num_owned - self.boundary_locals.len()
     }
 
     /// `true` if the local id names a ghost copy rather than an owned
@@ -263,6 +313,8 @@ mod tests {
         let s = &shards[0];
         assert_eq!(s.num_owned, 9);
         assert!(s.ghost_gids.is_empty());
+        assert!(s.boundary_locals.is_empty());
+        assert_eq!(s.num_interior(), 9);
         assert_eq!(s.graph, g);
         assert_eq!(s.global_of(4), 4);
         assert_eq!(s.local_of(4), Some(4));
@@ -291,6 +343,61 @@ mod tests {
         assert!(s.graph.is_symmetric());
         assert_eq!(s.graph.neighbors(4), &[0]);
         assert_eq!(s.graph.neighbors(5), &[3]);
+        // Owned 4 (local 0) touches ghost 3 and owned 7 (local 3) touches
+        // ghost 8; locals 1 and 2 are interior.
+        assert_eq!(s.boundary_locals, vec![0, 3]);
+        assert_eq!(s.num_interior(), 2);
+    }
+
+    #[test]
+    fn owned_subgraph_keeps_interior_edges_only() {
+        let g = crate::gen::simple::erdos_renyi(90, 400, 7);
+        let p = Partitioning::contiguous(&g, 3);
+        for s in p.extract_shards(&g) {
+            let sub = s.owned_subgraph();
+            sub.validate().unwrap();
+            assert_eq!(sub.num_vertices(), s.num_owned);
+            assert!(sub.is_symmetric());
+            // Exactly the owned-owned edges of the local graph, with the
+            // same local ids.
+            for v in 0..s.num_owned as VertexId {
+                let expect: Vec<VertexId> = s
+                    .graph
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&w| (w as usize) < s.num_owned)
+                    .collect();
+                assert_eq!(sub.neighbors(v), &expect[..], "shard {} vertex {v}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn owned_subgraph_of_single_shard_is_the_graph() {
+        let g = complete(9);
+        let shards = Partitioning::contiguous(&g, 1).extract_shards(&g);
+        assert_eq!(shards[0].owned_subgraph(), g);
+    }
+
+    #[test]
+    fn boundary_locals_match_partition_boundary_flags() {
+        let g = crate::gen::simple::erdos_renyi(90, 400, 7);
+        let p = Partitioning::contiguous(&g, 3);
+        for s in p.extract_shards(&g) {
+            // Ascending, owned-only, and consistent with the global
+            // boundary bitmap restricted to this shard's range.
+            assert!(s.boundary_locals.windows(2).all(|w| w[0] < w[1]));
+            assert!(s
+                .boundary_locals
+                .iter()
+                .all(|&l| (l as usize) < s.num_owned));
+            let expect: Vec<VertexId> = (0..s.num_owned as VertexId)
+                .filter(|&l| p.boundary[(s.owned_start + l) as usize])
+                .collect();
+            assert_eq!(s.boundary_locals, expect, "shard {}", s.id);
+            assert_eq!(s.num_interior() + s.boundary_locals.len(), s.num_owned);
+        }
     }
 
     #[test]

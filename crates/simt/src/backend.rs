@@ -50,6 +50,54 @@ pub trait Backend: Sync {
     /// Charges a host↔device transfer of `bytes` into `profile`. A no-op
     /// on backends without a modeled interconnect.
     fn transfer(&self, label: &'static str, bytes: usize, profile: &mut RunProfile);
+
+    /// The modeled cost of moving `bytes` over this device's interconnect,
+    /// without recording anything — `None` when the backend has no modeled
+    /// interconnect (the native path). Callers that overlap copies with
+    /// compute (see [`CopyStream`]) price transfers through this hook and
+    /// record only the non-overlapped tail themselves.
+    fn transfer_cost_ms(&self, _bytes: usize) -> Option<f64> {
+        None
+    }
+}
+
+/// One device's asynchronous copy stream, for overlapping transfers with
+/// compute in modeled time.
+///
+/// Real multi-GPU code issues `cudaMemcpyPeerAsync` on a copy stream and
+/// keeps compute running on the default stream; the copy costs wall-clock
+/// time only where it outlasts the compute it hides behind. This models
+/// exactly that, in the simulator's virtual-time world: [`CopyStream::issue`]
+/// starts a copy once its producer data is ready *and* the previous copy on
+/// the stream has drained (one link, copies serialize), and returns the
+/// landing time. The caller compares the landing time against the consuming
+/// device's compute clock and charges only `max(0, landed - clock)` — the
+/// non-overlapped tail — against the critical path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CopyStream {
+    /// Virtual time at which the last issued copy finishes landing.
+    drained_ms: f64,
+}
+
+impl CopyStream {
+    /// A fresh stream with no in-flight copies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Issues a copy whose source data becomes available at `ready_ms`
+    /// and which occupies the link for `cost_ms`; returns the virtual
+    /// time at which the copy has fully landed on the destination.
+    pub fn issue(&mut self, ready_ms: f64, cost_ms: f64) -> f64 {
+        let start = ready_ms.max(self.drained_ms);
+        self.drained_ms = start + cost_ms;
+        self.drained_ms
+    }
+
+    /// Virtual time at which every issued copy has landed.
+    pub fn drained_ms(&self) -> f64 {
+        self.drained_ms
+    }
 }
 
 /// The tracing simulator as a backend (the paper-faithful path).
@@ -107,6 +155,10 @@ impl Backend for SimtBackend<'_> {
     fn transfer(&self, label: &'static str, bytes: usize, profile: &mut RunProfile) {
         profile.transfer(label, bytes, xfer::transfer_ms(self.dev, bytes));
     }
+
+    fn transfer_cost_ms(&self, bytes: usize) -> Option<f64> {
+        Some(xfer::transfer_ms(self.dev, bytes))
+    }
 }
 
 /// The rayon host path as a backend (the production path).
@@ -157,13 +209,17 @@ impl Backend for NativeBackend {
 
 /// A fleet of backend instances modeling P devices, one graph shard each.
 ///
-/// The sharded driver runs its per-shard work on `device(p)` and charges
-/// ghost-frontier exchanges through [`ShardedBackend::exchange`]. The
-/// exchange is priced by the *device's own* transfer model — on the
-/// modeled K20c-era hardware peer-to-peer copies traverse the same PCIe
-/// fabric as host copies, so [`SimtBackend`] charges them identically,
-/// while [`NativeBackend`] keeps them free (shards share one address
-/// space on the host path).
+/// The sharded driver runs its per-shard work on `device(p)` and prices
+/// per-device ghost-frontier traffic through
+/// [`ShardedBackend::link_cost_ms`]: each device owns an independent
+/// inbound link (its own copy stream), so concurrent exchanges into
+/// different devices proceed in parallel and only each link's
+/// non-overlapped tail lands on the critical path (see [`CopyStream`]).
+/// On the modeled K20c-era hardware peer-to-peer copies traverse the same
+/// PCIe fabric as host copies, so [`SimtBackend`] prices them
+/// identically, while [`NativeBackend`] keeps them free (shards share one
+/// address space on the host path). [`ShardedBackend::exchange`] remains
+/// for callers charging a serialized aggregate copy.
 pub struct ShardedBackend<B: Backend> {
     devices: Vec<B>,
 }
@@ -198,6 +254,12 @@ impl<B: Backend> ShardedBackend<B> {
     /// `profile` (free on backends without a modeled interconnect).
     pub fn exchange(&self, label: &'static str, bytes: usize, profile: &mut RunProfile) {
         self.devices[0].transfer(label, bytes, profile);
+    }
+
+    /// The modeled cost of landing `bytes` on device `p`'s inbound link,
+    /// or `None` when the fleet's backends have no modeled interconnect.
+    pub fn link_cost_ms(&self, p: usize, bytes: usize) -> Option<f64> {
+        self.devices[p].transfer_cost_ms(bytes)
     }
 }
 
@@ -328,6 +390,41 @@ mod tests {
         let mut np = RunProfile::new();
         native.exchange("ghost frontier (d2d)", 4096, &mut np);
         assert!(np.phases.is_empty());
+    }
+
+    #[test]
+    fn transfer_cost_hook_prices_only_modeled_interconnects() {
+        let dev = Device::tiny();
+        let simt = SimtBackend::new(&dev, ExecMode::Deterministic);
+        // The pricing hook matches what `transfer` would charge...
+        let cost = simt.transfer_cost_ms(4096).expect("simt models PCIe");
+        let mut profile = RunProfile::new();
+        simt.transfer("d2d", 4096, &mut profile);
+        assert_eq!(profile.transfer_ms(), cost);
+        // ...is monotone in bytes, and absent on the native path.
+        assert!(simt.transfer_cost_ms(1 << 20).unwrap() > cost);
+        assert_eq!(NativeBackend::new().transfer_cost_ms(4096), None);
+
+        let fleet = ShardedBackend::uniform(2, |_| SimtBackend::new(&dev, ExecMode::Deterministic));
+        assert_eq!(fleet.link_cost_ms(1, 4096), Some(cost));
+        let native = ShardedBackend::uniform(2, |_| NativeBackend::new());
+        assert_eq!(native.link_cost_ms(0, 4096), None);
+    }
+
+    #[test]
+    fn copy_stream_overlaps_and_serializes() {
+        let mut s = CopyStream::new();
+        // First copy: ready at t=2, takes 3ms → lands at 5.
+        assert_eq!(s.issue(2.0, 3.0), 5.0);
+        // Second copy ready earlier, but the link is busy until 5.
+        assert_eq!(s.issue(1.0, 2.0), 7.0);
+        // Third copy ready after the link drains: starts at its ready time.
+        assert_eq!(s.issue(10.0, 1.0), 11.0);
+        assert_eq!(s.drained_ms(), 11.0);
+        // Non-overlapped tail: a consumer whose compute clock already
+        // passed the landing time pays nothing.
+        let landed = s.drained_ms();
+        assert_eq!((landed - 12.0f64).max(0.0), 0.0);
     }
 
     #[test]

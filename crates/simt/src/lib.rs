@@ -76,7 +76,7 @@ pub mod timing;
 pub mod trace;
 pub mod xfer;
 
-pub use backend::{Backend, BackendKind, NativeBackend, ShardedBackend, SimtBackend};
+pub use backend::{Backend, BackendKind, CopyStream, NativeBackend, ShardedBackend, SimtBackend};
 pub use config::Device;
 pub use cpu::CpuModel;
 pub use exec::{grid_for, launch, launch_coop, ExecMode};

@@ -787,6 +787,12 @@ impl<B: Backend> Backend for SanitizeBackend<B> {
         "sanitize"
     }
 
+    fn transfer_cost_ms(&self, bytes: usize) -> Option<f64> {
+        // Pricing is pass-through: the sanitizer must keep modeled times
+        // bit-identical to the wrapped backend.
+        self.inner.transfer_cost_ms(bytes)
+    }
+
     fn launch<K: Kernel>(
         &self,
         mem: &GpuMem,

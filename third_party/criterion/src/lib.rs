@@ -1,0 +1,193 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! Runs each benchmark closure `sample_size` times under
+//! `std::time::Instant` and prints min/mean per iteration. Like the real
+//! crate's harness, it does nothing unless `--bench` is on the command
+//! line (which is how `cargo bench` invokes bench binaries), so
+//! `cargo test` stays fast. See `third_party/README.md`.
+
+#![allow(clippy::all)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to benchmark closures; `iter` does the timing.
+pub struct Bencher {
+    samples: usize,
+    /// (min_ns, mean_ns) of the last `iter` call.
+    result: Option<(f64, f64)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup iteration, then `samples` timed ones.
+        black_box(f());
+        let mut min = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            let ns = t0.elapsed().as_secs_f64() * 1e9;
+            min = min.min(ns);
+            total += ns;
+        }
+        self.result = Some((min, total / self.samples as f64));
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((min, mean)) => {
+            println!("bench {label:<50} min {min:>14.0} ns/iter  mean {mean:>14.0} ns/iter  (n={samples})")
+        }
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    enabled: bool,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        if self.enabled {
+            run_one(&format!("{}/{}", self.name, id), self.samples, f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        if self.enabled {
+            run_one(&format!("{}/{}", self.name, id), self.samples, |b| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    enabled: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Real criterion only measures when the harness passes --bench;
+        // under `cargo test` the binary runs without it and exits fast.
+        Self {
+            enabled: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            enabled: self.enabled,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        if self.enabled {
+            run_one(&id.to_string(), 10, f);
+        }
+        self
+    }
+}
+
+/// Declares a group function calling each target with one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_without_bench_flag() {
+        // Test binaries never pass --bench, so nothing should run.
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("seq", 42).to_string(), "seq/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

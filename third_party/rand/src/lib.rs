@@ -1,0 +1,8 @@
+//! Offline shim for [rand](https://crates.io/crates/rand).
+//!
+//! The workspace declares `rand` as a dev-dependency but never uses it;
+//! this placeholder exists only so dependency resolution works offline.
+//! If code starts needing randomness, extend this with a small PRNG (or
+//! use the deterministic generators in `gcol-graph::rng`).
+
+#![allow(clippy::all)]

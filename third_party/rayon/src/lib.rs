@@ -1,0 +1,336 @@
+//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! Presents the subset of rayon's parallel-iterator API that this
+//! workspace uses, executed **sequentially** on the calling thread.
+//! Semantics are identical for race-free algorithms (which is what the
+//! workspace's deterministic tests require); wall-clock parallel speedup
+//! is absent. See `third_party/README.md` for why this exists.
+
+#![allow(clippy::all)]
+
+pub mod iter {
+    /// A value of one of two types; `partition_map` routes items with it.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Either<L, R> {
+        /// Goes to the first output collection.
+        Left(L),
+        /// Goes to the second output collection.
+        Right(R),
+    }
+
+    /// A "parallel" iterator: a thin wrapper over a sequential iterator
+    /// providing rayon's adapter names.
+    pub struct Par<I>(pub I);
+
+    // `Par` is itself an iterator so `a.zip(b.par_iter())` composes; the
+    // inherent adapter methods below shadow `Iterator`'s same-named ones
+    // during method resolution, keeping rayon signatures (e.g. the
+    // two-argument `reduce`) intact.
+    impl<I: Iterator> Iterator for Par<I> {
+        type Item = I::Item;
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: DoubleEndedIterator> DoubleEndedIterator for Par<I> {
+        fn next_back(&mut self) -> Option<I::Item> {
+            self.0.next_back()
+        }
+    }
+
+    impl<I: ExactSizeIterator> ExactSizeIterator for Par<I> {}
+
+    impl<I: Iterator> Par<I> {
+        pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+            Par(self.0.filter(f))
+        }
+
+        pub fn filter_map<R, F: FnMut(I::Item) -> Option<R>>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FilterMap<I, F>> {
+            Par(self.0.filter_map(f))
+        }
+
+        pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+            Par(self.0.enumerate())
+        }
+
+        pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> Par<std::iter::Zip<I, Z::Iter>> {
+            Par(self.0.zip(other.into_par_iter().0))
+        }
+
+        pub fn rev(self) -> Par<std::iter::Rev<I>>
+        where
+            I: DoubleEndedIterator,
+        {
+            Par(self.0.rev())
+        }
+
+        pub fn flat_map<R: IntoIterator, F: FnMut(I::Item) -> R>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FlatMap<I, R, F>> {
+            Par(self.0.flat_map(f))
+        }
+
+        /// Rayon's `flat_map_iter` (sequential sub-iterators) — identical
+        /// to `flat_map` here.
+        pub fn flat_map_iter<R: IntoIterator, F: FnMut(I::Item) -> R>(
+            self,
+            f: F,
+        ) -> Par<std::iter::FlatMap<I, R, F>> {
+            Par(self.0.flat_map(f))
+        }
+
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// Rayon's per-worker-state `for_each`; sequentially there is
+        /// exactly one worker, so `init` runs once.
+        pub fn for_each_init<T, INIT: Fn() -> T, F: FnMut(&mut T, I::Item)>(
+            self,
+            init: INIT,
+            mut f: F,
+        ) {
+            let mut state = init();
+            self.0.for_each(move |x| f(&mut state, x))
+        }
+
+        /// Rayon's per-worker-state `map`.
+        pub fn map_init<T, R, INIT, F>(self, init: INIT, mut f: F) -> Par<impl Iterator<Item = R>>
+        where
+            INIT: Fn() -> T,
+            F: FnMut(&mut T, I::Item) -> R,
+        {
+            let mut state = init();
+            Par(self.0.map(move |x| f(&mut state, x)))
+        }
+
+        pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+
+        pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut it = self.0;
+            let mut f = f;
+            it.all(|x| f(x))
+        }
+
+        pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+            let mut it = self.0;
+            let mut f = f;
+            it.any(|x| f(x))
+        }
+
+        pub fn copied<'a, T: 'a + Copy>(self) -> Par<std::iter::Copied<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            Par(self.0.copied())
+        }
+
+        pub fn cloned<'a, T: 'a + Clone>(self) -> Par<std::iter::Cloned<I>>
+        where
+            I: Iterator<Item = &'a T>,
+        {
+            Par(self.0.cloned())
+        }
+
+        /// Rayon's "any worker finds it" search — sequentially the first
+        /// match.
+        pub fn find_map_any<R, F: FnMut(I::Item) -> Option<R>>(self, f: F) -> Option<R> {
+            let mut it = self.0;
+            let mut f = f;
+            it.find_map(|x| f(x))
+        }
+
+        /// Rayon-style reduce: fold from a fresh identity value.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        /// Routes each item into one of two collections via [`Either`].
+        pub fn partition_map<A, B, L, R, F>(self, f: F) -> (L, R)
+        where
+            F: FnMut(I::Item) -> Either<A, B>,
+            L: Default + Extend<A>,
+            R: Default + Extend<B>,
+        {
+            let mut f = f;
+            let (mut l, mut r) = (L::default(), R::default());
+            for x in self.0 {
+                match f(x) {
+                    Either::Left(a) => l.extend(std::iter::once(a)),
+                    Either::Right(b) => r.extend(std::iter::once(b)),
+                }
+            }
+            (l, r)
+        }
+    }
+
+    /// By-value conversion into a [`Par`] iterator (`into_par_iter`).
+    pub trait IntoParallelIterator {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item;
+        fn into_par_iter(self) -> Par<Self::Iter>;
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {
+        type Iter = T::IntoIter;
+        type Item = T::Item;
+        fn into_par_iter(self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// Borrowing conversion (`par_iter`).
+    pub trait IntoParallelRefIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'a;
+        fn par_iter(&'a self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        type Item = <&'a C as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+
+    /// Mutably borrowing conversion (`par_iter_mut`).
+    pub trait IntoParallelRefMutIterator<'a> {
+        type Iter: Iterator<Item = Self::Item>;
+        type Item: 'a;
+        fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+    where
+        &'a mut C: IntoIterator,
+    {
+        type Iter = <&'a mut C as IntoIterator>::IntoIter;
+        type Item = <&'a mut C as IntoIterator>::Item;
+        fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+            Par(self.into_iter())
+        }
+    }
+}
+
+pub mod slice {
+    use super::iter::Par;
+
+    /// `par_chunks` over shared slices.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+            Par(self.chunks(chunk_size))
+        }
+    }
+
+    /// `par_chunks_mut` over mutable slices.
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+            Par(self.chunks_mut(chunk_size))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::iter::Either;
+    use crate::prelude::*;
+
+    #[test]
+    fn adapters_match_sequential() {
+        let v = vec![1u32, 2, 3, 4, 5];
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8, 10]);
+        let s: u32 = v.par_iter().copied().sum();
+        assert_eq!(s, 15);
+        let (even, odd): (Vec<u32>, Vec<u32>) = v.par_iter().partition_map(|&x| {
+            if x % 2 == 0 {
+                Either::Left(x)
+            } else {
+                Either::Right(x)
+            }
+        });
+        assert_eq!(even, vec![2, 4]);
+        assert_eq!(odd, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn chunks_and_reduce() {
+        let xs: Vec<u32> = (0..100).collect();
+        let total = xs
+            .par_chunks(7)
+            .map(|c| c.iter().sum::<u32>())
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn zip_and_mut() {
+        let mut out = vec![0u32; 4];
+        let xs = vec![1u32, 2, 3, 4];
+        out.par_iter_mut()
+            .zip(xs.par_iter())
+            .for_each(|(o, &x)| *o = x * 10);
+        assert_eq!(out, vec![10, 20, 30, 40]);
+        let r: Vec<usize> = (0..4usize).into_par_iter().rev().collect();
+        assert_eq!(r, vec![3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline shim for serde's derive macros.
+//!
+//! Parses the derive input with a small hand-rolled token scanner (no
+//! syn/quote available offline) and emits `Serialize`/`Deserialize`
+//! impls against the `serde` shim's `Value`-tree traits. Supported
+//! shapes: non-generic structs with named fields, and non-generic enums
+//! with unit, newtype, tuple and struct variants (externally tagged,
+//! like real serde). Attributes (`#[serde(...)]`, doc comments) are
+//! ignored.
+
+#![allow(clippy::all)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips leading `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Consumes a type (or any token run) up to a top-level comma, tracking
+/// `<`/`>` nesting so commas inside generics don't split early.
+fn skip_to_top_level_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while let Some(tt) = toks.get(i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected ':' after field `{name}`, got {other:?}"),
+        }
+        i = skip_to_top_level_comma(&toks, i);
+        i += 1; // past the comma (or end)
+        fields.push(Field { name });
+    }
+    fields
+}
+
+/// Counts tuple-variant fields by splitting the paren group on
+/// top-level commas.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut n = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_to_top_level_comma(&toks, i);
+        n += 1;
+        i += 1;
+    }
+    n
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde shim derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        i = skip_to_top_level_comma(&toks, i);
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim derive: generic types are not supported (type `{name}`)");
+        }
+    }
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            panic!(
+                "serde shim derive: only braced structs/enums are supported (`{name}`: {other:?})"
+            )
+        }
+    };
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn tuple_binders(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("f{k}")).collect()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        ::serde::Value::Object(vec![\n"
+            ));
+            for f in &fields {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "            (String::from(\"{fname}\"), ::serde::Serialize::to_value(&self.{fname})),\n"
+                ));
+            }
+            out.push_str("        ])\n    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n    fn to_value(&self) -> ::serde::Value {{\n        match self {{\n"
+            ));
+            for v in &variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "            {name}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vname}(f0) => ::serde::Value::Object(vec![(String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds = tuple_binders(*n).join(", ");
+                        let elems = tuple_binders(*n)
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "            {name}::{vname}({binds}) => ::serde::Value::Object(vec![(String::from(\"{vname}\"), ::serde::Value::Array(vec![{elems}]))]),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let pairs = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "            {name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(String::from(\"{vname}\"), ::serde::Value::Object(vec![{pairs}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out.parse()
+        .expect("serde shim derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_item(input) {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> Result<Self, String> {{\n        Ok(Self {{\n"
+            ));
+            for f in &fields {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "            {fname}: ::serde::Deserialize::from_value(v.get(\"{fname}\").unwrap_or(&::serde::Value::Null)).map_err(|e| format!(\"{name}.{fname}: {{e}}\"))?,\n"
+                ));
+            }
+            out.push_str("        })\n    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n    fn from_value(v: &::serde::Value) -> Result<Self, String> {{\n        match v {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str("            ::serde::Value::Str(s) => match s.as_str() {\n");
+            for v in variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+            {
+                let vname = &v.name;
+                out.push_str(&format!(
+                    "                \"{vname}\" => Ok({name}::{vname}),\n"
+                ));
+            }
+            out.push_str(&format!(
+                "                other => Err(format!(\"unknown {name} variant {{other}}\")),\n            }},\n"
+            ));
+            // Data variants arrive as single-key objects.
+            out.push_str(
+                "            ::serde::Value::Object(fields) if fields.len() == 1 => {\n                let (tag, payload) = &fields[0];\n                match tag.as_str() {\n",
+            );
+            for v in &variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "                    \"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&xs[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "                    \"{vname}\" => match payload {{\n                        ::serde::Value::Array(xs) if xs.len() == {n} => Ok({name}::{vname}({elems})),\n                        _ => Err(String::from(\"{name}::{vname}: expected {n}-element array\")),\n                    }},\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{0}: ::serde::Deserialize::from_value(payload.get(\"{0}\").unwrap_or(&::serde::Value::Null)).map_err(|e| format!(\"{name}::{vname}.{0}: {{e}}\"))?",
+                                    f.name
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "                    \"{vname}\" => Ok({name}::{vname} {{ {inits} }}),\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "                    other => Err(format!(\"unknown {name} variant {{other}}\")),\n                }}\n            }},\n            other => Err(format!(\"expected {name}, got {{other:?}}\")),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out.parse()
+        .expect("serde shim derive: generated invalid Deserialize impl")
+}

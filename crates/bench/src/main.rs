@@ -2,7 +2,8 @@
 
 use gcol_bench::experiments::{
     self, ablation, archsweep, calibrate, convergence, fig1, fig3, fig6, fig7, fig8, hashsweep,
-    loadgen, profile, quality, relabel, sanitize, scaling, shardscale, table1, variance, ExpConfig,
+    incremental, loadgen, profile, quality, relabel, sanitize, scaling, shardscale, table1,
+    variance, ExpConfig,
 };
 use gcol_graph::gen::{self, RmatParams};
 use gcol_graph::Csr;
@@ -36,6 +37,11 @@ COMMANDS:
                 modeled ms); --exchange pins one encoding, --smoke runs
                 the CI invariant checks (delta never ships more bytes,
                 one-round schemes never regress vs dense)
+    incremental incremental-recoloring A/B: repair the old coloring through
+                the dirty-set engine vs rerun from scratch after edge-edit
+                batches of 0.1/1/5% of the edges, every GPU scheme (wall
+                clock + modeled kernel work); --smoke runs the CI gate
+                (at 1%, delta never issues more kernel instructions)
     relabel     RCM locality-preprocessing ablation (the choice of SIII-C)
     sanitize    kernel launch sanitizer audit: every GPU scheme, P = 1/2,
                 shadow-memory race/ldg/bounds/init analysis (fails on any
@@ -82,7 +88,8 @@ SERVICE OPTIONS (loadgen / serve):
                   unpaced: the whole trace is submitted at once)
     --trace T     loadgen: replay a single trace — uniform, bursty,
                   duplicate or unique — instead of the A/B grid
-    --smoke       loadgen/shardscale: run the CI invariant checks and exit
+    --smoke       loadgen/shardscale/incremental: run the CI invariant
+                  checks and exit
     --listen A    serve: accept one TCP connection on A (e.g. 127.0.0.1:7070)
                   instead of serving stdio
 ";
@@ -226,6 +233,7 @@ fn main() {
         "quality" => println!("{}", quality::run(&cfg)),
         "scaling" => println!("{}", scaling::run(&cfg)),
         "shardscale" => println!("{}", shardscale::run(&cfg)),
+        "incremental" => println!("{}", incremental::run(&cfg)),
         "relabel" => println!("{}", relabel::run(&cfg)),
         "sanitize" => println!("{}", sanitize::run(&cfg)),
         "variance" => println!("{}", variance::run(&cfg)),

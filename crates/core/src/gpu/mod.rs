@@ -7,18 +7,23 @@
 //! * [`threestep`] — Grosset et al.'s 3-step GM baseline (§II-C).
 //! * [`sharded`] — the multi-device extension: any of the above schemes
 //!   per graph shard, plus ghost-frontier boundary-exchange rounds.
+//! * [`repair`] — the dirty-set conflict-repair engine the exchange
+//!   rounds and the incremental `recolor_delta` path both run on.
 
 pub mod csrcolor;
 pub mod data;
 pub mod data_atomic;
+pub mod delta;
 pub mod driver;
 pub mod frontier;
+pub mod repair;
 pub mod sanitize;
 pub mod sharded;
 pub mod threestep;
 pub mod topo;
 pub mod topo_edge;
 
+pub use delta::{recolor_after_edits, recolor_delta, recolor_delta_sanitized};
 pub use driver::SpecGreedyDriver;
 pub use frontier::{ExchangeKind, FrontierFrame};
 pub use sharded::color_sharded;

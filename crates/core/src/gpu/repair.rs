@@ -1,0 +1,514 @@
+//! The dirty-set repair engine: scoped conflict detection plus
+//! speculative recoloring to a fixpoint, on any [`Backend`].
+//!
+//! Extracted from the sharded driver (`gpu::sharded`), where this loop
+//! was born as the ghost-exchange conflict resolver. The machinery is
+//! more general than its first caller: given a CSR resident on a device,
+//! a current color array, and an arbitrary *dirty* vertex set (vertices
+//! whose colors can no longer be trusted — because a neighboring shard
+//! published new ghost colors, or because the graph itself was edited),
+//! the engine re-validates exactly the dirty neighborhood and repairs it
+//! with the same speculate/resolve discipline the paper's schemes use:
+//!
+//! 1. **Scoped detect + in-place recolor** — one kernel sweep over the
+//!    dirty worklist finds conflicted vertices and immediately recolors
+//!    each loser (first-fit, optionally jitter-started), stamping it
+//!    with the pass number. Two callers, two loser rules:
+//!    [`CrossResolve`] (sharded exchange) blames the larger *global id*
+//!    of a ghost-edge conflict so two shards agree without
+//!    communicating, while [`DirtyResolve`] (incremental recoloring)
+//!    blames the dirty endpoint — a clean vertex's color is contractual
+//!    and must never change.
+//! 2. **Stamp-scoped fixpoint** — concurrently recolored vertices can
+//!    re-collide; [`OwnedResolve`] rescans only the vertices stamped by
+//!    the previous pass (a just-recolored vertex avoided every color it
+//!    could see, so new conflicts need *both* endpoints fresh), the
+//!    smaller id yields, and a quiet pass ends the loop. Exceeding
+//!    [`crate::ColorOptions::max_iterations`] passes surfaces as the
+//!    typed [`ColorError::MaxIterations`], never a panic.
+//!
+//! **The dirty-closure contract.** Only vertices on the engine's
+//! worklist are ever recolored: the detect kernels draw candidates from
+//! the worklist alone, and the fixpoint rescans stamped vertices, which
+//! are themselves worklist recolors. Every vertex outside the dirty set
+//! keeps its color bit-for-bit — the property `recolor_delta` sells to
+//! its callers and the repair proptests pin down.
+//!
+//! **Flag block.** Both verdicts — "did the detect find any conflict"
+//! and "did the last resolve pass change anything" — live in one
+//! two-word buffer so each fixpoint pass reads both with a single
+//! 8-byte d2h round trip; on a latency-dominated link one 8-byte read
+//! costs half of two 4-byte ones.
+
+use super::{pass_marker, GpuGraph, SpecGreedyDriver};
+use crate::ColorError;
+use gcol_simt::mem::Buffer;
+use gcol_simt::{Backend, Kernel, KernelCtx};
+
+/// Word indices of the engine's two-word flag block.
+const FLAG_CONFLICT: usize = 0;
+const FLAG_CHANGED: usize = 1;
+
+/// How far the recolor kernels' first-fit scan start is jittered in the
+/// sharded exchange. Plain first-fit restarts every loser at color 1, so
+/// two adjacent boundary vertices recoloring concurrently in different
+/// shards re-collide with high probability and the exchange loop burns a
+/// round per collision wave. Hashing the scan start into
+/// `1..=JITTER_SPAN` decorrelates concurrent recolors (the scan wraps,
+/// so the `max_degree + 1` color bound still holds) at the price of a
+/// few extra colors on the recolored boundary — the classic distributed
+/// coloring trade (Gebremedhin & Manne 2000; Bogle & Slota 2021 use
+/// random offsets the same way). Single-device repair passes a span of
+/// 0 (scan from color 1): its concurrent recolors are resolved
+/// deterministically by the id tie-break in one or two extra passes, and
+/// starting low keeps the repaired color count tight.
+pub const JITTER_SPAN: u32 = 12;
+
+/// First-fit with a jittered, wrapping scan start: marks neighbor colors
+/// exactly like [`super::speculative_first_fit`], then takes the
+/// smallest free color at or after `start`, wrapping past
+/// `max_degree + 1` back to 1 — so the chosen color still never exceeds
+/// the greedy bound.
+#[inline]
+fn jittered_first_fit(
+    t: &mut impl KernelCtx,
+    g: &GpuGraph,
+    color: Buffer<u32>,
+    v: u32,
+    marker: u32,
+    start: u32,
+) -> u32 {
+    let row_s = g.load_r(t, v as usize, false) as usize;
+    let row_e = g.load_r(t, v as usize + 1, false) as usize;
+    t.local_reserve(g.max_degree + 2);
+    for e in row_s..row_e {
+        let w = g.load_c(t, e, false);
+        let cw = t.ld(color, w as usize);
+        t.alu(2);
+        // Out-of-range ghost colors cannot block the scan; see
+        // `speculative_first_fit`.
+        if (cw as usize) < g.max_degree + 2 {
+            t.local_st(cw as usize, marker);
+        }
+    }
+    // At most max_degree of the max_degree + 1 candidates are marked, so
+    // the wrapping scan always terminates at a free color.
+    let bound = g.max_degree as u32 + 1;
+    let mut c = start.min(bound);
+    while t.local_ld(c as usize) == marker {
+        t.alu(2); // scan step + wrap test
+        c += 1;
+        if c > bound {
+            c = 1;
+        }
+    }
+    c
+}
+
+/// The recolor tail shared by every detect kernel: raise the conflict
+/// flag, pick a replacement color (jitter-started when the engine asks
+/// for it), publish it warp-synchronously, and stamp the vertex so the
+/// fixpoint rescans it. Kept `#[inline]` so each kernel's traced op
+/// sequence is exactly what the pre-extraction drivers emitted.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the launch buffers one-to-one
+fn recolor_in_place(
+    t: &mut impl KernelCtx,
+    g: &GpuGraph,
+    color: Buffer<u32>,
+    stamp: Buffer<u32>,
+    flags: Buffer<u32>,
+    v: u32,
+    pass: u32,
+    jitter_span: u32,
+) {
+    t.st(flags, FLAG_CONFLICT, 1);
+    let marker = pass_marker(pass, g.n, v);
+    let start = if jitter_span == 0 {
+        1
+    } else {
+        t.alu(2); // jitter hash
+        let h = v.wrapping_mul(0x9E37_79B9) ^ pass.wrapping_mul(0x85EB_CA6B);
+        1 + h % jitter_span
+    };
+    let c = jittered_first_fit(t, g, color, v, marker, start);
+    t.st_warp(color, v as usize, c);
+    t.st(stamp, v as usize, pass);
+}
+
+/// Detects cross-shard conflicts over the dirty-adjacent worklist and
+/// *immediately* recolors each loser in place. The two halves fuse
+/// soundly because the detect verdict only reads ghost colors (which no
+/// thread writes here) and the recolor is the usual speculation: any
+/// collision between concurrently recolored vertices is caught by the
+/// [`OwnedResolve`] pass (owned-owned edges) or the next exchange round
+/// (cut edges), exactly as with a separate recolor kernel — fusing just
+/// drops one full kernel sweep per round. A loser's color collides with
+/// a ghost neighbor of smaller global id; both shards sharing a cut edge
+/// apply the same rule to their own endpoint, so exactly one of them
+/// recolors. The worklist holds the owned vertices adjacent to a dirty
+/// ghost (round 1: the whole boundary); interior vertices have no ghost
+/// neighbors and never appear. Launched with the local grid geometry —
+/// threads past `num_items` exit immediately.
+struct CrossResolve {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    stamp: Buffer<u32>,
+    /// Two-word flag block; a cross conflict raises word [`FLAG_CONFLICT`].
+    flags: Buffer<u32>,
+    gid: Buffer<u32>,
+    /// Local ids of the dirty-adjacent boundary vertices (one thread each).
+    worklist: Buffer<u32>,
+    num_items: u32,
+    num_owned: u32,
+    pass: u32,
+    jitter_span: u32,
+}
+
+impl Kernel for CrossResolve {
+    fn name(&self) -> &'static str {
+        "shard-cross-resolve"
+    }
+
+    fn run(&self, t: &mut impl KernelCtx) {
+        let i = t.global_id();
+        if i >= self.num_items {
+            return;
+        }
+        let v = t.ld(self.worklist, i as usize);
+        let cv = t.ld(self.color, v as usize);
+        let start = self.g.load_r(t, v as usize, false) as usize;
+        let end = self.g.load_r(t, v as usize + 1, false) as usize;
+        // Local adjacency is sorted and ghost ids come after every owned
+        // id, so the ghost neighbors are the row's tail: walk backwards
+        // and stop at the first owned neighbor instead of filtering the
+        // whole row.
+        for e in (start..end).rev() {
+            let w = self.g.load_c(t, e, false);
+            t.alu(3); // ghost test, color compare, loop bookkeeping
+            if w < self.num_owned {
+                return;
+            }
+            if cv == t.ld(self.color, w as usize)
+                && t.ld(self.gid, v as usize) > t.ld(self.gid, w as usize)
+            {
+                // Loser: recolor right here (first conflict suffices).
+                recolor_in_place(
+                    t,
+                    &self.g,
+                    self.color,
+                    self.stamp,
+                    self.flags,
+                    v,
+                    self.pass,
+                    self.jitter_span,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Detects conflicts incident to an explicitly *dirty* vertex set and
+/// recolors the dirty loser in place — the incremental-recoloring
+/// counterpart of [`CrossResolve`]. Every worklist vertex scans its full
+/// adjacency; a conflict recolors `v` when the other endpoint is clean
+/// (clean colors are contractual — only dirty vertices may move) or when
+/// `v` holds the larger id of a dirty-dirty pair (so exactly one side of
+/// each such edge recolors). Concurrent recolors that re-collide are
+/// stamped and settled by the [`OwnedResolve`] fixpoint, as everywhere
+/// else in the engine.
+struct DirtyResolve {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    stamp: Buffer<u32>,
+    /// Two-word flag block; a conflict raises word [`FLAG_CONFLICT`].
+    flags: Buffer<u32>,
+    /// Per-vertex membership of the dirty set (1 ⇔ dirty).
+    member: Buffer<u32>,
+    /// The dirty vertices (one thread each).
+    worklist: Buffer<u32>,
+    num_items: u32,
+    pass: u32,
+    jitter_span: u32,
+}
+
+impl Kernel for DirtyResolve {
+    fn name(&self) -> &'static str {
+        "repair-dirty-resolve"
+    }
+
+    fn run(&self, t: &mut impl KernelCtx) {
+        let i = t.global_id();
+        if i >= self.num_items {
+            return;
+        }
+        let v = t.ld(self.worklist, i as usize);
+        let cv = t.ld(self.color, v as usize);
+        let start = self.g.load_r(t, v as usize, false) as usize;
+        let end = self.g.load_r(t, v as usize + 1, false) as usize;
+        for e in start..end {
+            let w = self.g.load_c(t, e, false);
+            t.alu(3); // color compare, membership/id test, loop bookkeeping
+            if cv == t.ld(self.color, w as usize) && (t.ld(self.member, w as usize) == 0 || v > w) {
+                // First conflict suffices: the recolor avoids every
+                // neighbor color `v` can see, not just `w`'s.
+                recolor_in_place(
+                    t,
+                    &self.g,
+                    self.color,
+                    self.stamp,
+                    self.flags,
+                    v,
+                    self.pass,
+                    self.jitter_span,
+                );
+                return;
+            }
+        }
+    }
+}
+
+/// Resolves conflicts among concurrently recolored vertices within the
+/// engine's ownership range (edges with both endpoints `< num_owned`;
+/// cut edges are the detect kernels' job, and the ghost frontier never
+/// changes mid-round). Only vertices stamped by the previous resolve
+/// (`pass`) rescan their adjacency: an earlier-colored vertex already
+/// avoided every color visible to it, so a new conflict needs both
+/// endpoints freshly recolored — and then both are stamped. The smaller
+/// local id yields and recolors in place, stamped `pass + 1` so the next
+/// pass rescans exactly this pass's recolors. Raises flag word
+/// [`FLAG_CHANGED`] on any recolor, which is the fixpoint loop's
+/// continue signal: a pass that stays quiet is the last one. Stamped
+/// vertices are always detect-kernel or `OwnedResolve` writes, and all
+/// draw from the worklist — so the rescan sweeps the worklist, not the
+/// graph.
+struct OwnedResolve {
+    g: GpuGraph,
+    color: Buffer<u32>,
+    stamp: Buffer<u32>,
+    flags: Buffer<u32>,
+    worklist: Buffer<u32>,
+    num_items: u32,
+    pass: u32,
+    num_owned: u32,
+    jitter_span: u32,
+}
+
+impl Kernel for OwnedResolve {
+    fn name(&self) -> &'static str {
+        "shard-owned-resolve"
+    }
+
+    fn run(&self, t: &mut impl KernelCtx) {
+        let i = t.global_id();
+        if i >= self.num_items {
+            return;
+        }
+        let v = t.ld(self.worklist, i as usize);
+        t.alu(1);
+        if t.ld(self.stamp, v as usize) != self.pass {
+            return;
+        }
+        let cv = t.ld(self.color, v as usize);
+        let start = self.g.load_r(t, v as usize, false) as usize;
+        let end = self.g.load_r(t, v as usize + 1, false) as usize;
+        for e in start..end {
+            let w = self.g.load_c(t, e, false);
+            t.alu(3);
+            if w < self.num_owned && v < w && cv == t.ld(self.color, w as usize) {
+                t.st(self.flags, FLAG_CHANGED, 1);
+                let next = self.pass + 1;
+                let marker = pass_marker(next, self.g.n, v);
+                let start = if self.jitter_span == 0 {
+                    1
+                } else {
+                    t.alu(2); // jitter hash
+                    let h = v.wrapping_mul(0x9E37_79B9) ^ next.wrapping_mul(0x85EB_CA6B);
+                    1 + h % self.jitter_span
+                };
+                let c = jittered_first_fit(t, &self.g, self.color, v, marker, start);
+                t.st_warp(self.color, v as usize, c);
+                t.st(self.stamp, v as usize, next);
+                return;
+            }
+        }
+    }
+}
+
+/// One device's repair state: the resident buffers the detect/resolve
+/// kernels operate on, plus the monotone pass counter that keeps recolor
+/// markers and stamps distinct across repair rounds. The engine does
+/// *not* own the driver — callers keep their [`SpecGreedyDriver`] (and
+/// with it the device memory, profile, and convergence budget) and lend
+/// it to each call, so the engine composes with whatever allocation
+/// order and upload charging the caller needs.
+pub struct RepairEngine {
+    /// The per-vertex color array (owned vertices first, then ghosts for
+    /// the sharded caller).
+    pub color: Buffer<u32>,
+    /// Per-vertex recolor stamps (which pass last recolored the vertex).
+    pub stamp: Buffer<u32>,
+    /// Two-word flag block ([`FLAG_CONFLICT`], [`FLAG_CHANGED`]).
+    pub flags: Buffer<u32>,
+    /// The dirty worklist; callers write the first `num_items` entries
+    /// before each repair call.
+    pub worklist: Buffer<u32>,
+    /// Vertices `< num_owned` may be recolored by the fixpoint; the rest
+    /// (the sharded caller's ghosts) are read-only.
+    num_owned: u32,
+    /// Grid size for every engine launch (the caller's local-coloring
+    /// geometry; surplus threads exit on the worklist bound).
+    launch_n: usize,
+    /// First-fit scan-start jitter span; 0 scans from color 1.
+    jitter_span: u32,
+    /// Monotone pass counter across repair rounds (see
+    /// [`super::pass_marker`]).
+    pass_base: u32,
+}
+
+impl RepairEngine {
+    /// Wraps caller-allocated buffers into an engine. The caller chooses
+    /// the allocation order (the modeled timing is address-sensitive, so
+    /// the sharded driver preserves its historical layout) and keeps the
+    /// buffers for direct access; `launch_n` fixes the grid of every
+    /// engine launch and `jitter_span` the recolor scan-start policy.
+    pub fn from_parts(
+        color: Buffer<u32>,
+        stamp: Buffer<u32>,
+        flags: Buffer<u32>,
+        worklist: Buffer<u32>,
+        num_owned: u32,
+        launch_n: usize,
+        jitter_span: u32,
+    ) -> Self {
+        Self {
+            color,
+            stamp,
+            flags,
+            worklist,
+            num_owned,
+            launch_n,
+            jitter_span,
+            pass_base: 0,
+        }
+    }
+
+    /// One sharded ghost-exchange repair round: clears the conflict
+    /// flag, launches [`CrossResolve`] over the first `num_items`
+    /// worklist entries (the dirty-adjacent boundary vertices, staged by
+    /// the caller), then runs the stamp-scoped fixpoint. Returns whether
+    /// any cross conflict was found; if so the fixpoint has settled the
+    /// recolors, exiting on the first quiet pass.
+    pub fn repair_ghost_conflicts<B: Backend>(
+        &mut self,
+        d: &mut SpecGreedyDriver<'_, B>,
+        gid: Buffer<u32>,
+        num_items: u32,
+    ) -> Result<bool, ColorError> {
+        d.mem.store(self.flags, FLAG_CONFLICT, 0);
+        d.launch(
+            self.launch_n,
+            &CrossResolve {
+                g: d.gg,
+                color: self.color,
+                stamp: self.stamp,
+                flags: self.flags,
+                gid,
+                worklist: self.worklist,
+                num_items,
+                num_owned: self.num_owned,
+                pass: self.pass_base + 1,
+                jitter_span: self.jitter_span,
+            },
+        );
+        self.resolve_to_fixpoint(d, num_items)
+    }
+
+    /// One incremental repair round: clears the conflict flag, launches
+    /// [`DirtyResolve`] over the first `num_items` worklist entries (the
+    /// dirty vertices, staged by the caller, with `member` marking their
+    /// characteristic vector), then runs the stamp-scoped fixpoint.
+    /// Returns whether any conflict was found (and repaired).
+    pub fn repair_dirty_set<B: Backend>(
+        &mut self,
+        d: &mut SpecGreedyDriver<'_, B>,
+        member: Buffer<u32>,
+        num_items: u32,
+    ) -> Result<bool, ColorError> {
+        d.mem.store(self.flags, FLAG_CONFLICT, 0);
+        d.launch(
+            self.launch_n,
+            &DirtyResolve {
+                g: d.gg,
+                color: self.color,
+                stamp: self.stamp,
+                flags: self.flags,
+                member,
+                worklist: self.worklist,
+                num_items,
+                pass: self.pass_base + 1,
+                jitter_span: self.jitter_span,
+            },
+        );
+        self.resolve_to_fixpoint(d, num_items)
+    }
+
+    /// Passes consumed so far (each repair round advances the base past
+    /// every stamp it used).
+    pub fn passes(&self) -> usize {
+        self.pass_base as usize
+    }
+
+    /// Resolves the current round's conflicts after a detect kernel ran
+    /// (as pass 1, recoloring the losers in place), without a standalone
+    /// conflict-flag round trip: pass 1 launches only the owned-detect
+    /// rescan of the fresh recolors, and each pass's single 8-byte read
+    /// returns both flag words — the detect verdict and the fixpoint
+    /// continue signal. Returns whether the detect found a conflict; if
+    /// so the loop has run the recolor to an intra-round fixpoint,
+    /// exiting on the first quiet pass.
+    fn resolve_to_fixpoint<B: Backend>(
+        &mut self,
+        d: &mut SpecGreedyDriver<'_, B>,
+        num_items: u32,
+    ) -> Result<bool, ColorError> {
+        let (color, flags, stamp) = (self.color, self.flags, self.stamp);
+        let (worklist, num_owned) = (self.worklist, self.num_owned);
+        let (base, n_launch, jitter_span) = (self.pass_base, self.launch_n, self.jitter_span);
+        let mut conflicted = false;
+        let passes = d.run_passes(|d, pass| {
+            d.mem.store(flags, FLAG_CHANGED, 0);
+            // Pass `base + pass` rescans the previous resolve's recolors
+            // and stamps its own recolors `base + pass + 1`.
+            d.launch(
+                n_launch,
+                &OwnedResolve {
+                    g: d.gg,
+                    color,
+                    stamp,
+                    flags,
+                    worklist,
+                    num_items,
+                    pass: base + pass,
+                    num_owned,
+                    jitter_span,
+                },
+            );
+            d.transfer("exchange flags d2h", 8);
+            if pass == 1 {
+                conflicted = d.mem.load(flags, FLAG_CONFLICT) != 0;
+                if !conflicted {
+                    // The detect recolored nobody, so nothing needs a
+                    // rescan.
+                    return false;
+                }
+            }
+            d.mem.load(flags, FLAG_CHANGED) != 0
+        })?;
+        // Stamps used this round reach `base + passes + 1`; keep the next
+        // round's pass numbers (and markers) strictly above them.
+        self.pass_base += passes as u32 + 1;
+        Ok(conflicted)
+    }
+}

@@ -24,7 +24,9 @@
 //!    recolor each losing endpoint *in place* inside the detect kernel
 //!    (`CrossResolve`), then settle intra-shard collisions among the
 //!    fresh recolors with a stamp-scoped resolve loop (`OwnedResolve`)
-//!    — until no cut edge is monochromatic. Rokos et al. (2015) show
+//!    — until no cut edge is monochromatic. Both kernels and the
+//!    fixpoint loop live in the extracted [`super::repair`] engine,
+//!    which the incremental-recoloring path shares. Rokos et al. show
 //!    this conflict-resolution loop is where scalability is won or lost;
 //!    here every sweep is sized to the worklist, so its cost shrinks
 //!    with the cut.
@@ -113,275 +115,35 @@
 //! bit-stable — the golden sharded fingerprints rely on that.
 
 use super::frontier::{ExchangeKind, FrontierFrame};
-use super::{pass_marker, GpuGraph, SpecGreedyDriver};
+use super::repair::{RepairEngine, JITTER_SPAN};
+use super::SpecGreedyDriver;
 use crate::{ColorError, ColorOptions, Coloring, Scheme};
 use gcol_graph::partition::{Partitioning, Shard};
 use gcol_graph::Csr;
 use gcol_simt::mem::Buffer;
-use gcol_simt::{Backend, CopyStream, Kernel, KernelCtx, RunProfile, ShardedBackend};
-
-/// Word indices of the per-device flag block. Packing both flags into one
-/// buffer lets the round read the cross-detect verdict and the fixpoint
-/// continue signal with a single 8-byte round trip — on a
-/// latency-dominated link, one 8-byte read costs half of two 4-byte ones.
-const FLAG_CROSS: usize = 0;
-const FLAG_CHANGED: usize = 1;
-
-/// Detects cross-shard conflicts over the dirty-adjacent worklist and
-/// *immediately* recolors each loser in place. The two halves fuse
-/// soundly because the detect verdict only reads ghost colors (which no
-/// thread writes here) and the recolor is the usual speculation: any
-/// collision between concurrently recolored vertices is caught by the
-/// `OwnedResolve` pass (owned-owned edges) or the next exchange round
-/// (cut edges), exactly as with a separate recolor kernel — fusing just
-/// drops one full kernel sweep per round. A loser's color collides with a
-/// ghost neighbor of smaller global id; both shards sharing a cut edge
-/// apply the same rule to their own endpoint, so exactly one of them
-/// recolors. The worklist holds the owned vertices adjacent to a dirty
-/// ghost (round 1: the whole boundary); interior vertices have no ghost
-/// neighbors and never appear. Launched with the local grid geometry —
-/// threads past `num_items` exit immediately.
-struct CrossResolve {
-    g: GpuGraph,
-    color: Buffer<u32>,
-    stamp: Buffer<u32>,
-    /// Two-word flag block; a cross conflict raises word [`FLAG_CROSS`].
-    flags: Buffer<u32>,
-    gid: Buffer<u32>,
-    /// Local ids of the dirty-adjacent boundary vertices (one thread each).
-    worklist: Buffer<u32>,
-    num_items: u32,
-    num_owned: u32,
-    pass: u32,
-}
-
-impl Kernel for CrossResolve {
-    fn name(&self) -> &'static str {
-        "shard-cross-resolve"
-    }
-
-    fn run(&self, t: &mut impl KernelCtx) {
-        let i = t.global_id();
-        if i >= self.num_items {
-            return;
-        }
-        let v = t.ld(self.worklist, i as usize);
-        let cv = t.ld(self.color, v as usize);
-        let start = self.g.load_r(t, v as usize, false) as usize;
-        let end = self.g.load_r(t, v as usize + 1, false) as usize;
-        // Local adjacency is sorted and ghost ids come after every owned
-        // id, so the ghost neighbors are the row's tail: walk backwards
-        // and stop at the first owned neighbor instead of filtering the
-        // whole row.
-        for e in (start..end).rev() {
-            let w = self.g.load_c(t, e, false);
-            t.alu(3); // ghost test, color compare, loop bookkeeping
-            if w < self.num_owned {
-                return;
-            }
-            if cv == t.ld(self.color, w as usize)
-                && t.ld(self.gid, v as usize) > t.ld(self.gid, w as usize)
-            {
-                // Loser: recolor right here (first conflict suffices).
-                t.st(self.flags, FLAG_CROSS, 1);
-                let marker = pass_marker(self.pass, self.g.n, v);
-                t.alu(2); // jitter hash
-                let h = v.wrapping_mul(0x9E37_79B9) ^ self.pass.wrapping_mul(0x85EB_CA6B);
-                let c = jittered_first_fit(t, &self.g, self.color, v, marker, 1 + h % JITTER_SPAN);
-                t.st_warp(self.color, v as usize, c);
-                t.st(self.stamp, v as usize, self.pass);
-                return;
-            }
-        }
-    }
-}
-
-/// How far the recolor kernel's first-fit scan start is jittered. Plain
-/// first-fit restarts every loser at color 1, so two adjacent boundary
-/// vertices recoloring concurrently in different shards re-collide with
-/// high probability and the exchange loop burns a round per collision
-/// wave. Hashing the scan start into `1..=JITTER_SPAN` decorrelates
-/// concurrent recolors (the scan wraps, so the `max_degree + 1` color
-/// bound still holds) at the price of a few extra colors on the
-/// recolored boundary — the classic distributed-coloring trade
-/// (Gebremedhin & Manne 2000; Bogle & Slota 2021 use random offsets the
-/// same way).
-const JITTER_SPAN: u32 = 12;
-
-/// First-fit with a jittered, wrapping scan start: marks neighbor colors
-/// exactly like [`speculative_first_fit`], then takes the smallest free
-/// color at or after `start`, wrapping past `max_degree + 1` back to 1 —
-/// so the chosen color still never exceeds the greedy bound.
-#[inline]
-fn jittered_first_fit(
-    t: &mut impl KernelCtx,
-    g: &GpuGraph,
-    color: Buffer<u32>,
-    v: u32,
-    marker: u32,
-    start: u32,
-) -> u32 {
-    let row_s = g.load_r(t, v as usize, false) as usize;
-    let row_e = g.load_r(t, v as usize + 1, false) as usize;
-    t.local_reserve(g.max_degree + 2);
-    for e in row_s..row_e {
-        let w = g.load_c(t, e, false);
-        let cw = t.ld(color, w as usize);
-        t.alu(2);
-        // Out-of-range ghost colors cannot block the scan; see
-        // `speculative_first_fit`.
-        if (cw as usize) < g.max_degree + 2 {
-            t.local_st(cw as usize, marker);
-        }
-    }
-    // At most max_degree of the max_degree + 1 candidates are marked, so
-    // the wrapping scan always terminates at a free color.
-    let bound = g.max_degree as u32 + 1;
-    let mut c = start.min(bound);
-    while t.local_ld(c as usize) == marker {
-        t.alu(2); // scan step + wrap test
-        c += 1;
-        if c > bound {
-            c = 1;
-        }
-    }
-    c
-}
-
-/// Resolves conflicts among concurrently recolored *owned* vertices
-/// (owned-owned edges only; cut edges are `CrossResolve`'s job, and the
-/// ghost frontier never changes mid-round). Only vertices stamped by the
-/// previous resolve (`pass`) rescan their adjacency: an earlier-colored
-/// vertex already avoided every color visible to it, so a new conflict
-/// needs both endpoints freshly recolored — and then both are stamped.
-/// The smaller local id yields and recolors in place, stamped `pass + 1`
-/// so the next pass rescans exactly this pass's recolors. Raises flag
-/// word [`FLAG_CHANGED`] on any recolor, which is the fixpoint loop's
-/// continue signal: a pass that stays quiet is the last one. Stamped
-/// vertices are always `CrossResolve` or `OwnedResolve` writes, and
-/// both draw from the worklist — so the rescan sweeps the worklist, not
-/// the shard.
-struct OwnedResolve {
-    g: GpuGraph,
-    color: Buffer<u32>,
-    stamp: Buffer<u32>,
-    flags: Buffer<u32>,
-    worklist: Buffer<u32>,
-    num_items: u32,
-    pass: u32,
-    num_owned: u32,
-}
-
-impl Kernel for OwnedResolve {
-    fn name(&self) -> &'static str {
-        "shard-owned-resolve"
-    }
-
-    fn run(&self, t: &mut impl KernelCtx) {
-        let i = t.global_id();
-        if i >= self.num_items {
-            return;
-        }
-        let v = t.ld(self.worklist, i as usize);
-        t.alu(1);
-        if t.ld(self.stamp, v as usize) != self.pass {
-            return;
-        }
-        let cv = t.ld(self.color, v as usize);
-        let start = self.g.load_r(t, v as usize, false) as usize;
-        let end = self.g.load_r(t, v as usize + 1, false) as usize;
-        for e in start..end {
-            let w = self.g.load_c(t, e, false);
-            t.alu(3);
-            if w < self.num_owned && v < w && cv == t.ld(self.color, w as usize) {
-                t.st(self.flags, FLAG_CHANGED, 1);
-                let next = self.pass + 1;
-                let marker = pass_marker(next, self.g.n, v);
-                t.alu(2); // jitter hash
-                let h = v.wrapping_mul(0x9E37_79B9) ^ next.wrapping_mul(0x85EB_CA6B);
-                let c = jittered_first_fit(t, &self.g, self.color, v, marker, 1 + h % JITTER_SPAN);
-                t.st_warp(self.color, v as usize, c);
-                t.st(self.stamp, v as usize, next);
-                return;
-            }
-        }
-    }
-}
+use gcol_simt::{Backend, CopyStream, RunProfile, ShardedBackend};
 
 /// One device's exchange-round state: the shard, its driver (device
-/// memory + profile), the resident buffers, and the host-side mirror of
-/// the last frontier it received (the delta encoder's reference frame).
+/// memory + profile), the repair engine wrapping the resident buffers,
+/// and the host-side mirror of the last frontier it received (the delta
+/// encoder's reference frame). The detect/resolve kernels themselves —
+/// `CrossResolve` for the ghost-edge losers, `OwnedResolve` for the
+/// stamp-scoped intra-shard fixpoint — live in [`super::repair`], where
+/// the incremental-recoloring path shares them.
 struct ShardState<'b, B: Backend> {
     shard: Shard,
     d: SpecGreedyDriver<'b, B>,
-    color: Buffer<u32>,
-    /// Two-word flag block ([`FLAG_CROSS`], [`FLAG_CHANGED`]).
-    flags: Buffer<u32>,
+    /// The conflict-repair engine: color/stamp/flag/worklist buffers plus
+    /// the monotone pass counter that keeps recolor markers distinct
+    /// across exchange rounds.
+    repair: RepairEngine,
     gid: Buffer<u32>,
-    stamp: Buffer<u32>,
-    /// Per-round worklist of owned vertices adjacent to a dirty ghost
-    /// (capacity: the boundary size); [`CrossDetect`] reads the first
-    /// `num_items` entries.
-    worklist: Buffer<u32>,
     /// Ghost colors as last received, `u32::MAX`-seeded so the first
     /// round's dirty set covers every ghost.
     prev_frontier: Vec<u32>,
     /// Owning partition of each ghost (for copy-readiness: a frame waits
     /// only for the devices whose colors it carries).
     ghost_owner: Vec<u32>,
-    /// Monotone pass counter, so recolor markers and detect stamps stay
-    /// distinct across exchange rounds (see [`pass_marker`]).
-    pass_base: u32,
-}
-
-impl<'b, B: Backend> ShardState<'b, B> {
-    /// Resolves this round's conflicts after `CrossResolve` ran (as
-    /// pass 1, recoloring the cross losers in place), without a
-    /// standalone conflict-flag round trip: pass 1 launches only the
-    /// owned-detect rescan of the fresh recolors, and each pass's single
-    /// 8-byte read returns both flag words — the cross verdict and the
-    /// fixpoint continue signal. Returns whether a cross conflict was
-    /// found; if so the loop has run the recolor to an intra-shard
-    /// fixpoint, exiting on the first quiet detect.
-    fn resolve_cross_conflicts(&mut self, num_items: u32) -> Result<bool, ColorError> {
-        let gg = self.d.gg;
-        let (color, flags, stamp) = (self.color, self.flags, self.stamp);
-        let (worklist, num_owned) = (self.worklist, self.shard.num_owned as u32);
-        let (base, n_local) = (self.pass_base, self.shard.num_local());
-        let mut cross = false;
-        let passes = self.d.run_passes(|d, pass| {
-            d.mem.store(flags, FLAG_CHANGED, 0);
-            // Pass `base + pass` rescans the previous resolve's recolors
-            // and stamps its own recolors `base + pass + 1`.
-            d.launch(
-                n_local,
-                &OwnedResolve {
-                    g: gg,
-                    color,
-                    stamp,
-                    flags,
-                    worklist,
-                    num_items,
-                    pass: base + pass,
-                    num_owned,
-                },
-            );
-            d.transfer("exchange flags d2h", 8);
-            if pass == 1 {
-                cross = d.mem.load(flags, FLAG_CROSS) != 0;
-                if !cross {
-                    // The cross resolve recolored nobody, so nothing
-                    // needs a rescan.
-                    return false;
-                }
-            }
-            d.mem.load(flags, FLAG_CHANGED) != 0
-        })?;
-        // Stamps used this round reach `base + passes + 1`; keep the next
-        // round's pass numbers (and markers) strictly above them.
-        self.pass_base += passes as u32 + 1;
-        Ok(cross)
-    }
 }
 
 /// Colors `g` with `scheme` across the fleet's devices: partition, local
@@ -497,17 +259,22 @@ pub fn color_sharded<B: Backend>(
             .iter()
             .map(|&gv| plan.part_of[gv as usize])
             .collect();
+        let repair = RepairEngine::from_parts(
+            color,
+            stamp,
+            flags,
+            worklist,
+            shard.num_owned as u32,
+            shard.num_local(),
+            JITTER_SPAN,
+        );
         states.push(ShardState {
             shard,
             d,
-            color,
-            flags,
+            repair,
             gid,
-            stamp,
-            worklist,
             prev_frontier,
             ghost_owner,
-            pass_base: 0,
         });
     }
 
@@ -604,7 +371,8 @@ pub fn color_sharded<B: Backend>(
             frames[p].apply(&mut st.prev_frontier);
             for &k in dirty {
                 // Untouched ghost slots already hold their color.
-                st.d.mem.store(st.color, num_owned + k, st.prev_frontier[k]);
+                st.d.mem
+                    .store(st.repair.color, num_owned + k, st.prev_frontier[k]);
             }
             // Owned vertices adjacent to a dirty ghost — the only ones a
             // frontier change can newly conflict. The ghost rows of the
@@ -623,25 +391,12 @@ pub fn color_sharded<B: Backend>(
                 continue;
             }
             affected.sort_unstable();
-            st.d.mem.write_slice(st.worklist, &affected);
-            st.d.mem.store(st.flags, FLAG_CROSS, 0);
-            st.d.launch(
-                st.shard.num_local(),
-                &CrossResolve {
-                    g: st.d.gg,
-                    color: st.color,
-                    stamp: st.stamp,
-                    flags: st.flags,
-                    gid: st.gid,
-                    worklist: st.worklist,
-                    num_items: affected.len() as u32,
-                    num_owned: num_owned as u32,
-                    pass: st.pass_base + 1,
-                },
-            );
+            st.d.mem.write_slice(st.repair.worklist, &affected);
             // Fused verdict + fixpoint: one 8-byte read per pass covers
             // the cross flag and the recolor loop's continue signal.
-            conflicted[p] = st.resolve_cross_conflicts(affected.len() as u32)?;
+            conflicted[p] =
+                st.repair
+                    .repair_ghost_conflicts(&mut st.d, st.gid, affected.len() as u32)?;
         }
         let any = conflicted.iter().any(|&c| c);
 
@@ -670,7 +425,7 @@ pub fn color_sharded<B: Backend>(
                 continue;
             }
             let owned = st.shard.owned_start as usize;
-            let local = st.d.mem.read_vec(st.color);
+            let local = st.d.mem.read_vec(st.repair.color);
             global_colors[owned..owned + st.shard.num_owned]
                 .copy_from_slice(&local[..st.shard.num_owned]);
         }

@@ -3,8 +3,9 @@
 //!
 //! A coloring run is a pure function of the CSR bytes and the knobs that
 //! can change its output: the scheme, the execution backend, the shard
-//! count, the hash seed, the block size, the execution mode and the
-//! scheme-specific tuning options. [`JobSpec`] packages those knobs, and
+//! count, the hash seed, the block size, the execution mode, the
+//! ghost-exchange wire format and the scheme-specific tuning options.
+//! [`JobSpec`] packages those knobs, and
 //! [`JobSpec::fingerprint`] folds them together with
 //! [`Csr::content_fingerprint`] into a 128-bit [`Fingerprint`]: equal
 //! fingerprints mean the runs are interchangeable, so a service may
@@ -19,6 +20,13 @@
 //! may therefore report different modeled times only through options the
 //! cache does not key on; callers that need per-option timelines should
 //! bypass the cache.
+//!
+//! One modeled-timing knob *is* keyed: [`crate::ColorOptions::exchange`].
+//! The sharded colors are identical under both wire formats, but the
+//! cached [`crate::Coloring`] carries the run's exchange-traffic profile
+//! and the serving layer reports that modeled time to clients who chose
+//! the format explicitly — serving a dense run's timeline for a delta
+//! request would misreport the very number the knob exists to compare.
 
 use crate::{ColorOptions, Scheme};
 use gcol_graph::ordering::Ordering;
@@ -92,6 +100,13 @@ impl JobSpec {
             match o.exec_mode {
                 gcol_simt::ExecMode::Parallel => 1,
                 gcol_simt::ExecMode::Deterministic => 2,
+            },
+        );
+        h = mix(
+            h,
+            match o.exchange {
+                crate::ExchangeKind::Dense => 1,
+                crate::ExchangeKind::Delta => 2,
             },
         );
         h = mix(
@@ -175,6 +190,10 @@ mod tests {
                     .opts
                     .clone()
                     .with_exec_mode(gcol_simt::ExecMode::Parallel),
+            },
+            JobSpec {
+                scheme: Scheme::TopoBase,
+                opts: base.opts.clone().with_exchange(crate::ExchangeKind::Dense),
             },
         ];
         for v in &variants {

@@ -42,6 +42,7 @@ pub use gcol_graph::check::{
     compact_colors, count_colors, count_conflicts, verify_coloring, ColoringViolation,
 };
 pub use gcol_simt::{Backend, BackendKind, RunProfile, SanitizerReport};
+pub use gpu::delta::{recolor_after_edits, recolor_delta, recolor_delta_sanitized};
 pub use gpu::frontier::ExchangeKind;
 pub use gpu::sanitize::color_sanitized;
 pub use job::{Fingerprint, JobSpec};

@@ -1,0 +1,159 @@
+//! Differential tests of incremental recoloring: after an edge-edit
+//! batch, [`gcol_core::recolor_delta`] must match a from-scratch rerun
+//! on properness with a color count inside the usual closeness bound —
+//! across all 8 GPU schemes on both the simt and native backends — while
+//! leaving every untouched vertex's color bit-identical to the base run.
+
+use gcol_core::{recolor_delta, recolor_delta_sanitized, BackendKind, ColorOptions, Scheme};
+use gcol_graph::check::verify_coloring;
+use gcol_graph::edit::EdgeEdit;
+use gcol_graph::gen::simple::erdos_renyi;
+use gcol_graph::{Csr, VertexId};
+use gcol_simt::Device;
+
+/// A deterministic mixed edit batch: delete every `stride`-th stored
+/// undirected edge, and insert the same number of fresh non-edges.
+fn edit_batch(g: &Csr, stride: usize, seed: u64) -> Vec<EdgeEdit> {
+    let mut edits: Vec<EdgeEdit> = g
+        .edges()
+        .filter(|(u, v)| u < v)
+        .step_by(stride)
+        .map(|(u, v)| EdgeEdit::Delete(u, v))
+        .collect();
+    let n = g.num_vertices() as u64;
+    let deletes = edits.len();
+    let mut s = seed;
+    while edits.len() < 2 * deletes {
+        let u = (gcol_graph::rng::splitmix64(&mut s) % n) as VertexId;
+        let v = (gcol_graph::rng::splitmix64(&mut s) % n) as VertexId;
+        if u != v && !g.has_edge_sorted(u, v) {
+            edits.push(EdgeEdit::Insert(u, v));
+        }
+    }
+    edits
+}
+
+fn assert_close(scheme: Scheme, tag: &str, a: usize, b: usize) {
+    let (a, b) = (a as i64, b as i64);
+    assert!(
+        (a - b).abs() <= a.max(b) / 2 + 3,
+        "{scheme}/{tag}: delta {a} vs scratch {b} colors"
+    );
+}
+
+#[test]
+fn delta_matches_scratch_for_every_gpu_scheme_on_both_backends() {
+    let dev = Device::tiny();
+    let g = erdos_renyi(600, 3600, 11);
+    for backend in [BackendKind::Simt, BackendKind::Native] {
+        let opts = ColorOptions::default().with_backend(backend);
+        for scheme in Scheme::GPU {
+            let base = scheme
+                .try_color(&g, &dev, &opts)
+                .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            let (edited, touched) = g.with_edits(&edit_batch(&g, 40, 0xD17)).unwrap();
+            assert!(!touched.is_empty(), "edit batch must touch something");
+            let delta = recolor_delta(&edited, &base, &touched, &dev, &opts)
+                .unwrap_or_else(|e| panic!("{scheme} delta: {e}"));
+            let scratch = scheme
+                .try_color(&edited, &dev, &opts)
+                .unwrap_or_else(|e| panic!("{scheme} scratch: {e}"));
+            verify_coloring(&edited, &delta.colors)
+                .unwrap_or_else(|e| panic!("{scheme} ({backend:?}) delta improper: {e}"));
+            verify_coloring(&edited, &scratch.colors)
+                .unwrap_or_else(|e| panic!("{scheme} ({backend:?}) scratch improper: {e}"));
+            assert_close(scheme, "colors", delta.num_colors, scratch.num_colors);
+            // Untouched vertices keep their base colors bit-for-bit.
+            let touched_set: std::collections::HashSet<VertexId> =
+                touched.iter().copied().collect();
+            for v in 0..edited.num_vertices() {
+                if !touched_set.contains(&(v as VertexId)) {
+                    assert_eq!(
+                        delta.colors[v], base.colors[v],
+                        "{scheme} ({backend:?}): untouched vertex {v} was recolored"
+                    );
+                }
+            }
+            assert_eq!(delta.scheme, scheme);
+        }
+    }
+}
+
+#[test]
+fn cpu_scheme_baselines_repair_too() {
+    // The repair engine is scheme-agnostic: a sequential-greedy baseline
+    // repairs exactly like a GPU one.
+    let dev = Device::tiny();
+    let g = erdos_renyi(400, 2400, 3);
+    let opts = ColorOptions::default();
+    let base = Scheme::Sequential.try_color(&g, &dev, &opts).unwrap();
+    let (edited, touched) = g.with_edits(&edit_batch(&g, 25, 0xBEE)).unwrap();
+    let delta = recolor_delta(&edited, &base, &touched, &dev, &opts).unwrap();
+    verify_coloring(&edited, &delta.colors).unwrap();
+    assert_eq!(delta.scheme, Scheme::Sequential);
+}
+
+#[test]
+fn deterministic_delta_runs_are_reproducible() {
+    let dev = Device::tiny();
+    let g = erdos_renyi(500, 3000, 8);
+    let opts = ColorOptions::default();
+    let base = Scheme::TopoBase.try_color(&g, &dev, &opts).unwrap();
+    let (edited, touched) = g.with_edits(&edit_batch(&g, 30, 0xABC)).unwrap();
+    let a = recolor_delta(&edited, &base, &touched, &dev, &opts).unwrap();
+    let b = recolor_delta(&edited, &base, &touched, &dev, &opts).unwrap();
+    assert_eq!(a.colors, b.colors);
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.total_ms().to_bits(), b.total_ms().to_bits());
+}
+
+#[test]
+fn sanitized_delta_repair_is_clean_and_label_identical() {
+    let dev = Device::tiny();
+    let g = erdos_renyi(400, 2800, 17);
+    let opts = ColorOptions::default();
+    let base = Scheme::DataBase.try_color(&g, &dev, &opts).unwrap();
+    let (edited, touched) = g.with_edits(&edit_batch(&g, 20, 0xFACE)).unwrap();
+    let plain = recolor_delta(&edited, &base, &touched, &dev, &opts).unwrap();
+    let (sanitized, report) =
+        recolor_delta_sanitized(&edited, &base, &touched, &dev, &opts).unwrap();
+    assert!(report.is_clean(), "harmful findings:\n{report}");
+    assert_eq!(plain.colors, sanitized.colors);
+    assert_eq!(plain.total_ms().to_bits(), sanitized.total_ms().to_bits());
+}
+
+#[test]
+fn recolor_after_edits_is_the_one_call_wrapper() {
+    let dev = Device::tiny();
+    let g = erdos_renyi(300, 1800, 5);
+    let opts = ColorOptions::default();
+    let base = Scheme::CsrColor.try_color(&g, &dev, &opts).unwrap();
+    let edits = edit_batch(&g, 15, 0x5EED);
+    let (edited, repaired) =
+        gcol_core::recolor_after_edits(&g, &base, &edits, &dev, &opts).unwrap();
+    verify_coloring(&edited, &repaired.colors).unwrap();
+    let (expected_graph, touched) = g.with_edits(&edits).unwrap();
+    assert_eq!(edited, expected_graph);
+    let direct = recolor_delta(&edited, &base, &touched, &dev, &opts).unwrap();
+    assert_eq!(repaired.colors, direct.colors);
+}
+
+#[test]
+fn deletions_alone_never_recolor_anything() {
+    // Removing edges cannot create a conflict, so the repair must be a
+    // no-op on the colors even though the touched set is non-empty.
+    let dev = Device::tiny();
+    let g = erdos_renyi(300, 2100, 23);
+    let opts = ColorOptions::default();
+    let base = Scheme::TopoLdg.try_color(&g, &dev, &opts).unwrap();
+    let deletes: Vec<EdgeEdit> = g
+        .edges()
+        .filter(|(u, v)| u < v)
+        .step_by(9)
+        .map(|(u, v)| EdgeEdit::Delete(u, v))
+        .collect();
+    let (edited, touched) = g.with_edits(&deletes).unwrap();
+    assert!(!touched.is_empty());
+    let delta = recolor_delta(&edited, &base, &touched, &dev, &opts).unwrap();
+    assert_eq!(delta.colors, base.colors);
+}

@@ -1,0 +1,141 @@
+//! Property tests of the dirty-set repair engine behind
+//! [`gcol_core::recolor_delta`]: given a coloring that is proper outside
+//! an injected dirty set (dirty vertices carry arbitrary corrupted
+//! colors), repair must always reach a proper fixpoint — and must never
+//! recolor a vertex outside the dirty closure, on either execution
+//! backend.
+
+use gcol_core::{recolor_delta, BackendKind, ColorError, ColorOptions, Coloring, Scheme};
+use gcol_graph::builder::from_undirected_edges;
+use gcol_graph::check::verify_coloring;
+use gcol_graph::rng::splitmix64;
+use gcol_graph::{Csr, VertexId};
+use gcol_simt::Device;
+use proptest::prelude::*;
+
+/// Strategy: a vertex count, an edge list over it, a dirty-set selector
+/// and a corruption seed.
+fn arb_repair_inputs() -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>, Vec<bool>, u64)>
+{
+    (2usize..50).prop_flat_map(|n| {
+        let edge = (0..n as VertexId, 0..n as VertexId);
+        (
+            Just(n),
+            proptest::collection::vec(edge, 0..160),
+            proptest::collection::vec(any::<bool>(), n..n + 1),
+            any::<u64>(),
+        )
+    })
+}
+
+/// A proper baseline coloring with the dirty vertices' colors replaced
+/// by seeded garbage inside the greedy `1..=max_degree + 1` range.
+fn corrupted_base(g: &Csr, dirty: &[VertexId], seed: u64) -> Coloring {
+    let dev = Device::tiny();
+    let base = Scheme::Sequential
+        .try_color(g, &dev, &ColorOptions::default())
+        .expect("sequential greedy cannot fail");
+    let mut colors = base.colors;
+    let span = g.max_degree() as u64 + 1;
+    for &v in dirty {
+        let mut s = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        colors[v as usize] = (splitmix64(&mut s) % span) as u32 + 1;
+    }
+    let num_colors = colors.iter().copied().max().unwrap_or(0) as usize;
+    Coloring {
+        scheme: base.scheme,
+        colors,
+        num_colors,
+        iterations: base.iterations,
+        profile: gcol_core::RunProfile::new(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn repair_reaches_a_proper_fixpoint_and_stays_inside_the_dirty_set(
+        (n, edges, mask, seed) in arb_repair_inputs()
+    ) {
+        let g = from_undirected_edges(n, edges);
+        let dirty: Vec<VertexId> = (0..n as VertexId).filter(|&v| mask[v as usize]).collect();
+        let base = corrupted_base(&g, &dirty, seed);
+        let dev = Device::tiny();
+        for backend in [BackendKind::Simt, BackendKind::Native] {
+            let opts = ColorOptions::default().with_backend(backend);
+            let r = recolor_delta(&g, &base, &dirty, &dev, &opts)
+                .unwrap_or_else(|e| panic!("{backend:?}: {e}"));
+            // Proper fixpoint, inside the greedy bound.
+            verify_coloring(&g, &r.colors)
+                .unwrap_or_else(|e| panic!("{backend:?}: improper after repair: {e}"));
+            prop_assert!(r.num_colors <= g.max_degree() + 1);
+            // The dirty-closure contract: clean vertices bit-identical.
+            for v in 0..n as VertexId {
+                if !mask[v as usize] {
+                    prop_assert_eq!(
+                        r.colors[v as usize], base.colors[v as usize],
+                        "{:?}: clean vertex {} was recolored", backend, v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_of_an_uncorrupted_coloring_changes_nothing(
+        (n, edges, mask, _seed) in arb_repair_inputs()
+    ) {
+        // A dirty set without actual conflicts must leave every color in
+        // place (the detect finds nothing to blame).
+        let g = from_undirected_edges(n, edges);
+        let dirty: Vec<VertexId> = (0..n as VertexId).filter(|&v| mask[v as usize]).collect();
+        let base = corrupted_base(&g, &[], 0);
+        let dev = Device::tiny();
+        for backend in [BackendKind::Simt, BackendKind::Native] {
+            let opts = ColorOptions::default().with_backend(backend);
+            let r = recolor_delta(&g, &base, &dirty, &dev, &opts).unwrap();
+            prop_assert_eq!(&r.colors, &base.colors);
+        }
+    }
+}
+
+#[test]
+fn invalid_inputs_are_typed_errors() {
+    let dev = Device::tiny();
+    let g = from_undirected_edges(6, [(0, 1), (1, 2), (3, 4)]);
+    let base = corrupted_base(&g, &[], 0);
+    let opts = ColorOptions::default();
+    // Dirty id out of range.
+    let err = recolor_delta(&g, &base, &[6], &dev, &opts).unwrap_err();
+    assert!(matches!(err, ColorError::InvalidOptions { .. }), "{err}");
+    // Base coloring from a different-sized graph.
+    let small = from_undirected_edges(3, [(0, 1)]);
+    let err = recolor_delta(&small, &base, &[0], &dev, &opts).unwrap_err();
+    assert!(matches!(err, ColorError::InvalidOptions { .. }), "{err}");
+}
+
+#[test]
+fn exhausted_iteration_budget_is_a_typed_max_iterations() {
+    let dev = Device::tiny();
+    let g = from_undirected_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2), (1, 3)]);
+    let base = corrupted_base(&g, &[0, 1, 2, 3], 7);
+    let opts = ColorOptions {
+        max_iterations: 0,
+        ..ColorOptions::default()
+    };
+    let err = recolor_delta(&g, &base, &[0, 1, 2, 3], &dev, &opts).unwrap_err();
+    assert!(
+        matches!(err, ColorError::MaxIterations { limit: 0, .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn empty_dirty_set_returns_the_base_unchanged() {
+    let dev = Device::tiny();
+    let g = from_undirected_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+    let base = corrupted_base(&g, &[], 0);
+    let r = recolor_delta(&g, &base, &[], &dev, &ColorOptions::default()).unwrap();
+    assert_eq!(r.colors, base.colors);
+    assert_eq!(r.iterations, 0);
+    assert_eq!(r.profile.total_ms(), 0.0);
+}

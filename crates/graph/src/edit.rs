@@ -1,0 +1,264 @@
+//! Edge-batch mutation of CSR graphs.
+//!
+//! The serving layer mutates graphs (edge inserts and deletes) and wants
+//! to *repair* the existing coloring instead of recoloring from scratch,
+//! so [`Csr::apply_edits`] applies a batch of undirected edits and
+//! reports exactly the **touched vertices** — the endpoints whose
+//! adjacency actually changed — which is the dirty set the repair engine
+//! consumes.
+//!
+//! The mutation is **fingerprint-stable**: the rebuilt CSR is
+//! byte-identical to building a fresh graph from the post-edit edge set
+//! with [`crate::builder::CsrBuilder`] (sorted, duplicate-free,
+//! symmetric adjacency, same `R`/`C` layout), so
+//! [`Csr::content_fingerprint`] — the service cache key — agrees no
+//! matter whether a graph arrived at its edge set by construction or by
+//! edits. The proptests in `tests/proptests.rs` pin this equivalence.
+
+use crate::csr::{Csr, CsrError, VertexId};
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One undirected edge edit. Both directions of the edge are affected:
+/// inserting `(u, v)` stores `v` in `u`'s adjacency *and* `u` in `v`'s,
+/// preserving the symmetric-CSR invariant every scheme relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeEdit {
+    /// Add the undirected edge `{u, v}`. Inserting an edge that already
+    /// exists is a no-op (and touches neither endpoint).
+    Insert(VertexId, VertexId),
+    /// Remove the undirected edge `{u, v}`. Deleting a missing edge is a
+    /// no-op (and touches neither endpoint).
+    Delete(VertexId, VertexId),
+}
+
+impl EdgeEdit {
+    /// The edit's endpoints, in the order given.
+    pub fn endpoints(&self) -> (VertexId, VertexId) {
+        match *self {
+            EdgeEdit::Insert(u, v) | EdgeEdit::Delete(u, v) => (u, v),
+        }
+    }
+}
+
+/// Why an edit batch was rejected. Validation happens before any
+/// mutation, so a rejected batch leaves the graph untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditError {
+    /// An endpoint was `>= num_vertices` (edits cannot grow the vertex
+    /// set; size the graph up front).
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The graph's vertex count.
+        n: usize,
+    },
+    /// Both endpoints were the same vertex; the CSR invariants exclude
+    /// self-loops.
+    SelfLoop(VertexId),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::VertexOutOfRange { vertex, n } => {
+                write!(f, "edit endpoint {vertex} out of range (n = {n})")
+            }
+            EditError::SelfLoop(v) => write!(f, "self-loop edit on vertex {v}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl Csr {
+    /// Applies a batch of undirected edge edits in order and returns the
+    /// **touched vertices** (ascending, duplicate-free): the endpoints
+    /// whose adjacency actually changed. Redundant edits — inserting a
+    /// present edge, deleting an absent one, or an insert/delete pair
+    /// that cancels out within the batch — touch nothing.
+    ///
+    /// The whole batch is validated first; on [`EditError`] the graph is
+    /// left untouched. The rebuilt CSR keeps every structural invariant
+    /// (sorted unique symmetric adjacency) and is byte-identical to a
+    /// fresh [`crate::builder::CsrBuilder`] build of the post-edit edge
+    /// set, so content fingerprints are path-independent.
+    pub fn apply_edits(&mut self, edits: &[EdgeEdit]) -> Result<Vec<VertexId>, EditError> {
+        let n = self.num_vertices();
+        for e in edits {
+            let (u, v) = e.endpoints();
+            for w in [u, v] {
+                if w as usize >= n {
+                    return Err(EditError::VertexOutOfRange { vertex: w, n });
+                }
+            }
+            if u == v {
+                return Err(EditError::SelfLoop(u));
+            }
+        }
+
+        // Materialize a sorted-set view of each row an edit names, apply
+        // the batch in order, then compare against the original row to
+        // decide whether the vertex was genuinely touched.
+        let mut rows: BTreeMap<VertexId, BTreeSet<VertexId>> = BTreeMap::new();
+        let row = |g: &Csr, rows: &mut BTreeMap<VertexId, BTreeSet<VertexId>>, v: VertexId| {
+            if let Entry::Vacant(slot) = rows.entry(v) {
+                slot.insert(g.neighbors(v).iter().copied().collect());
+            }
+        };
+        for e in edits {
+            let (u, v) = e.endpoints();
+            row(self, &mut rows, u);
+            row(self, &mut rows, v);
+            match *e {
+                EdgeEdit::Insert(u, v) => {
+                    rows.get_mut(&u).unwrap().insert(v);
+                    rows.get_mut(&v).unwrap().insert(u);
+                }
+                EdgeEdit::Delete(u, v) => {
+                    rows.get_mut(&u).unwrap().remove(&v);
+                    rows.get_mut(&v).unwrap().remove(&u);
+                }
+            }
+        }
+        let touched: Vec<VertexId> = rows
+            .iter()
+            .filter(|(&v, set)| {
+                set.len() != self.degree(v)
+                    || !set.iter().copied().eq(self.neighbors(v).iter().copied())
+            })
+            .map(|(&v, _)| v)
+            .collect();
+        if touched.is_empty() {
+            return Ok(touched);
+        }
+
+        // Rebuild R/C, splicing the edited rows in; untouched rows are
+        // copied verbatim, so the result is exactly what a fresh build of
+        // the post-edit edge set would produce.
+        let mut new_r = Vec::with_capacity(n + 1);
+        new_r.push(0u32);
+        let mut new_c: Vec<VertexId> = Vec::with_capacity(self.num_edges());
+        for v in 0..n as VertexId {
+            match rows.get(&v) {
+                Some(set) => new_c.extend(set.iter().copied()),
+                None => new_c.extend_from_slice(self.neighbors(v)),
+            }
+            new_r.push(new_c.len() as u32);
+        }
+        *self = Csr::try_new(new_r, new_c)
+            .unwrap_or_else(|e: CsrError| unreachable!("apply_edits produced an invalid CSR: {e}"));
+        Ok(touched)
+    }
+
+    /// Non-mutating variant of [`Csr::apply_edits`]: returns the edited
+    /// graph and its touched-vertex set, leaving `self` alone.
+    pub fn with_edits(&self, edits: &[EdgeEdit]) -> Result<(Csr, Vec<VertexId>), EditError> {
+        let mut g = self.clone();
+        let touched = g.apply_edits(edits)?;
+        Ok((g, touched))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 5-vertex example of the paper's Fig. 2.
+    fn fig2_graph() -> Csr {
+        Csr::new(
+            vec![0, 2, 6, 9, 11, 14],
+            vec![1, 2, 0, 2, 3, 4, 0, 1, 4, 1, 4, 1, 2, 3],
+        )
+    }
+
+    #[test]
+    fn insert_adds_both_directions_and_reports_endpoints() {
+        let mut g = fig2_graph();
+        let touched = g.apply_edits(&[EdgeEdit::Insert(0, 3)]).unwrap();
+        assert_eq!(touched, vec![0, 3]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(3), &[0, 1, 4]);
+        assert_eq!(g.num_edges(), 16);
+        g.validate().unwrap();
+        assert!(g.is_symmetric());
+        assert!(g.has_sorted_unique_neighbors());
+    }
+
+    #[test]
+    fn delete_removes_both_directions() {
+        let mut g = fig2_graph();
+        let touched = g.apply_edits(&[EdgeEdit::Delete(1, 4)]).unwrap();
+        assert_eq!(touched, vec![1, 4]);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbors(4), &[2, 3]);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn redundant_edits_touch_nothing() {
+        let mut g = fig2_graph();
+        let before = g.clone();
+        // Present insert, absent delete, and an insert/delete pair that
+        // cancels inside the batch.
+        let touched = g
+            .apply_edits(&[
+                EdgeEdit::Insert(0, 1),
+                EdgeEdit::Delete(0, 3),
+                EdgeEdit::Insert(2, 3),
+                EdgeEdit::Delete(2, 3),
+            ])
+            .unwrap();
+        assert!(touched.is_empty());
+        assert_eq!(g, before);
+        assert_eq!(g.content_fingerprint(), before.content_fingerprint());
+    }
+
+    #[test]
+    fn batch_order_matters_delete_then_insert_touches() {
+        let mut g = fig2_graph();
+        // Delete an existing edge then re-insert it: net no-op.
+        let touched = g
+            .apply_edits(&[EdgeEdit::Delete(0, 1), EdgeEdit::Insert(0, 1)])
+            .unwrap();
+        assert!(touched.is_empty());
+        assert_eq!(g, fig2_graph());
+    }
+
+    #[test]
+    fn rejected_batches_leave_the_graph_untouched() {
+        let mut g = fig2_graph();
+        let before = g.clone();
+        assert_eq!(
+            g.apply_edits(&[EdgeEdit::Insert(0, 2), EdgeEdit::Insert(1, 9)]),
+            Err(EditError::VertexOutOfRange { vertex: 9, n: 5 })
+        );
+        assert_eq!(
+            g.apply_edits(&[EdgeEdit::Delete(3, 3)]),
+            Err(EditError::SelfLoop(3))
+        );
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn edits_match_a_fresh_build() {
+        use crate::builder::from_undirected_edges;
+        let mut g = fig2_graph();
+        g.apply_edits(&[EdgeEdit::Insert(0, 4), EdgeEdit::Delete(1, 2)])
+            .unwrap();
+        let fresh = from_undirected_edges(5, g.edges().filter(|(u, v)| u < v));
+        assert_eq!(g, fresh);
+        assert_eq!(g.content_fingerprint(), fresh.content_fingerprint());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut g = fig2_graph();
+        assert_eq!(g.apply_edits(&[]), Ok(vec![]));
+        let (h, touched) = g.with_edits(&[]).unwrap();
+        assert!(touched.is_empty());
+        assert_eq!(h, g);
+    }
+}

@@ -5,6 +5,9 @@
 //!
 //! * [`Csr`] / [`CsrBuilder`] — the `R` (row offsets) and `C` (column
 //!   indices) arrays of §III-C, Fig. 2 of the paper.
+//! * [`edit`] — fingerprint-stable edge-batch mutation
+//!   ([`Csr::apply_edits`]) with touched-vertex reporting, feeding the
+//!   incremental-recoloring path.
 //! * [`gen`] — deterministic generators: R-MAT (§IV), plus structural
 //!   stand-ins for the four University-of-Florida matrices of Table I.
 //! * [`io`] — MatrixMarket and edge-list readers/writers so the real
@@ -28,6 +31,7 @@
 pub mod builder;
 pub mod check;
 pub mod csr;
+pub mod edit;
 pub mod gen;
 pub mod io;
 pub mod ordering;
@@ -40,4 +44,5 @@ pub mod traverse;
 pub use builder::CsrBuilder;
 pub use check::{verify_coloring, Color, ColoringViolation};
 pub use csr::{Csr, VertexId};
+pub use edit::{EdgeEdit, EditError};
 pub use stats::DegreeStats;

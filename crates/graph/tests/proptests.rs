@@ -252,3 +252,84 @@ proptest! {
         prop_assert_ne!(g.content_fingerprint(), flipped.content_fingerprint());
     }
 }
+
+/// A vertex count, an undirected edge list, and a raw edit batch
+/// (`true` = insert) — the inputs the `apply_edits` properties draw.
+type EditInputs = (
+    usize,
+    Vec<(VertexId, VertexId)>,
+    Vec<(bool, VertexId, VertexId)>,
+);
+
+/// Strategy: a graph plus a batch of random edits over it (inserts and
+/// deletes of arbitrary pairs, self-loops excluded by construction).
+fn arb_edit_inputs() -> impl Strategy<Value = EditInputs> {
+    (2usize..40).prop_flat_map(|n| {
+        let edge = (0..n as VertexId, 0..n as VertexId);
+        let edit = (any::<bool>(), 0..n as VertexId, 0..n as VertexId);
+        (
+            Just(n),
+            proptest::collection::vec(edge, 0..120),
+            proptest::collection::vec(edit, 0..40),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn apply_edits_is_fingerprint_stable((n, edges, raw_edits) in arb_edit_inputs()) {
+        use gcol_graph::edit::EdgeEdit;
+        let g = from_undirected_edges(n, edges);
+        let edits: Vec<EdgeEdit> = raw_edits.iter()
+            .filter(|&&(_, u, v)| u != v)
+            .map(|&(ins, u, v)| if ins { EdgeEdit::Insert(u, v) } else { EdgeEdit::Delete(u, v) })
+            .collect();
+        let (edited, touched) = g.with_edits(&edits).unwrap();
+        // Structural invariants survive any batch.
+        prop_assert!(edited.validate().is_ok());
+        prop_assert!(edited.is_symmetric());
+        prop_assert!(edited.has_no_self_loops());
+        prop_assert!(edited.has_sorted_unique_neighbors());
+        // Path independence: a fresh build of the post-edit edge set is
+        // byte-identical, so the content fingerprint (the service cache
+        // key) cannot tell edited and rebuilt graphs apart.
+        let rebuilt = from_undirected_edges(n, edited.edges().filter(|(u, v)| u < v));
+        prop_assert_eq!(&edited, &rebuilt);
+        prop_assert_eq!(edited.content_fingerprint(), rebuilt.content_fingerprint());
+        // Touched = exactly the vertices whose adjacency changed.
+        for v in 0..n as VertexId {
+            let changed = g.neighbors(v) != edited.neighbors(v);
+            prop_assert_eq!(touched.binary_search(&v).is_ok(), changed,
+                "vertex {} touched-report disagrees with adjacency diff", v);
+        }
+        // Touched list is sorted and duplicate-free.
+        prop_assert!(touched.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn apply_edits_inverse_batch_round_trips((n, edges, raw_edits) in arb_edit_inputs()) {
+        use gcol_graph::edit::EdgeEdit;
+        // Applying a batch and then its inverse (w.r.t. what actually
+        // changed) restores the original graph bit-for-bit.
+        let g = from_undirected_edges(n, edges);
+        let edits: Vec<EdgeEdit> = raw_edits.iter()
+            .filter(|&&(_, u, v)| u != v)
+            .map(|&(ins, u, v)| if ins { EdgeEdit::Insert(u, v) } else { EdgeEdit::Delete(u, v) })
+            .collect();
+        let (edited, _) = g.with_edits(&edits).unwrap();
+        let mut inverse: Vec<EdgeEdit> = Vec::new();
+        for (u, v) in g.edges().filter(|(u, v)| u < v) {
+            if !edited.has_edge_sorted(u, v) {
+                inverse.push(EdgeEdit::Insert(u, v));
+            }
+        }
+        for (u, v) in edited.edges().filter(|(u, v)| u < v) {
+            if !g.has_edge_sorted(u, v) {
+                inverse.push(EdgeEdit::Delete(u, v));
+            }
+        }
+        let (restored, _) = edited.with_edits(&inverse).unwrap();
+        prop_assert_eq!(&restored, &g);
+        prop_assert_eq!(restored.content_fingerprint(), g.content_fingerprint());
+    }
+}

@@ -13,16 +13,30 @@
 //!  "scheme":"T-base","backend":"native","shards":1,"seed":7,
 //!  "block":128,"deadline_ms":2000,"assignment":false}
 //! {"op":"color","id":2,"graph":{"r":[0,2,4],"c":[1,0,0,1]},"scheme":"D-ldg"}
-//! {"op":"stats","id":3}
-//! {"op":"shutdown","id":4}
+//! {"op":"mutate","id":3,"graph":{"gen":"rmat-er","scale":12,"seed":5},
+//!  "edits":[["+",0,3],["-",1,4]]}
+//! {"op":"recolor","id":4,"scheme":"T-base","backend":"native"}
+//! {"op":"stats","id":5}
+//! {"op":"shutdown","id":6}
 //! ```
 //!
 //! `op` defaults to `"color"`. Every field except `graph` is optional
-//! and defaults to the service's [`gcol_core::ColorOptions`] defaults.
-//! Graphs come inline (`r`/`c`, the CSR arrays of the paper's Fig. 2) or
-//! by generator name — resolution of names is delegated to the embedding
-//! (the bench CLI resolves the Table I suite names), keeping this crate
-//! free of generator policy.
+//! and defaults to the service's [`gcol_core::ColorOptions`] defaults
+//! (including `"exchange":"dense"|"delta"` for the sharded ghost wire
+//! format — part of the cache fingerprint). Graphs come inline (`r`/`c`,
+//! the CSR arrays of the paper's Fig. 2) or by generator name —
+//! resolution of names is delegated to the embedding (the bench CLI
+//! resolves the Table I suite names), keeping this crate free of
+//! generator policy.
+//!
+//! `mutate`/`recolor` are the incremental pair: `mutate` loads (or
+//! edits) the connection's **session graph** — `edits` is an ordered
+//! batch of `["+"|"-", u, v]` undirected edge inserts/deletes — and
+//! accumulates the touched vertices as the session's dirty set;
+//! `recolor` colors the session graph, repairing the previous result
+//! through the dirty set when the request's options match the held
+//! baseline (response `source` says which path ran: `"delta"`,
+//! `"scratch"`, or `"session"` for an untouched baseline served as-is).
 //!
 //! ## Responses
 //!
@@ -37,7 +51,8 @@
 
 use crate::json::{self, obj, Json};
 use crate::service::{JobResponse, Rejection, ServeError, ServiceStats};
-use gcol_core::{BackendKind, ColorOptions, Coloring, JobSpec, Scheme};
+use gcol_core::{BackendKind, ColorOptions, Coloring, ExchangeKind, Fingerprint, JobSpec, Scheme};
+use gcol_graph::edit::EdgeEdit;
 use gcol_graph::Csr;
 use gcol_simt::ExecMode;
 
@@ -54,6 +69,25 @@ pub enum Request {
         spec: JobSpec,
         /// Optional deadline in milliseconds.
         deadline_ms: Option<u64>,
+        /// Include the per-vertex color array in the response.
+        assignment: bool,
+    },
+    /// Load and/or edit the session graph.
+    Mutate {
+        /// Correlation id.
+        id: Option<u64>,
+        /// Replaces the session graph before applying `edits` (clears
+        /// any held baseline). Absent: edit the current session graph.
+        graph: Option<GraphSpec>,
+        /// Ordered undirected edge edits to apply.
+        edits: Vec<EdgeEdit>,
+    },
+    /// Color the session graph, incrementally when possible.
+    Recolor {
+        /// Correlation id.
+        id: Option<u64>,
+        /// Scheme + options to run.
+        spec: JobSpec,
         /// Include the per-vertex color array in the response.
         assignment: bool,
     },
@@ -89,7 +123,11 @@ impl Request {
     /// The correlation id, whatever the operation.
     pub fn id(&self) -> Option<u64> {
         match self {
-            Request::Color { id, .. } | Request::Stats { id } | Request::Shutdown { id } => *id,
+            Request::Color { id, .. }
+            | Request::Mutate { id, .. }
+            | Request::Recolor { id, .. }
+            | Request::Stats { id }
+            | Request::Shutdown { id } => *id,
         }
     }
 
@@ -102,51 +140,98 @@ impl Request {
             "shutdown" => Ok(Request::Shutdown { id }),
             "color" => {
                 let graph = parse_graph(v.get("graph").ok_or("missing \"graph\"")?)?;
-                let scheme = match v.get("scheme").and_then(Json::as_str) {
-                    None => Scheme::TopoBase,
-                    Some(name) => {
-                        Scheme::from_name(name).ok_or_else(|| format!("unknown scheme {name:?}"))?
-                    }
-                };
-                let mut opts = ColorOptions::default();
-                if let Some(b) = v.get("backend").and_then(Json::as_str) {
-                    opts.backend = b
-                        .parse::<BackendKind>()
-                        .map_err(|_| format!("unknown backend {b:?}"))?;
-                }
-                if let Some(s) = v.get("shards").and_then(Json::as_u64) {
-                    if s == 0 {
-                        return Err("\"shards\" must be >= 1".into());
-                    }
-                    opts.num_shards = s as usize;
-                }
-                if let Some(s) = v.get("seed").and_then(Json::as_u64) {
-                    opts.seed = s;
-                }
-                if let Some(b) = v.get("block").and_then(Json::as_u64) {
-                    opts.block_size = b as u32;
-                }
-                if let Some(h) = v.get("hashes").and_then(Json::as_u64) {
-                    opts.num_hashes = h as usize;
-                }
-                if let Some(m) = v.get("mode").and_then(Json::as_str) {
-                    opts.exec_mode = match m {
-                        "deterministic" | "det" => ExecMode::Deterministic,
-                        "parallel" | "par" => ExecMode::Parallel,
-                        other => return Err(format!("unknown exec mode {other:?}")),
-                    };
-                }
                 Ok(Request::Color {
                     id,
                     graph,
-                    spec: JobSpec { scheme, opts },
+                    spec: parse_spec(&v)?,
                     deadline_ms: v.get("deadline_ms").and_then(Json::as_u64),
                     assignment: v.get("assignment").and_then(Json::as_bool).unwrap_or(false),
                 })
             }
+            "mutate" => Ok(Request::Mutate {
+                id,
+                graph: v.get("graph").map(parse_graph).transpose()?,
+                edits: parse_edits(&v)?,
+            }),
+            "recolor" => Ok(Request::Recolor {
+                id,
+                spec: parse_spec(&v)?,
+                assignment: v.get("assignment").and_then(Json::as_bool).unwrap_or(false),
+            }),
             other => Err(format!("unknown op {other:?}")),
         }
     }
+}
+
+/// Parses the scheme + option fields shared by `color` and `recolor`.
+fn parse_spec(v: &Json) -> Result<JobSpec, String> {
+    let scheme = match v.get("scheme").and_then(Json::as_str) {
+        None => Scheme::TopoBase,
+        Some(name) => Scheme::from_name(name).ok_or_else(|| format!("unknown scheme {name:?}"))?,
+    };
+    let mut opts = ColorOptions::default();
+    if let Some(b) = v.get("backend").and_then(Json::as_str) {
+        opts.backend = b
+            .parse::<BackendKind>()
+            .map_err(|_| format!("unknown backend {b:?}"))?;
+    }
+    if let Some(s) = v.get("shards").and_then(Json::as_u64) {
+        if s == 0 {
+            return Err("\"shards\" must be >= 1".into());
+        }
+        opts.num_shards = s as usize;
+    }
+    if let Some(s) = v.get("seed").and_then(Json::as_u64) {
+        opts.seed = s;
+    }
+    if let Some(b) = v.get("block").and_then(Json::as_u64) {
+        opts.block_size = b as u32;
+    }
+    if let Some(h) = v.get("hashes").and_then(Json::as_u64) {
+        opts.num_hashes = h as usize;
+    }
+    if let Some(m) = v.get("mode").and_then(Json::as_str) {
+        opts.exec_mode = match m {
+            "deterministic" | "det" => ExecMode::Deterministic,
+            "parallel" | "par" => ExecMode::Parallel,
+            other => return Err(format!("unknown exec mode {other:?}")),
+        };
+    }
+    if let Some(x) = v.get("exchange").and_then(Json::as_str) {
+        opts.exchange = x.parse::<ExchangeKind>()?;
+    }
+    Ok(JobSpec { scheme, opts })
+}
+
+/// Parses the `"edits"` array: ordered `["+"|"-", u, v]` triples.
+fn parse_edits(v: &Json) -> Result<Vec<EdgeEdit>, String> {
+    let Some(arr) = v.get("edits") else {
+        return Ok(Vec::new());
+    };
+    let arr = arr.as_arr().ok_or("\"edits\" must be an array")?;
+    arr.iter()
+        .map(|e| {
+            let t = e
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or("each edit must be a [\"+\"|\"-\", u, v] triple")?;
+            let endpoint = |x: &Json| {
+                x.as_u64()
+                    .filter(|&x| x <= u32::MAX as u64)
+                    .map(|x| x as u32)
+                    .ok_or_else(|| "edit endpoints must be u32".to_string())
+            };
+            let (u, w) = (endpoint(&t[1])?, endpoint(&t[2])?);
+            match t[0].as_str() {
+                Some("+") | Some("insert") => Ok(EdgeEdit::Insert(u, w)),
+                Some("-") | Some("delete") => Ok(EdgeEdit::Delete(u, w)),
+                _ => Err(format!(
+                    "unknown edit op {:?} (expected \"+\" or \"-\")",
+                    t[0]
+                )),
+            }
+        })
+        .collect()
 }
 
 fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
@@ -195,6 +280,64 @@ pub fn ok_response(id: Option<u64>, r: &JobResponse, assignment: bool) -> String
         ("queue_ms", Json::Num(r.queue_ms)),
         ("exec_ms", Json::Num(r.exec_ms)),
         ("total_ms", Json::Num(r.total_ms)),
+    ]);
+    with_id(&mut o, id);
+    if assignment {
+        if let Json::Obj(m) = &mut o {
+            m.insert(
+                "assignment".into(),
+                Json::Arr(
+                    coloring
+                        .colors
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            );
+        }
+    }
+    o.to_string()
+}
+
+/// Renders the response to a `mutate`: how many vertices the batch
+/// touched and the post-edit graph identity (content fingerprint + size)
+/// — the client-visible proof that cache keys rolled over.
+pub fn mutate_response(id: Option<u64>, touched: usize, g: &Csr) -> String {
+    let mut o = obj([
+        ("ok", Json::Bool(true)),
+        ("touched", Json::Num(touched as f64)),
+        (
+            "graph_fingerprint",
+            Json::Str(format!("{:016x}", g.content_fingerprint())),
+        ),
+        ("vertices", Json::Num(g.num_vertices() as f64)),
+        ("edges", Json::Num(g.num_edges() as f64)),
+    ]);
+    with_id(&mut o, id);
+    o.to_string()
+}
+
+/// Renders the response to a `recolor`. `source` is `"delta"` (dirty-set
+/// repair of the held baseline), `"scratch"` (full rerun) or
+/// `"session"` (clean baseline served as held); `repaired` is the dirty
+/// set size a delta repair consumed (0 otherwise).
+pub fn recolor_response(
+    id: Option<u64>,
+    source: &str,
+    repaired: usize,
+    fingerprint: Fingerprint,
+    coloring: &Coloring,
+    assignment: bool,
+) -> String {
+    let mut o = obj([
+        ("ok", Json::Bool(true)),
+        ("source", Json::Str(source.into())),
+        ("repaired", Json::Num(repaired as f64)),
+        ("fingerprint", Json::Str(fingerprint.to_string())),
+        ("scheme", Json::Str(coloring.scheme.name().into())),
+        ("colors", Json::Num(coloring.num_colors as f64)),
+        ("iterations", Json::Num(coloring.iterations as f64)),
+        ("modeled_ms", Json::Num(coloring.total_ms())),
     ]);
     with_id(&mut o, id);
     if assignment {
@@ -332,6 +475,82 @@ mod tests {
                 assert_eq!(spec.opts.backend, BackendKind::Simt);
             }
             other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exchange_option() {
+        for (wire, kind) in [
+            ("dense", ExchangeKind::Dense),
+            ("delta", ExchangeKind::Delta),
+        ] {
+            let line = format!(r#"{{"graph":{{"r":[0,2,4],"c":[1,0,0,1]}},"exchange":"{wire}"}}"#);
+            match Request::parse(&line).unwrap() {
+                Request::Color { spec, .. } => assert_eq!(spec.opts.exchange, kind),
+                other => panic!("wrong parse: {other:?}"),
+            }
+        }
+        assert!(
+            Request::parse(r#"{"graph":{"r":[0,0],"c":[]},"exchange":"sparse"}"#).is_err(),
+            "unknown exchange kinds must be rejected"
+        );
+    }
+
+    #[test]
+    fn parses_mutate_and_recolor() {
+        match Request::parse(
+            r#"{"op":"mutate","id":9,"edits":[["+",0,3],["-",1,4],["insert",2,0]]}"#,
+        )
+        .unwrap()
+        {
+            Request::Mutate { id, graph, edits } => {
+                assert_eq!(id, Some(9));
+                assert!(graph.is_none());
+                assert_eq!(
+                    edits,
+                    vec![
+                        EdgeEdit::Insert(0, 3),
+                        EdgeEdit::Delete(1, 4),
+                        EdgeEdit::Insert(2, 0)
+                    ]
+                );
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse(r#"{"op":"mutate","graph":{"gen":"rmat","scale":6,"seed":2}}"#)
+            .unwrap()
+        {
+            Request::Mutate { graph, edits, .. } => {
+                assert!(matches!(graph, Some(GraphSpec::Named { .. })));
+                assert!(edits.is_empty());
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse(
+            r#"{"op":"recolor","id":2,"scheme":"D-ldg","backend":"native","assignment":true}"#,
+        )
+        .unwrap()
+        {
+            Request::Recolor {
+                id,
+                spec,
+                assignment,
+            } => {
+                assert_eq!(id, Some(2));
+                assert_eq!(spec.scheme, Scheme::DataLdg);
+                assert_eq!(spec.opts.backend, BackendKind::Native);
+                assert!(assignment);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for bad in [
+            r#"{"op":"mutate","edits":[["*",0,1]]}"#,
+            r#"{"op":"mutate","edits":[["+",0]]}"#,
+            r#"{"op":"mutate","edits":[["+",0,99999999999]]}"#,
+            r#"{"op":"mutate","edits":"nope"}"#,
+            r#"{"op":"recolor","scheme":"nope"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
         }
     }
 

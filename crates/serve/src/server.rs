@@ -7,14 +7,56 @@
 //! was submitted earlier. Clients correlate by `id`. Responses are
 //! whole lines written under a mutex, so concurrent resolutions never
 //! interleave bytes.
+//!
+//! ## The incremental session
+//!
+//! `mutate`/`recolor` operate on per-connection state: the **session
+//! graph**, the last `recolor` result (the *baseline*) and the dirty set
+//! the mutations since then have touched. A `recolor` whose options
+//! match the baseline's repairs it through
+//! [`gcol_core::recolor_delta`] instead of rerunning the scheme. These
+//! verbs run synchronously on the reading thread — they mutate session
+//! state, so ordering against subsequent requests must be strict — and
+//! they bypass the service's result cache entirely: a repaired coloring
+//! is proper but not bit-identical to a from-scratch run, so it must
+//! never be served to a `color` request, whose cache the graph's content
+//! fingerprint keys (mutation rolls the fingerprint, so stale entries
+//! are unreachable rather than explicitly purged).
 
 use crate::proto::{self, GraphSpec, Request};
 use crate::service::{Service, ServiceStats};
-use gcol_graph::Csr;
-use std::collections::HashMap;
+use gcol_core::{recolor_delta, Coloring, JobSpec};
+use gcol_graph::{Csr, VertexId};
+use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, Write};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Per-connection incremental state: the graph `mutate` edits and the
+/// baseline coloring + accumulated dirty set `recolor` repairs.
+struct Session {
+    graph: Arc<Csr>,
+    base: Option<(JobSpec, Arc<Coloring>)>,
+    dirty: BTreeSet<VertexId>,
+}
+
+/// Resolves a request's graph reference against the memoized named-graph
+/// table (inline graphs pass straight through).
+fn lookup_graph(
+    graphs: &mut HashMap<(String, u32, u64), Arc<Csr>>,
+    resolve: &GraphResolver<'_>,
+    spec: GraphSpec,
+) -> Result<Arc<Csr>, String> {
+    match spec {
+        GraphSpec::Inline(g) => Ok(Arc::new(g)),
+        GraphSpec::Named { name, scale, seed } => match graphs.entry((name.clone(), scale, seed)) {
+            std::collections::hash_map::Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                Ok(Arc::clone(slot.insert(resolve(&name, scale, seed)?)))
+            }
+        },
+    }
+}
 
 /// Resolves a named graph request (`{"gen":…,"scale":…,"seed":…}`) to a
 /// graph. The embedding decides which names exist; the server memoizes
@@ -37,6 +79,7 @@ where
     let writer = Arc::new(Mutex::new(writer));
     let mut responders: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut graphs: HashMap<(String, u32, u64), Arc<Csr>> = HashMap::new();
+    let mut session: Option<Session> = None;
     let write_line = |w: &Arc<Mutex<W>>, line: String| -> std::io::Result<()> {
         let mut w = w.lock().unwrap();
         w.write_all(line.as_bytes())?;
@@ -60,6 +103,104 @@ where
             Request::Stats { id } => {
                 write_line(&writer, proto::stats_response(id, &service.stats()))?;
             }
+            Request::Mutate { id, graph, edits } => {
+                if let Some(spec) = graph {
+                    match lookup_graph(&mut graphs, resolve, spec) {
+                        Ok(g) => {
+                            session = Some(Session {
+                                graph: g,
+                                base: None,
+                                dirty: BTreeSet::new(),
+                            });
+                        }
+                        Err(msg) => {
+                            write_line(&writer, proto::error_response(id, "unknown-graph", &msg))?;
+                            continue;
+                        }
+                    }
+                }
+                let Some(sess) = session.as_mut() else {
+                    write_line(
+                        &writer,
+                        proto::error_response(
+                            id,
+                            "no-graph",
+                            "no session graph: include \"graph\" in a mutate first",
+                        ),
+                    )?;
+                    continue;
+                };
+                match sess.graph.with_edits(&edits) {
+                    Ok((g, touched)) => {
+                        sess.graph = Arc::new(g);
+                        sess.dirty.extend(touched.iter().copied());
+                        write_line(
+                            &writer,
+                            proto::mutate_response(id, touched.len(), &sess.graph),
+                        )?;
+                    }
+                    Err(e) => {
+                        write_line(
+                            &writer,
+                            proto::error_response(id, "bad-edit", &e.to_string()),
+                        )?;
+                    }
+                }
+            }
+            Request::Recolor {
+                id,
+                spec,
+                assignment,
+            } => {
+                let Some(sess) = session.as_mut() else {
+                    write_line(
+                        &writer,
+                        proto::error_response(
+                            id,
+                            "no-graph",
+                            "no session graph: include \"graph\" in a mutate first",
+                        ),
+                    )?;
+                    continue;
+                };
+                let fp = spec.fingerprint(&sess.graph);
+                // Option equality via the spec fold over a zero graph
+                // fingerprint: equal iff every output-relevant option is.
+                let same_spec = sess
+                    .base
+                    .as_ref()
+                    .is_some_and(|(s, _)| s.fingerprint_of(0) == spec.fingerprint_of(0));
+                let line = if same_spec && sess.dirty.is_empty() {
+                    let base = &sess.base.as_ref().unwrap().1;
+                    proto::recolor_response(id, "session", 0, fp, base, assignment)
+                } else if same_spec {
+                    let base = Arc::clone(&sess.base.as_ref().unwrap().1);
+                    let dirty: Vec<VertexId> = sess.dirty.iter().copied().collect();
+                    match recolor_delta(&sess.graph, &base, &dirty, service.device(), &spec.opts) {
+                        Ok(c) => {
+                            let c = Arc::new(c);
+                            sess.base = Some((spec, Arc::clone(&c)));
+                            sess.dirty.clear();
+                            proto::recolor_response(id, "delta", dirty.len(), fp, &c, assignment)
+                        }
+                        Err(e) => proto::error_response(id, "coloring-failed", &e.to_string()),
+                    }
+                } else {
+                    match spec
+                        .scheme
+                        .try_color(&sess.graph, service.device(), &spec.opts)
+                    {
+                        Ok(c) => {
+                            let c = Arc::new(c);
+                            sess.base = Some((spec, Arc::clone(&c)));
+                            sess.dirty.clear();
+                            proto::recolor_response(id, "scratch", 0, fp, &c, assignment)
+                        }
+                        Err(e) => proto::error_response(id, "coloring-failed", &e.to_string()),
+                    }
+                };
+                write_line(&writer, line)?;
+            }
             Request::Shutdown { id } => {
                 write_line(&writer, proto::ack_response(id, "draining"))?;
                 break;
@@ -71,25 +212,11 @@ where
                 deadline_ms,
                 assignment,
             } => {
-                let graph = match graph {
-                    GraphSpec::Inline(g) => Arc::new(g),
-                    GraphSpec::Named { name, scale, seed } => {
-                        let key = (name.clone(), scale, seed);
-                        match graphs.entry(key) {
-                            std::collections::hash_map::Entry::Occupied(e) => Arc::clone(e.get()),
-                            std::collections::hash_map::Entry::Vacant(slot) => {
-                                match resolve(&name, scale, seed) {
-                                    Ok(g) => Arc::clone(slot.insert(g)),
-                                    Err(msg) => {
-                                        write_line(
-                                            &writer,
-                                            proto::error_response(id, "unknown-graph", &msg),
-                                        )?;
-                                        continue;
-                                    }
-                                }
-                            }
-                        }
+                let graph = match lookup_graph(&mut graphs, resolve, graph) {
+                    Ok(g) => g,
+                    Err(msg) => {
+                        write_line(&writer, proto::error_response(id, "unknown-graph", &msg))?;
+                        continue;
                     }
                 };
                 let req = crate::service::JobRequest {

@@ -442,6 +442,13 @@ impl Service {
         self.stats()
     }
 
+    /// The device model jobs execute on. The protocol server's
+    /// session-level incremental recolor path runs on the same device so
+    /// delta and from-scratch timelines stay comparable.
+    pub fn device(&self) -> &Device {
+        &self.inner.config.device
+    }
+
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let st = self.inner.state.lock().unwrap();

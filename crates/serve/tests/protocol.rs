@@ -112,6 +112,154 @@ fn scripted_session_colors_inline_and_named_graphs() {
 }
 
 #[test]
+fn exchange_kind_is_part_of_the_cache_fingerprint() {
+    // Same sharded job under the two ghost wire formats: identical
+    // colors, but distinct fingerprints — a dense run must never be
+    // served from the cache for a delta request (their modeled exchange
+    // timelines differ).
+    let input = concat!(
+        r#"{"id":1,"op":"color","graph":{"gen":"rmat","scale":7,"seed":2},"scheme":"T-base","shards":2,"exchange":"delta"}"#,
+        "\n",
+        r#"{"id":2,"op":"color","graph":{"gen":"rmat","scale":7,"seed":2},"scheme":"T-base","shards":2,"exchange":"dense"}"#,
+        "\n",
+        r#"{"id":3,"op":"color","graph":{"gen":"rmat","scale":7,"seed":2},"scheme":"T-base","shards":2}"#,
+        "\n",
+    );
+    let (lines, stats) = run_session(input);
+    let resp = by_id(&lines);
+    for id in 1..=3 {
+        assert_eq!(resp[&id].get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let fp = |id: u64| resp[&id].get("fingerprint").and_then(Json::as_str).unwrap();
+    assert_ne!(fp(1), fp(2), "exchange kind must separate fingerprints");
+    assert_eq!(fp(1), fp(3), "delta is the default exchange kind");
+    assert_eq!(
+        resp[&1].get("colors").and_then(Json::as_u64),
+        resp[&2].get("colors").and_then(Json::as_u64),
+        "wire format must not change the coloring"
+    );
+    // Jobs 1 and 3 share a fingerprint; job 2 is its own execution.
+    assert_eq!(stats.executions, 2);
+    assert_eq!(stats.cache_hits + stats.coalesced, 1);
+}
+
+#[test]
+fn mutate_and_recolor_drive_an_incremental_session() {
+    let input = concat!(
+        // Establish the session graph (no edits yet).
+        r#"{"id":1,"op":"mutate","graph":{"r":[0,2,6,9,11,14],"c":[1,2,0,2,3,4,0,1,4,1,4,1,2,3]}}"#,
+        "\n",
+        // First recolor: nothing to repair against, runs from scratch.
+        r#"{"id":2,"op":"recolor","scheme":"T-base","backend":"native","assignment":true}"#,
+        "\n",
+        // Clean repeat: the held baseline is served as-is.
+        r#"{"id":3,"op":"recolor","scheme":"T-base","backend":"native"}"#,
+        "\n",
+        // Close the 5-cycle chord: touches vertices 0 and 3.
+        r#"{"id":4,"op":"mutate","edits":[["+",0,3]]}"#,
+        "\n",
+        // Same options: repaired through the dirty set.
+        r#"{"id":5,"op":"recolor","scheme":"T-base","backend":"native","assignment":true}"#,
+        "\n",
+        // Different scheme: the baseline does not transfer.
+        r#"{"id":6,"op":"recolor","scheme":"D-base","backend":"native"}"#,
+        "\n",
+        // A deleted absent edge plus a cancelling pair touch nothing.
+        r#"{"id":7,"op":"mutate","edits":[["-",0,4],["+",2,3],["-",2,3]]}"#,
+        "\n",
+    );
+    let (lines, _) = run_session(input);
+    let resp = by_id(&lines);
+    for id in 1..=7 {
+        assert_eq!(
+            resp[&id].get("ok").and_then(Json::as_bool),
+            Some(true),
+            "response {id} failed: {:?}",
+            resp[&id]
+        );
+    }
+    assert_eq!(resp[&1].get("touched").and_then(Json::as_u64), Some(0));
+    assert_eq!(resp[&1].get("vertices").and_then(Json::as_u64), Some(5));
+    assert_eq!(
+        resp[&2].get("source").and_then(Json::as_str),
+        Some("scratch")
+    );
+    assert_eq!(
+        resp[&3].get("source").and_then(Json::as_str),
+        Some("session")
+    );
+    assert_eq!(
+        resp[&3].get("colors").and_then(Json::as_u64),
+        resp[&2].get("colors").and_then(Json::as_u64)
+    );
+    // The mutate rolled the graph's content fingerprint: cache keys for
+    // the old graph can never serve the new one.
+    assert_eq!(resp[&4].get("touched").and_then(Json::as_u64), Some(2));
+    assert_ne!(
+        resp[&1].get("graph_fingerprint").and_then(Json::as_str),
+        resp[&4].get("graph_fingerprint").and_then(Json::as_str)
+    );
+    assert_eq!(resp[&4].get("edges").and_then(Json::as_u64), Some(16));
+    // The delta repair consumed the two touched vertices and produced a
+    // proper coloring of the edited graph (0 and 3 now adjacent).
+    assert_eq!(resp[&5].get("source").and_then(Json::as_str), Some("delta"));
+    assert_eq!(resp[&5].get("repaired").and_then(Json::as_u64), Some(2));
+    let colors = |r: &Json| -> Vec<u64> {
+        r.get("assignment")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect()
+    };
+    let (before, after) = (colors(resp[&2]), colors(resp[&5]));
+    assert_ne!(after[0], after[3], "chord endpoints must now differ");
+    for v in [1usize, 2, 4] {
+        assert_eq!(before[v], after[v], "untouched vertex {v} recolored");
+    }
+    assert_eq!(
+        resp[&6].get("source").and_then(Json::as_str),
+        Some("scratch")
+    );
+    assert_eq!(resp[&7].get("touched").and_then(Json::as_u64), Some(0));
+}
+
+#[test]
+fn session_verbs_fail_cleanly_without_a_session_graph() {
+    let input = concat!(
+        r#"{"id":1,"op":"recolor","scheme":"T-base"}"#,
+        "\n",
+        r#"{"id":2,"op":"mutate","edits":[["+",0,1]]}"#,
+        "\n",
+        // Out-of-range endpoint: typed bad-edit, session survives.
+        r#"{"id":3,"op":"mutate","graph":{"r":[0,1,2],"c":[1,0]},"edits":[["+",0,9]]}"#,
+        "\n",
+        r#"{"id":4,"op":"recolor","scheme":"T-base","backend":"native"}"#,
+        "\n",
+    );
+    let (lines, _) = run_session(input);
+    let resp = by_id(&lines);
+    assert_eq!(
+        resp[&1].get("error").and_then(Json::as_str),
+        Some("no-graph")
+    );
+    assert_eq!(
+        resp[&2].get("error").and_then(Json::as_str),
+        Some("no-graph")
+    );
+    assert_eq!(
+        resp[&3].get("error").and_then(Json::as_str),
+        Some("bad-edit")
+    );
+    // The rejected batch left the freshly loaded graph intact.
+    assert_eq!(resp[&4].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        resp[&4].get("source").and_then(Json::as_str),
+        Some("scratch")
+    );
+}
+
+#[test]
 fn bad_lines_get_typed_errors_and_do_not_kill_the_session() {
     let input = concat!(
         "this is not json\n",

@@ -243,13 +243,27 @@ impl GpuMem {
 
     /// Allocates a buffer holding a copy of `data` (host-to-device copy;
     /// the *timing* of the transfer is charged separately via
-    /// [`crate::xfer`]).
+    /// [`crate::xfer`]). The words are constructed from `data` directly
+    /// rather than zero-filled and overwritten — graph uploads are the
+    /// largest allocations every run makes, and this is their hot path.
     pub fn alloc_from_slice<T: Word>(&mut self, data: &[T]) -> Buffer<T> {
-        let buf = self.alloc(data.len());
-        for (i, &v) in data.iter().enumerate() {
-            self.store(buf, i, v);
+        let base = self.words.len().next_multiple_of(ALLOC_ALIGN_WORDS);
+        self.words.resize_with(base, || AtomicU32::new(0));
+        self.words
+            .extend(data.iter().map(|&v| AtomicU32::new(v.to_bits())));
+        if let Some(map) = &mut self.init {
+            map.resize_with(base + data.len(), || AtomicU32::new(1));
         }
-        buf
+        self.allocs.push(AllocInfo {
+            base,
+            len: data.len(),
+            label: format!("alloc#{}", self.allocs.len()),
+        });
+        Buffer {
+            base,
+            len: data.len(),
+            _marker: PhantomData,
+        }
     }
 
     /// Relaxed store to a raw word address (used by the executor to flush

@@ -12,7 +12,7 @@
 
 use super::{geomean, ExpConfig};
 use crate::report::{f, maybe_write_json, Table};
-use crate::suite::build_suite;
+
 use gcol_core::balance::balance_colors;
 use gcol_core::Scheme;
 use gcol_simt::Device;
@@ -37,7 +37,7 @@ struct Row {
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
     let opts = cfg.color_options();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut table = Table::new(vec![
         "graph",
         "atomic/prefix",

@@ -7,7 +7,7 @@
 
 use super::ExpConfig;
 use crate::report::{maybe_write_json, speedup, Table};
-use crate::suite::build_suite;
+
 use gcol_core::Scheme;
 use gcol_simt::Device;
 use serde::Serialize;
@@ -28,7 +28,7 @@ pub fn run(cfg: &ExpConfig) -> String {
     let kepler = Device::k20c();
     let fermi = Device::fermi_like();
     let opts = cfg.color_options();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut table = Table::new(vec![
         "graph",
         "ldg gain T (Kepler)",

@@ -7,7 +7,7 @@
 
 use super::ExpConfig;
 use crate::report::{f, maybe_write_json, Table};
-use crate::suite::build_suite;
+
 use gcol_core::seq::greedy_seq;
 use gcol_graph::ordering::Ordering;
 use gcol_simt::CpuModel;
@@ -25,7 +25,7 @@ struct Row {
 /// Runs the calibration experiment.
 pub fn run(cfg: &ExpConfig) -> String {
     let model = CpuModel::xeon_e5_2670();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut table = Table::new(vec![
         "graph",
         "modeled ms",

@@ -9,7 +9,7 @@
 
 use super::ExpConfig;
 use crate::report::{maybe_write_json, Table};
-use crate::suite::build_suite;
+
 use gcol_core::Scheme;
 use gcol_simt::{Device, Phase};
 use serde::Serialize;
@@ -25,7 +25,7 @@ struct Row {
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
     let opts = cfg.color_options();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut table = Table::new(vec!["graph", "rounds", "worklist per round (approx)"]);
     let mut rows = Vec::new();
     for e in &suite {

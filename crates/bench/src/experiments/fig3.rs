@@ -5,7 +5,7 @@
 
 use super::ExpConfig;
 use crate::report::{f, maybe_write_json, Table};
-use crate::suite::build_suite;
+
 use gcol_core::Scheme;
 use gcol_simt::Device;
 use serde::Serialize;
@@ -26,7 +26,7 @@ struct Row {
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
     let opts = cfg.color_options();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut table = Table::new(vec![
         "graph",
         "compute %",

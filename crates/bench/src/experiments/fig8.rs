@@ -6,7 +6,7 @@
 
 use super::{geomean, ExpConfig};
 use crate::report::{maybe_write_json, speedup, Table};
-use crate::suite::build_suite;
+
 use gcol_core::{ColorOptions, Scheme};
 use gcol_simt::Device;
 use serde::Serialize;
@@ -26,7 +26,7 @@ struct Row {
 /// Runs the Fig. 8 experiment: sweeps the block size for the D-ldg scheme.
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut header: Vec<String> = vec!["graph".into()];
     header.extend(BLOCK_SIZES.iter().map(|b| format!("{b}t")));
     let mut table = Table::new(header);

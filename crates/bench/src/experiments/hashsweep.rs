@@ -30,8 +30,15 @@ pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
     let mut table = Table::new(vec!["graph", "N", "colors", "sweeps", "modeled ms"]);
     let mut rows = Vec::new();
-    for name in ["rmat-er", "rmat-g", "thermal2"] {
-        let g = build_graph(name, cfg.scale);
+    let workload: Vec<(String, _)> = match cfg.graph_override() {
+        Some(e) => vec![(e.name, e.graph)],
+        None => ["rmat-er", "rmat-g", "thermal2"]
+            .into_iter()
+            .map(|n| (n.to_string(), build_graph(n, cfg.scale)))
+            .collect(),
+    };
+    for (name, g) in workload {
+        let name = name.as_str();
         for &n in &HASH_COUNTS {
             let opts = ColorOptions {
                 num_hashes: n,

@@ -111,7 +111,10 @@ pub fn run(cfg: &ExpConfig) -> String {
     } else {
         1
     };
-    let g = gen::rmat(RmatParams::erdos_renyi(cfg.scale, 20), 0xE5);
+    let g = match cfg.graph_override() {
+        Some(e) => e.graph,
+        None => gen::rmat(RmatParams::erdos_renyi(cfg.scale, 20), 0xE5),
+    };
     let undirected = g.num_edges() / 2;
     let opts = cfg.color_options();
     let mut table = Table::new(vec![

@@ -49,6 +49,12 @@ pub struct ExpConfig {
     /// Run the experiment's CI invariant checks instead of (or on top of)
     /// the full report. Only shardscale honors this today.
     pub smoke: bool,
+    /// Path to a real graph file (`--graph`). When set, experiments run
+    /// on this graph instead of the generated Table I suite: suite-wide
+    /// experiments shrink to a one-entry suite, workload experiments
+    /// (shardscale, incremental, profile, hashsweep, variance) swap
+    /// their generated graph for the file.
+    pub graph: Option<String>,
     /// Optional JSON output path.
     pub json: Option<String>,
 }
@@ -63,12 +69,34 @@ impl Default for ExpConfig {
             shards: 1,
             exchange: None,
             smoke: false,
+            graph: None,
             json: None,
         }
     }
 }
 
 impl ExpConfig {
+    /// The graphs an experiment iterates: the `--graph` file as a
+    /// one-entry suite when set, the six Table I graphs otherwise.
+    ///
+    /// Panics with the typed ingest error's message if the file fails to
+    /// load — the CLI validates the path up front, so reaching the panic
+    /// means an embedding skipped that check.
+    pub fn suite(&self) -> Vec<SuiteEntry> {
+        match self.graph_override() {
+            Some(entry) => vec![entry],
+            None => build_suite(self.scale),
+        }
+    }
+
+    /// The `--graph` file as a single suite entry, if one was given.
+    /// Same panic contract as [`ExpConfig::suite`].
+    pub fn graph_override(&self) -> Option<SuiteEntry> {
+        self.graph.as_deref().map(|path| {
+            crate::suite::load_entry(path).unwrap_or_else(|e| panic!("--graph {path}: {e}"))
+        })
+    }
+
     /// Coloring options derived from this configuration.
     pub fn color_options(&self) -> ColorOptions {
         ColorOptions {
@@ -119,7 +147,7 @@ pub fn run_suite_all_schemes(cfg: &ExpConfig) -> Vec<GraphResults> {
 pub fn run_suite_schemes(cfg: &ExpConfig, schemes: &[Scheme]) -> Vec<GraphResults> {
     let dev = Device::k20c();
     let opts = cfg.color_options();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     suite
         .iter()
         .map(|entry| run_graph_schemes(entry, &dev, &opts, schemes))

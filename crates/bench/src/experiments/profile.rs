@@ -17,9 +17,14 @@ pub fn parse_scheme(name: &str) -> Option<Scheme> {
         .find(|s| s.name().eq_ignore_ascii_case(name))
 }
 
-/// Runs the profiler for `(graph, scheme)`.
+/// Runs the profiler for `(graph, scheme)`. A `--graph` file overrides
+/// the suite-graph name.
 pub fn run(cfg: &ExpConfig, graph: &str, scheme: Scheme) -> String {
-    let g = build_graph(graph, cfg.scale);
+    let (graph, g) = match cfg.graph_override() {
+        Some(e) => (e.name, e.graph),
+        None => (graph.to_string(), build_graph(graph, cfg.scale)),
+    };
+    let graph = graph.as_str();
     let dev = Device::k20c();
     let r = scheme.color(&g, &dev, &cfg.color_options());
     gcol_core::verify_coloring(&g, &r.colors).expect("invalid coloring");

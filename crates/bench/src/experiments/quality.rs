@@ -6,7 +6,7 @@
 
 use super::ExpConfig;
 use crate::report::{maybe_write_json, Table};
-use crate::suite::build_suite;
+
 use gcol_core::Scheme;
 use gcol_graph::ordering::{degeneracy, Ordering};
 use gcol_simt::Device;
@@ -40,7 +40,7 @@ struct Row {
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
     let opts = cfg.color_options();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let schemes = quality_schemes();
     let mut header: Vec<String> = vec!["graph".into(), "degen+1".into(), "SDL".into()];
     header.extend(schemes.iter().map(|s| s.name().to_string()));

@@ -8,7 +8,7 @@
 
 use super::ExpConfig;
 use crate::report::{maybe_write_json, speedup, Table};
-use crate::suite::build_suite;
+
 use gcol_core::Scheme;
 use gcol_graph::relabel::{bandwidth, rcm_permutation, relabel};
 use gcol_simt::Device;
@@ -32,7 +32,7 @@ struct Row {
 pub fn run(cfg: &ExpConfig) -> String {
     let dev = Device::k20c();
     let opts = cfg.color_options();
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut table = Table::new(vec![
         "graph",
         "bandwidth before",

@@ -90,7 +90,10 @@ pub fn run(cfg: &ExpConfig) -> String {
     };
     let dev = Device::k20c();
     let counts = shard_counts(&cfg);
-    let g = gen::rmat(RmatParams::erdos_renyi(cfg.scale, 20), 0xE5);
+    let g = match cfg.graph_override() {
+        Some(e) => e.graph,
+        None => gen::rmat(RmatParams::erdos_renyi(cfg.scale, 20), 0xE5),
+    };
     let mut table = Table::new(vec![
         "scheme".to_string(),
         "P".to_string(),

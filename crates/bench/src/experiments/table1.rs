@@ -3,7 +3,7 @@
 
 use super::ExpConfig;
 use crate::report::{f, maybe_write_json, Table};
-use crate::suite::build_suite;
+
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -24,7 +24,7 @@ struct Row {
 
 /// Runs the Table I experiment.
 pub fn run(cfg: &ExpConfig) -> String {
-    let suite = build_suite(cfg.scale);
+    let suite = cfg.suite();
     let mut table = Table::new(vec![
         "graph",
         "vertices",

@@ -74,8 +74,12 @@ pub fn run(cfg: &ExpConfig) -> String {
     push("rmat-er resample: D-ldg speedup", d_speedups, 2);
     push("rmat-er resample: csr/seq colors", inflations, 2);
 
-    // 2. Hash-seed wobble of csrcolor and JP color counts on a fixed graph.
-    let g = build_graph("thermal2", cfg.scale.min(15));
+    // 2. Hash-seed wobble of csrcolor and JP color counts on a fixed graph
+    //    (the `--graph` file when one was given).
+    let g = match cfg.graph_override() {
+        Some(e) => e.graph,
+        None => build_graph("thermal2", cfg.scale.min(15)),
+    };
     let mut csr_colors = Vec::new();
     let mut jp_colors = Vec::new();
     for seed in [1u64, 2, 3, 4, 5] {

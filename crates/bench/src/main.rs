@@ -59,6 +59,12 @@ COMMANDS:
     all         run every experiment (colors the suite once)
 
 OPTIONS:
+    --graph PATH  run on a real graph file instead of the generated suite.
+                  Format resolved from the extension (.mtx, .col, .graph,
+                  .edges), then by content sniffing. Suite experiments
+                  shrink to this one graph; shardscale, incremental,
+                  profile, hashsweep and variance swap their generated
+                  workload for it; scaling and loadgen ignore it
     --scale N     log2-equivalent suite scale (default 15; the paper's
                   experiments correspond to 20 — expect long runtimes on a
                   laptop at that size)
@@ -108,6 +114,14 @@ fn main() {
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--graph" => {
+                cfg.graph = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("--graph needs a path")),
+                );
+                i += 2;
+            }
             "--scale" => {
                 cfg.scale = args
                     .get(i + 1)
@@ -217,6 +231,15 @@ fn main() {
     }
     let _ = &positional;
 
+    // Validate --graph up front: a typo or malformed file dies with the
+    // typed ingest error (and its line number) before any experiment
+    // spends minutes generating graphs.
+    if let Some(path) = cfg.graph.as_deref() {
+        if let Err(e) = gcol_bench::suite::load_entry(path) {
+            die(&format!("--graph {path}: {e}"));
+        }
+    }
+
     let t0 = std::time::Instant::now();
     match command.as_str() {
         "table1" => println!("{}", table1::run(&cfg)),
@@ -240,12 +263,19 @@ fn main() {
         "loadgen" => println!("{}", loadgen::run(&cfg, &lg)),
         "serve" => run_serve(&lg, listen.as_deref()),
         "profile" => {
-            let graph = positional
-                .first()
-                .cloned()
-                .unwrap_or_else(|| die("profile needs: profile <graph> <scheme>"));
+            // With --graph the file is the subject, so the only
+            // positional is the scheme: `profile --graph g.mtx D-ldg`.
+            let (graph, scheme_at) = if cfg.graph.is_some() {
+                (String::new(), 0)
+            } else {
+                let name = positional
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| die("profile needs: profile <graph> <scheme>"));
+                (name, 1)
+            };
             let scheme = positional
-                .get(1)
+                .get(scheme_at)
                 .and_then(|s| profile::parse_scheme(s))
                 .unwrap_or_else(|| die("profile needs a valid scheme name"));
             println!("{}", profile::run(&cfg, &graph, scheme));

@@ -38,11 +38,14 @@ pub struct PaperRow {
     pub domain: &'static str,
 }
 
-/// One suite entry: name, the paper's row, and the generated graph.
+/// One suite entry: name, the paper's row, and the graph. Entries come
+/// from the generated Table I suite ([`build_suite`]) or from a real
+/// graph file on disk ([`load_entry`], the `--graph` path).
 pub struct SuiteEntry {
-    /// Graph name as in Table I.
-    pub name: &'static str,
-    /// Published Table I values (at the paper's full scale).
+    /// Graph name: the Table I name, or the loaded file's stem.
+    pub name: String,
+    /// Published Table I values (at the paper's full scale); for a
+    /// loaded file, its own measured statistics.
     pub paper: PaperRow,
     /// The graph itself (at the requested scale).
     pub graph: Csr,
@@ -189,11 +192,41 @@ pub fn build_suite(scale: u32) -> Vec<SuiteEntry> {
     paper_rows()
         .into_iter()
         .map(|(name, paper)| SuiteEntry {
-            name,
+            name: name.to_string(),
             paper,
             graph: build_graph(name, scale),
         })
         .collect()
+}
+
+/// Loads a real graph file (MatrixMarket, DIMACS, METIS or edge list —
+/// resolved by extension, then content sniffing) as a one-entry suite.
+/// The "paper" row is the file's own measured statistics, so every
+/// report renders its expected-vs-measured columns consistently.
+pub fn load_entry(
+    path: impl AsRef<std::path::Path>,
+) -> Result<SuiteEntry, gcol_graph::io::IoError> {
+    let path = path.as_ref();
+    let (_, graph) = gcol_graph::io::GraphSource::open(path, gcol_graph::io::IngestLimits::NONE)?;
+    let s = DegreeStats::compute(&graph);
+    Ok(SuiteEntry {
+        name: path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("file")
+            .to_string(),
+        paper: PaperRow {
+            vertices: s.num_vertices,
+            edges: s.num_edges,
+            min_deg: s.min_degree,
+            max_deg: s.max_degree,
+            avg_deg: s.avg_degree,
+            variance: s.variance,
+            spd: false,
+            domain: "user file",
+        },
+        graph,
+    })
 }
 
 #[cfg(test)]

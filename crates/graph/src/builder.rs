@@ -45,6 +45,21 @@ impl CsrBuilder {
         b
     }
 
+    /// Raises the vertex count to at least `n` (never shrinks). Streaming
+    /// readers that discover the id space as edges arrive (plain edge
+    /// lists have no size header) grow the builder instead of buffering
+    /// the whole input to find the maximum id first.
+    pub fn grow_to(&mut self, n: usize) -> &mut Self {
+        assert!(n < u32::MAX as usize, "vertex ids must fit in u32");
+        self.num_vertices = self.num_vertices.max(n);
+        self
+    }
+
+    /// The current vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
     /// Adds the directed edge `(u, v)`.
     ///
     /// # Panics

@@ -2,7 +2,17 @@
 //! of the coloring-benchmark community (the DIMACS implementation
 //! challenges). Lines are `c` comments, one `p edge <n> <m>` problem line,
 //! and `e <u> <v>` edges with 1-based vertex ids.
+//!
+//! The reader streams edges straight into the [`CsrBuilder`]. Because
+//! real `.col` files routinely under-declare `m`, the declared count is
+//! not enforced — but an [`super::IngestLimits`] edge bound *is*, against
+//! the running streamed count, so a lying header cannot smuggle an
+//! oversized graph past admission.
 
+use super::{
+    is_overflowing_count, IngestLimits, LimitExceeded, LineCursor, MAX_DECLARED_VERTICES,
+    RESERVE_CAP,
+};
 use crate::builder::CsrBuilder;
 use crate::csr::{Csr, VertexId};
 use std::fmt;
@@ -13,12 +23,24 @@ use std::io::{BufRead, Write};
 pub enum DimacsError {
     /// Underlying IO failure.
     Io(std::io::Error),
-    /// No `p edge` problem line before the first edge.
-    MissingProblemLine,
+    /// No `p edge <n> <m>` problem line before the first edge (or at all).
+    MissingProblemLine {
+        /// 1-based line of the first `e` line, or the last line read when
+        /// the stream ended without any problem line.
+        line: usize,
+    },
     /// Two problem lines.
     DuplicateProblemLine {
         /// 1-based line number of the duplicate.
         line: usize,
+    },
+    /// A problem-line count overflows what this machine (or u32 vertex
+    /// ids) can represent.
+    HeaderOverflow {
+        /// 1-based line number of the problem line.
+        line: usize,
+        /// The offending text.
+        text: String,
     },
     /// An unparsable line.
     BadLine {
@@ -36,17 +58,37 @@ pub enum DimacsError {
         /// The declared vertex count.
         n: usize,
     },
+    /// The input exceeds the caller's [`IngestLimits`].
+    TooLarge(LimitExceeded),
+}
+
+impl DimacsError {
+    /// The 1-based input line the error is anchored to, if any.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            DimacsError::Io(_) => None,
+            DimacsError::MissingProblemLine { line }
+            | DimacsError::DuplicateProblemLine { line }
+            | DimacsError::HeaderOverflow { line, .. }
+            | DimacsError::BadLine { line, .. }
+            | DimacsError::VertexOutOfRange { line, .. } => Some(*line),
+            DimacsError::TooLarge(l) => Some(l.line),
+        }
+    }
 }
 
 impl fmt::Display for DimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DimacsError::Io(e) => write!(f, "io error: {e}"),
-            DimacsError::MissingProblemLine => {
-                write!(f, "missing `p edge <n> <m>` problem line")
+            DimacsError::MissingProblemLine { line } => {
+                write!(f, "missing `p edge <n> <m>` problem line (at line {line})")
             }
             DimacsError::DuplicateProblemLine { line } => {
                 write!(f, "duplicate problem line at line {line}")
+            }
+            DimacsError::HeaderOverflow { line, text } => {
+                write!(f, "problem line overflows at line {line}: {text:?}")
             }
             DimacsError::BadLine { line, text } => {
                 write!(f, "unparsable line {line}: {text:?}")
@@ -54,6 +96,7 @@ impl fmt::Display for DimacsError {
             DimacsError::VertexOutOfRange { line, id, n } => {
                 write!(f, "vertex {id} out of range 1..={n} at line {line}")
             }
+            DimacsError::TooLarge(l) => write!(f, "{l}"),
         }
     }
 }
@@ -69,11 +112,20 @@ impl From<std::io::Error> for DimacsError {
 /// Parses a DIMACS `.col` stream into a symmetric CSR graph (self loops
 /// dropped, duplicate edges merged).
 pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Csr, DimacsError> {
+    read_dimacs_bounded(reader, &IngestLimits::NONE)
+}
+
+/// [`read_dimacs`] with parse-time admission bounds.
+pub fn read_dimacs_bounded<R: BufRead>(
+    reader: R,
+    limits: &IngestLimits,
+) -> Result<Csr, DimacsError> {
+    let mut cursor = LineCursor::new(reader);
     let mut builder: Option<CsrBuilder> = None;
     let mut n = 0usize;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let text = line.trim();
+    let mut last_line = 0usize;
+    while let Some((line, text)) = cursor.next_line()? {
+        last_line = line;
         if text.is_empty() || text.starts_with('c') {
             continue;
         }
@@ -81,28 +133,52 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Csr, DimacsError> {
         match it.next() {
             Some("p") => {
                 if builder.is_some() {
-                    return Err(DimacsError::DuplicateProblemLine { line: idx + 1 });
+                    return Err(DimacsError::DuplicateProblemLine { line });
                 }
                 // Format name is typically "edge" (sometimes "col").
                 let _format = it.next();
-                let parse = |s: Option<&str>| -> Option<usize> { s.and_then(|x| x.parse().ok()) };
-                let (nn, mm) = match (parse(it.next()), parse(it.next())) {
-                    (Some(a), Some(b)) => (a, b),
-                    _ => {
-                        return Err(DimacsError::BadLine {
-                            line: idx + 1,
+                let count = |tok: Option<&str>| -> Result<usize, DimacsError> {
+                    let tok = tok.ok_or_else(|| DimacsError::BadLine {
+                        line,
+                        text: text.into(),
+                    })?;
+                    if is_overflowing_count(tok) {
+                        return Err(DimacsError::HeaderOverflow {
+                            line,
                             text: text.into(),
-                        })
+                        });
                     }
+                    tok.parse().map_err(|_| DimacsError::BadLine {
+                        line,
+                        text: text.into(),
+                    })
                 };
+                let (nn, mm) = (count(it.next())?, count(it.next())?);
+                if nn > MAX_DECLARED_VERTICES {
+                    return Err(DimacsError::HeaderOverflow {
+                        line,
+                        text: text.into(),
+                    });
+                }
+                limits
+                    .check_vertices(line, nn)
+                    .map_err(DimacsError::TooLarge)?;
+                limits
+                    .check_edges(line, mm.saturating_mul(2))
+                    .map_err(DimacsError::TooLarge)?;
                 n = nn;
-                builder = Some(CsrBuilder::with_capacity(n, mm * 2));
+                builder = Some(CsrBuilder::with_capacity(
+                    n,
+                    mm.saturating_mul(2).min(RESERVE_CAP),
+                ));
             }
             Some("e") => {
-                let b = builder.as_mut().ok_or(DimacsError::MissingProblemLine)?;
+                let b = builder
+                    .as_mut()
+                    .ok_or(DimacsError::MissingProblemLine { line })?;
                 let parse = |s: Option<&str>| -> Result<usize, DimacsError> {
                     s.and_then(|x| x.parse().ok()).ok_or(DimacsError::BadLine {
-                        line: idx + 1,
+                        line,
                         text: text.into(),
                     })
                 };
@@ -110,14 +186,15 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Csr, DimacsError> {
                 let v = parse(it.next())?;
                 for id in [u, v] {
                     if id == 0 || id > n {
-                        return Err(DimacsError::VertexOutOfRange {
-                            line: idx + 1,
-                            id,
-                            n,
-                        });
+                        return Err(DimacsError::VertexOutOfRange { line, id, n });
                     }
                 }
                 b.add_edge((u - 1) as VertexId, (v - 1) as VertexId);
+                // The declared m is advisory in the wild; the admission
+                // bound is enforced against what actually streams in.
+                limits
+                    .check_edges(line, b.raw_edge_count().saturating_mul(2))
+                    .map_err(DimacsError::TooLarge)?;
             }
             // Unknown directives (n = node lines with weights, x, d, …) are
             // tolerated, like most DIMACS readers.
@@ -127,7 +204,9 @@ pub fn read_dimacs<R: BufRead>(reader: R) -> Result<Csr, DimacsError> {
     }
     match builder {
         Some(mut b) => Ok(b.symmetrize().build()),
-        None => Err(DimacsError::MissingProblemLine),
+        None => Err(DimacsError::MissingProblemLine {
+            line: last_line.max(1),
+        }),
     }
 }
 
@@ -184,9 +263,12 @@ mod tests {
     fn rejects_edge_before_problem_line() {
         assert!(matches!(
             parse("e 1 2\n"),
-            Err(DimacsError::MissingProblemLine)
+            Err(DimacsError::MissingProblemLine { line: 1 })
         ));
-        assert!(matches!(parse(""), Err(DimacsError::MissingProblemLine)));
+        assert!(matches!(
+            parse(""),
+            Err(DimacsError::MissingProblemLine { .. })
+        ));
     }
 
     #[test]
@@ -201,7 +283,7 @@ mod tests {
     fn rejects_out_of_range_vertices() {
         assert!(matches!(
             parse("p edge 2 1\ne 1 5\n"),
-            Err(DimacsError::VertexOutOfRange { id: 5, .. })
+            Err(DimacsError::VertexOutOfRange { line: 2, id: 5, .. })
         ));
         assert!(matches!(
             parse("p edge 2 1\ne 0 1\n"),
@@ -213,11 +295,46 @@ mod tests {
     fn rejects_garbage_lines() {
         assert!(matches!(
             parse("p edge x y\n"),
-            Err(DimacsError::BadLine { .. })
+            Err(DimacsError::BadLine { line: 1, .. })
         ));
         assert!(matches!(
             parse("p edge 2 1\ne one two\n"),
-            Err(DimacsError::BadLine { .. })
+            Err(DimacsError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflow_sized_header() {
+        assert!(matches!(
+            parse("p edge 99999999999999999999999999 1\n"),
+            Err(DimacsError::HeaderOverflow { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("p edge 9999999999 1\n"),
+            Err(DimacsError::HeaderOverflow { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn enforces_edge_limit_against_streamed_count_not_header() {
+        // Header claims 1 edge but the body streams 3: the bound must
+        // trip on what actually arrives.
+        let limits = IngestLimits {
+            max_vertices: None,
+            max_edges: Some(4),
+        };
+        let err = read_dimacs_bounded(
+            BufReader::new("p edge 4 1\ne 1 2\ne 2 3\ne 3 4\n".as_bytes()),
+            &limits,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DimacsError::TooLarge(LimitExceeded {
+                line: 4,
+                edges: 6,
+                ..
+            })
         ));
     }
 

@@ -1,52 +1,166 @@
-//! Plain whitespace-separated edge lists (`u v` per line, `#` comments).
+//! Plain whitespace-separated edge lists (`u v` per line, `#` or `%`
+//! comments, 0-based ids) — the SNAP-style format scraped graphs arrive
+//! in.
+//!
+//! The reader streams each edge straight into the [`CsrBuilder`],
+//! growing the vertex count as larger ids appear ([`CsrBuilder::grow_to`])
+//! instead of buffering the whole list to find the maximum first.
 
+use super::{IngestLimits, LimitExceeded, LineCursor, MAX_DECLARED_VERTICES};
 use crate::builder::CsrBuilder;
 use crate::csr::{Csr, VertexId};
+use std::fmt;
 use std::io::{BufRead, Write};
+
+/// Errors while parsing an edge-list stream.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// An unparsable line (junk tokens, missing endpoint).
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A numeric id too large for u32 vertex ids.
+    IdOverflow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An id at or beyond the caller-declared vertex count.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending 0-based id.
+        id: usize,
+        /// The declared vertex count.
+        n: usize,
+    },
+    /// The input exceeds the caller's [`IngestLimits`].
+    TooLarge(LimitExceeded),
+}
+
+impl EdgeListError {
+    /// The 1-based input line the error is anchored to, if any.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            EdgeListError::Io(_) => None,
+            EdgeListError::BadLine { line, .. }
+            | EdgeListError::IdOverflow { line, .. }
+            | EdgeListError::VertexOutOfRange { line, .. } => Some(*line),
+            EdgeListError::TooLarge(l) => Some(l.line),
+        }
+    }
+}
+
+impl fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "io error: {e}"),
+            EdgeListError::BadLine { line, text } => {
+                write!(f, "bad edge at line {line}: {text:?}")
+            }
+            EdgeListError::IdOverflow { line, text } => {
+                write!(f, "vertex id overflows u32 at line {line}: {text:?}")
+            }
+            EdgeListError::VertexOutOfRange { line, id, n } => {
+                write!(f, "vertex {id} out of range 0..{n} at line {line}")
+            }
+            EdgeListError::TooLarge(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
 
 /// Reads an edge list with 0-based vertex ids; the graph is symmetrized.
 /// `n` is inferred as `max id + 1` unless `num_vertices` is given.
-pub fn read_edge_list<R: BufRead>(reader: R, num_vertices: Option<usize>) -> std::io::Result<Csr> {
-    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut max_id = 0 as VertexId;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
-        let text = line.trim();
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+    num_vertices: Option<usize>,
+) -> Result<Csr, EdgeListError> {
+    read_edge_list_bounded(reader, num_vertices, &IngestLimits::NONE)
+}
+
+/// [`read_edge_list`] with parse-time admission bounds.
+pub fn read_edge_list_bounded<R: BufRead>(
+    reader: R,
+    num_vertices: Option<usize>,
+    limits: &IngestLimits,
+) -> Result<Csr, EdgeListError> {
+    if let Some(n) = num_vertices {
+        limits
+            .check_vertices(0, n)
+            .map_err(EdgeListError::TooLarge)?;
+    }
+    let mut cursor = LineCursor::new(reader);
+    let mut b = CsrBuilder::new(num_vertices.unwrap_or(0));
+    while let Some((line, text)) = cursor.next_line()? {
         if text.is_empty() || text.starts_with('#') || text.starts_with('%') {
             continue;
         }
         let mut it = text.split_whitespace();
-        let parse = |s: Option<&str>| -> std::io::Result<VertexId> {
-            s.and_then(|x| x.parse().ok()).ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("bad edge at line {}: {text:?}", idx + 1),
-                )
-            })
+        let parse = |s: Option<&str>| -> Result<usize, EdgeListError> {
+            let tok = s.ok_or_else(|| EdgeListError::BadLine {
+                line,
+                text: text.into(),
+            })?;
+            let id: usize = tok.parse().map_err(|_| {
+                if super::is_overflowing_count(tok) {
+                    EdgeListError::IdOverflow {
+                        line,
+                        text: text.into(),
+                    }
+                } else {
+                    EdgeListError::BadLine {
+                        line,
+                        text: text.into(),
+                    }
+                }
+            })?;
+            if id >= MAX_DECLARED_VERTICES {
+                return Err(EdgeListError::IdOverflow {
+                    line,
+                    text: text.into(),
+                });
+            }
+            Ok(id)
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
-        max_id = max_id.max(u).max(v);
-        edges.push((u, v));
-    }
-    let n = num_vertices.unwrap_or_else(|| {
-        if edges.is_empty() {
-            0
-        } else {
-            max_id as usize + 1
+        match num_vertices {
+            Some(n) => {
+                for id in [u, v] {
+                    if id >= n {
+                        return Err(EdgeListError::VertexOutOfRange { line, id, n });
+                    }
+                }
+            }
+            None => {
+                let need = u.max(v) + 1;
+                if need > b.num_vertices() {
+                    limits
+                        .check_vertices(line, need)
+                        .map_err(EdgeListError::TooLarge)?;
+                    b.grow_to(need);
+                }
+            }
         }
-    });
-    if let Some((u, v)) = edges
-        .iter()
-        .find(|&&(u, v)| u as usize >= n || v as usize >= n)
-    {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("edge ({u}, {v}) out of range for {n} vertices"),
-        ));
+        b.add_edge(u as VertexId, v as VertexId);
+        limits
+            .check_edges(line, b.raw_edge_count().saturating_mul(2))
+            .map_err(EdgeListError::TooLarge)?;
     }
-    let mut b = CsrBuilder::with_capacity(n, edges.len() * 2);
-    b.add_edges(edges);
     Ok(b.symmetrize().build())
 }
 
@@ -82,13 +196,59 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_for_explicit_count() {
-        assert!(read_edge_list(BufReader::new("0 9\n".as_bytes()), Some(3)).is_err());
+        assert!(matches!(
+            read_edge_list(BufReader::new("0 9\n".as_bytes()), Some(3)),
+            Err(EdgeListError::VertexOutOfRange {
+                line: 1,
+                id: 9,
+                n: 3
+            })
+        ));
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(read_edge_list(BufReader::new("zero one\n".as_bytes()), None).is_err());
-        assert!(read_edge_list(BufReader::new("0\n".as_bytes()), None).is_err());
+        assert!(matches!(
+            read_edge_list(BufReader::new("zero one\n".as_bytes()), None),
+            Err(EdgeListError::BadLine { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list(BufReader::new("0 1\n0\n".as_bytes()), None),
+            Err(EdgeListError::BadLine { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflowing_ids() {
+        assert!(matches!(
+            read_edge_list(
+                BufReader::new("0 99999999999999999999999999\n".as_bytes()),
+                None
+            ),
+            Err(EdgeListError::IdOverflow { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_edge_list(BufReader::new("0 4294967295\n".as_bytes()), None),
+            Err(EdgeListError::IdOverflow { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn enforces_limits_while_streaming() {
+        let limits = IngestLimits {
+            max_vertices: Some(3),
+            max_edges: None,
+        };
+        let err = read_edge_list_bounded(BufReader::new("0 1\n1 5\n".as_bytes()), None, &limits)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EdgeListError::TooLarge(LimitExceeded {
+                line: 2,
+                vertices: 6,
+                ..
+            })
+        ));
     }
 
     #[test]

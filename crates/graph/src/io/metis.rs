@@ -1,0 +1,482 @@
+//! METIS graph format (`.graph`): the adjacency-list format of the METIS
+//! partitioner family, used by much of the partitioning/ordering
+//! literature's test data.
+//!
+//! Layout: `%` comment lines anywhere, a header `n m [fmt [ncon]]`, then
+//! exactly `n` adjacency lines — line *i* lists vertex *i*'s 1-based
+//! neighbors. `fmt` is up to three digits `[s][w][e]`: vertex sizes,
+//! vertex weights (`ncon` of them, default 1), edge weights; all weights
+//! are parsed and discarded (coloring only needs the structure). Mirror
+//! entries are conventionally present in both endpoint lists, but the
+//! reader symmetrizes regardless, so one-sided files still load.
+//!
+//! An *empty* line after the header is a vertex with no neighbors — only
+//! before the header (and for comments) are blank lines skipped.
+
+use super::{
+    is_overflowing_count, IngestLimits, LimitExceeded, LineCursor, MAX_DECLARED_VERTICES,
+    RESERVE_CAP,
+};
+use crate::builder::CsrBuilder;
+use crate::csr::{Csr, VertexId};
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors while parsing a METIS graph stream.
+#[derive(Debug)]
+pub enum MetisError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The stream ended (or held only comments) before a header line.
+    MissingHeader {
+        /// 1-based number of the last line read (0 for empty input).
+        line: usize,
+    },
+    /// The header line did not parse.
+    BadHeader {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A header count overflows what this machine (or u32 vertex ids)
+    /// can represent.
+    HeaderOverflow {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The `fmt` field was not a 1–3 digit string of 0s and 1s.
+    BadFormatFlag {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// An adjacency line did not parse (junk token, odd token count with
+    /// edge weights, junk after the last adjacency line).
+    BadEntry {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A neighbor id outside `1..=n`.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The offending id.
+        id: usize,
+        /// The declared vertex count.
+        n: usize,
+    },
+    /// Fewer adjacency lines than the header's vertex count.
+    TruncatedData {
+        /// 1-based number of the last line read.
+        line: usize,
+        /// Adjacency lines promised (the header's `n`).
+        expected: usize,
+        /// Adjacency lines present.
+        got: usize,
+    },
+    /// The input exceeds the caller's [`IngestLimits`].
+    TooLarge(LimitExceeded),
+}
+
+impl MetisError {
+    /// The 1-based input line the error is anchored to, if any.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            MetisError::Io(_) => None,
+            MetisError::MissingHeader { line }
+            | MetisError::BadHeader { line, .. }
+            | MetisError::HeaderOverflow { line, .. }
+            | MetisError::BadFormatFlag { line, .. }
+            | MetisError::BadEntry { line, .. }
+            | MetisError::VertexOutOfRange { line, .. }
+            | MetisError::TruncatedData { line, .. } => Some(*line),
+            MetisError::TooLarge(l) => Some(l.line),
+        }
+    }
+}
+
+impl fmt::Display for MetisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetisError::Io(e) => write!(f, "io error: {e}"),
+            MetisError::MissingHeader { line } => {
+                write!(
+                    f,
+                    "missing METIS header `n m [fmt [ncon]]` (after line {line})"
+                )
+            }
+            MetisError::BadHeader { line, text } => {
+                write!(f, "bad METIS header at line {line}: {text:?}")
+            }
+            MetisError::HeaderOverflow { line, text } => {
+                write!(f, "header overflows at line {line}: {text:?}")
+            }
+            MetisError::BadFormatFlag { line, text } => {
+                write!(f, "bad METIS fmt flag at line {line}: {text:?}")
+            }
+            MetisError::BadEntry { line, text } => {
+                write!(f, "unparsable adjacency at line {line}: {text:?}")
+            }
+            MetisError::VertexOutOfRange { line, id, n } => {
+                write!(f, "neighbor {id} out of range 1..={n} at line {line}")
+            }
+            MetisError::TruncatedData {
+                line,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "expected {expected} adjacency lines, found {got} by line {line}"
+                )
+            }
+            MetisError::TooLarge(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl std::error::Error for MetisError {}
+
+impl From<std::io::Error> for MetisError {
+    fn from(e: std::io::Error) -> Self {
+        MetisError::Io(e)
+    }
+}
+
+/// Parses a METIS graph stream into a symmetric CSR graph.
+pub fn read_metis<R: BufRead>(reader: R) -> Result<Csr, MetisError> {
+    read_metis_bounded(reader, &IngestLimits::NONE)
+}
+
+/// [`read_metis`] with parse-time admission bounds.
+pub fn read_metis_bounded<R: BufRead>(reader: R, limits: &IngestLimits) -> Result<Csr, MetisError> {
+    let mut cursor = LineCursor::new(reader);
+
+    // Header: the first non-comment, non-blank line.
+    let mut header: Option<(usize, usize, bool, bool, bool, usize)> = None;
+    let mut last_line = 0usize;
+    while let Some((line, text)) = cursor.next_line()? {
+        last_line = line;
+        if text.is_empty() || text.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        if toks.len() < 2 || toks.len() > 4 {
+            return Err(MetisError::BadHeader {
+                line,
+                text: text.into(),
+            });
+        }
+        let count = |tok: &str| -> Result<usize, MetisError> {
+            if is_overflowing_count(tok) {
+                return Err(MetisError::HeaderOverflow {
+                    line,
+                    text: text.into(),
+                });
+            }
+            tok.parse().map_err(|_| MetisError::BadHeader {
+                line,
+                text: text.into(),
+            })
+        };
+        let n = count(toks[0])?;
+        let m = count(toks[1])?;
+        if n > MAX_DECLARED_VERTICES {
+            return Err(MetisError::HeaderOverflow {
+                line,
+                text: text.into(),
+            });
+        }
+        // fmt: up to three digits [vertex-size][vertex-weights][edge-weights],
+        // left-zero-padded ("1" means edge weights only).
+        let (has_sizes, has_vweights, has_eweights) = match toks.get(2) {
+            None => (false, false, false),
+            Some(f) => {
+                if f.is_empty() || f.len() > 3 || !f.bytes().all(|b| b == b'0' || b == b'1') {
+                    return Err(MetisError::BadFormatFlag {
+                        line,
+                        text: text.into(),
+                    });
+                }
+                let padded = format!("{f:0>3}");
+                let bit = |i: usize| padded.as_bytes()[i] == b'1';
+                (bit(0), bit(1), bit(2))
+            }
+        };
+        let ncon = match toks.get(3) {
+            None => {
+                if has_vweights {
+                    1
+                } else {
+                    0
+                }
+            }
+            Some(t) => count(t)?,
+        };
+        limits
+            .check_vertices(line, n)
+            .map_err(MetisError::TooLarge)?;
+        // METIS files store each undirected edge in both lists, so the
+        // stored directed count is 2m already.
+        limits
+            .check_edges(line, m.saturating_mul(2))
+            .map_err(MetisError::TooLarge)?;
+        header = Some((n, m, has_sizes, has_vweights, has_eweights, ncon));
+        break;
+    }
+    let Some((n, m, has_sizes, has_vweights, has_eweights, ncon)) = header else {
+        return Err(MetisError::MissingHeader { line: last_line });
+    };
+
+    let mut b = CsrBuilder::with_capacity(n, m.saturating_mul(2).min(RESERVE_CAP));
+    let mut vertex = 0usize;
+    while let Some((line, text)) = cursor.next_line()? {
+        last_line = line;
+        if text.starts_with('%') {
+            continue;
+        }
+        if vertex >= n {
+            // n adjacency lines already consumed: only blank trailers pass.
+            if text.is_empty() {
+                continue;
+            }
+            return Err(MetisError::BadEntry {
+                line,
+                text: format!("junk after {n} adjacency lines: {text:?}"),
+            });
+        }
+        let u = vertex as VertexId;
+        vertex += 1;
+        let toks: Vec<&str> = text.split_whitespace().collect();
+        let skip = usize::from(has_sizes) + if has_vweights { ncon.max(1) } else { 0 };
+        if toks.len() < skip {
+            return Err(MetisError::BadEntry {
+                line,
+                text: text.into(),
+            });
+        }
+        let adj = &toks[skip..];
+        if has_eweights && !adj.len().is_multiple_of(2) {
+            return Err(MetisError::BadEntry {
+                line,
+                text: text.into(),
+            });
+        }
+        let step = if has_eweights { 2 } else { 1 };
+        for pair in adj.chunks(step) {
+            let id: usize = pair[0].parse().map_err(|_| MetisError::BadEntry {
+                line,
+                text: text.into(),
+            })?;
+            if id == 0 || id > n {
+                return Err(MetisError::VertexOutOfRange { line, id, n });
+            }
+            if has_eweights {
+                // Weight token must at least be numeric.
+                let _: i64 = pair[1].parse().map_err(|_| MetisError::BadEntry {
+                    line,
+                    text: text.into(),
+                })?;
+            }
+            b.add_edge(u, (id - 1) as VertexId);
+            limits
+                .check_edges(line, b.raw_edge_count())
+                .map_err(MetisError::TooLarge)?;
+        }
+    }
+    if vertex < n {
+        return Err(MetisError::TruncatedData {
+            line: last_line,
+            expected: n,
+            got: vertex,
+        });
+    }
+    // Symmetrize: conforming files mirror every entry (dedup absorbs the
+    // duplicates), one-sided files still come out undirected.
+    Ok(b.symmetrize().build())
+}
+
+/// Writes `g` in plain METIS format (no weights, mirror entries in both
+/// lists, 1-based).
+pub fn write_metis<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "% written by gcol-graph")?;
+    writeln!(w, "{} {}", g.num_vertices(), g.num_edges() / 2)?;
+    for v in 0..g.num_vertices() {
+        let mut first = true;
+        for &u in g.neighbors(v as VertexId) {
+            if first {
+                write!(w, "{}", u + 1)?;
+                first = false;
+            } else {
+                write!(w, " {}", u + 1)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(s: &str) -> Result<Csr, MetisError> {
+        read_metis(BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn parses_the_manual_example_shape() {
+        // A path 1-2-3 plus an isolated vertex 4 (empty adjacency line).
+        let g = parse("% tiny\n4 2\n2\n1 3\n2\n\n").unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn parses_weighted_variants() {
+        // fmt=011: one vertex weight (ncon default 1) + edge weights.
+        let g = parse("3 2 011\n7 2 10 3 20\n5 1 10\n9 1 20\n").unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        // fmt=1 (edge weights only, left-padded semantics).
+        let g = parse("2 1 1\n2 42\n1 42\n").unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+        // fmt=100 with vertex sizes.
+        let g = parse("2 1 100\n3 2\n3 1\n").unwrap();
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn symmetrizes_one_sided_files() {
+        let g = parse("3 2\n2 3\n\n\n").unwrap();
+        assert!(g.is_symmetric());
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(matches!(parse(""), Err(MetisError::MissingHeader { .. })));
+        assert!(matches!(
+            parse("% only comments\n% here\n"),
+            Err(MetisError::MissingHeader { line: 2 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse("3\n"),
+            Err(MetisError::BadHeader { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("three two\n"),
+            Err(MetisError::BadHeader { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflow_header() {
+        assert!(matches!(
+            parse("99999999999999999999999999 1\n"),
+            Err(MetisError::HeaderOverflow { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("9999999999 1\n"),
+            Err(MetisError::HeaderOverflow { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_format_flag() {
+        assert!(matches!(
+            parse("2 1 017\n2\n1\n"),
+            Err(MetisError::BadFormatFlag { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("2 1 0011\n2\n1\n"),
+            Err(MetisError::BadFormatFlag { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_neighbor() {
+        assert!(matches!(
+            parse("2 1\n2\n9\n"),
+            Err(MetisError::VertexOutOfRange {
+                line: 3,
+                id: 9,
+                n: 2
+            })
+        ));
+        assert!(matches!(
+            parse("2 1\n0\n\n"),
+            Err(MetisError::VertexOutOfRange { line: 2, id: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_data() {
+        assert!(matches!(
+            parse("3 2\n2\n1 3\n"),
+            Err(MetisError::TruncatedData {
+                line: 3,
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_junk_mid_stream() {
+        assert!(matches!(
+            parse("2 1\n2\nxyzzy\n"),
+            Err(MetisError::BadEntry { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse("2 1\n2\n1\n1 2\n"),
+            Err(MetisError::BadEntry { line: 4, .. })
+        ));
+        // Odd token count with edge weights.
+        assert!(matches!(
+            parse("2 1 1\n2 42\n1\n"),
+            Err(MetisError::BadEntry { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let limits = IngestLimits {
+            max_vertices: Some(2),
+            max_edges: None,
+        };
+        let err =
+            read_metis_bounded(BufReader::new("3 2\n2\n1 3\n2\n".as_bytes()), &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            MetisError::TooLarge(LimitExceeded {
+                line: 1,
+                vertices: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::gen::simple::erdos_renyi(30, 90, 4);
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g.content_fingerprint(), g2.content_fingerprint());
+    }
+}

@@ -1,13 +1,546 @@
-//! Graph IO: MatrixMarket (the format the University of Florida collection
-//! ships), DIMACS `.col` (the coloring community's benchmark format) and
-//! plain edge lists. Having the real loaders means the benchmark
-//! suite can run on the paper's actual matrices when they are available,
-//! falling back to structural stand-ins otherwise.
+//! Graph ingest: a streaming, bounded-memory loader for the formats real
+//! graphs arrive in — MatrixMarket (the format the SuiteSparse/University
+//! of Florida collection ships), DIMACS `.col` (the coloring community's
+//! benchmark format), METIS `.graph` adjacency files and plain edge
+//! lists.
+//!
+//! Every reader parses from any [`BufRead`] in a single forward pass
+//! through a reusable line buffer — memory is `O(edges buffered in the
+//! builder)`, never `O(input bytes)` and never per-line allocations — and
+//! reports failures as typed, line-accurate errors ([`MtxError`],
+//! [`DimacsError`], [`MetisError`], [`EdgeListError`]) so callers can
+//! distinguish a truncated download from an overflow-sized header from
+//! junk mid-stream. [`IngestLimits`] bounds are enforced *during* the
+//! parse (on the declared header sizes and on the running edge count), so
+//! an oversized or adversarial input is rejected before its memory is
+//! ever committed.
+//!
+//! [`GraphSource`] is the unified entry point: pick (or sniff) a
+//! [`GraphFormat`], optionally attach limits, and read into a
+//! fingerprint-stable [`Csr`] — relabeling is deterministic (1-based
+//! input ids map to 0-based dense ids in declaration order), so the same
+//! bytes always produce the same [`Csr::content_fingerprint`], which is
+//! what lets the serving layer's result cache key uploaded graphs exactly
+//! like generated ones.
 
 pub mod dimacs;
 pub mod edgelist;
+pub mod metis;
 pub mod mtx;
 
 pub use dimacs::{read_dimacs, write_dimacs, DimacsError};
-pub use edgelist::{read_edge_list, write_edge_list};
-pub use mtx::{read_matrix_market, write_matrix_market, MtxError};
+pub use edgelist::{read_edge_list, write_edge_list, EdgeListError};
+pub use metis::{read_metis, write_metis, MetisError};
+pub use mtx::{read_matrix_market, write_matrix_market, write_matrix_market_symmetric, MtxError};
+
+use crate::csr::Csr;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+/// The graph file formats the ingest layer understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphFormat {
+    /// MatrixMarket coordinate format (`.mtx`).
+    MatrixMarket,
+    /// DIMACS graph-coloring format (`.col`).
+    Dimacs,
+    /// METIS adjacency format (`.graph` / `.metis`).
+    Metis,
+    /// Plain whitespace-separated edge list, 0-based ids.
+    EdgeList,
+}
+
+impl GraphFormat {
+    /// All formats, in sniffing order.
+    pub const ALL: [GraphFormat; 4] = [
+        GraphFormat::MatrixMarket,
+        GraphFormat::Dimacs,
+        GraphFormat::Metis,
+        GraphFormat::EdgeList,
+    ];
+
+    /// The canonical wire/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphFormat::MatrixMarket => "mtx",
+            GraphFormat::Dimacs => "dimacs",
+            GraphFormat::Metis => "metis",
+            GraphFormat::EdgeList => "edgelist",
+        }
+    }
+
+    /// Parses a format name (the wire names plus common aliases and
+    /// file extensions).
+    pub fn parse(name: &str) -> Option<GraphFormat> {
+        match name.to_ascii_lowercase().as_str() {
+            "mtx" | "matrixmarket" | "matrix-market" => Some(GraphFormat::MatrixMarket),
+            "dimacs" | "col" => Some(GraphFormat::Dimacs),
+            "metis" | "graph" => Some(GraphFormat::Metis),
+            "edgelist" | "edges" | "el" | "txt" => Some(GraphFormat::EdgeList),
+            _ => None,
+        }
+    }
+
+    /// Guesses the format from a file path's extension.
+    pub fn from_path(path: &Path) -> Option<GraphFormat> {
+        path.extension()
+            .and_then(|e| e.to_str())
+            .and_then(GraphFormat::parse)
+    }
+
+    /// Sniffs the format from the first non-blank line of the content.
+    ///
+    /// `%%MatrixMarket` banners, DIMACS `c`/`p` directives and `#`
+    /// edge-list comments are unambiguous. A bare numeric line could open
+    /// either a METIS file or a 0-based edge list — that case returns
+    /// `None` and the caller must say which it meant (file loading
+    /// resolves it by extension first).
+    pub fn sniff(content: &str) -> Option<GraphFormat> {
+        let first = content.lines().map(str::trim).find(|l| !l.is_empty())?;
+        if first.to_ascii_lowercase().starts_with("%%matrixmarket") {
+            return Some(GraphFormat::MatrixMarket);
+        }
+        if first.starts_with("c ") || first == "c" || first.starts_with("p ") {
+            return Some(GraphFormat::Dimacs);
+        }
+        if first.starts_with('#') {
+            return Some(GraphFormat::EdgeList);
+        }
+        // '%' comments open both MatrixMarket bodies (never without the
+        // banner) and METIS files; treat them as METIS.
+        if first.starts_with('%') {
+            return Some(GraphFormat::Metis);
+        }
+        None
+    }
+}
+
+impl fmt::Display for GraphFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for GraphFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        GraphFormat::parse(s).ok_or_else(|| {
+            format!("unknown graph format {s:?} (known: mtx, dimacs, metis, edgelist)")
+        })
+    }
+}
+
+/// Admission bounds enforced *while* parsing: the declared header sizes
+/// and the running streamed edge count are checked against these, so an
+/// oversized input fails fast with a typed `TooLarge` error instead of
+/// committing memory first. The edge bound counts *stored directed*
+/// edges, conservatively estimated as twice the raw undirected count
+/// (the symmetrized pre-dedup upper bound).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestLimits {
+    /// Maximum vertex count, if bounded.
+    pub max_vertices: Option<usize>,
+    /// Maximum stored directed edge count, if bounded.
+    pub max_edges: Option<usize>,
+}
+
+impl IngestLimits {
+    /// No bounds: parse anything.
+    pub const NONE: IngestLimits = IngestLimits {
+        max_vertices: None,
+        max_edges: None,
+    };
+
+    /// Checks a vertex count; `Err` carries the violated bound.
+    pub(crate) fn check_vertices(&self, line: usize, n: usize) -> Result<(), LimitExceeded> {
+        match self.max_vertices {
+            Some(b) if n > b => Err(LimitExceeded {
+                line,
+                vertices: n,
+                edges: 0,
+                max_vertices: Some(b),
+                max_edges: None,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Checks a (directed) edge count; `Err` carries the violated bound.
+    pub(crate) fn check_edges(&self, line: usize, m: usize) -> Result<(), LimitExceeded> {
+        match self.max_edges {
+            Some(b) if m > b => Err(LimitExceeded {
+                line,
+                vertices: 0,
+                edges: m,
+                max_vertices: None,
+                max_edges: Some(b),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// A parse aborted because the input exceeded its [`IngestLimits`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// 1-based line at which the bound tripped.
+    pub line: usize,
+    /// The offending vertex count (0 if the edge bound tripped).
+    pub vertices: usize,
+    /// The offending directed edge count (0 if the vertex bound tripped).
+    pub edges: usize,
+    /// The violated vertex bound, if that is what tripped.
+    pub max_vertices: Option<usize>,
+    /// The violated edge bound, if that is what tripped.
+    pub max_edges: Option<usize>,
+}
+
+impl fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.max_vertices, self.max_edges) {
+            (Some(b), _) => write!(
+                f,
+                "graph too large at line {}: {} vertices exceeds the bound {}",
+                self.line, self.vertices, b
+            ),
+            (_, Some(b)) => write!(
+                f,
+                "graph too large at line {}: {} directed edges exceeds the bound {}",
+                self.line, self.edges, b
+            ),
+            _ => write!(f, "graph too large at line {}", self.line),
+        }
+    }
+}
+
+/// Any ingest failure, across formats: the unified error the
+/// [`GraphSource`] entry points return.
+#[derive(Debug)]
+pub enum IoError {
+    /// MatrixMarket parse failure.
+    Mtx(MtxError),
+    /// DIMACS parse failure.
+    Dimacs(DimacsError),
+    /// METIS parse failure.
+    Metis(MetisError),
+    /// Edge-list parse failure.
+    EdgeList(EdgeListError),
+    /// The format could not be determined (no extension, ambiguous
+    /// content).
+    UnknownFormat {
+        /// What was inspected (a path, or a content description).
+        hint: String,
+    },
+    /// Underlying IO failure while opening/sniffing.
+    Io(std::io::Error),
+}
+
+impl IoError {
+    /// The limit violation, if this error is a bound rejection —
+    /// the serving layer maps exactly these to admission rejections.
+    pub fn limit_exceeded(&self) -> Option<&LimitExceeded> {
+        match self {
+            IoError::Mtx(MtxError::TooLarge(l))
+            | IoError::Dimacs(DimacsError::TooLarge(l))
+            | IoError::Metis(MetisError::TooLarge(l))
+            | IoError::EdgeList(EdgeListError::TooLarge(l)) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The 1-based input line the failure is anchored to, when the
+    /// error variant carries one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            IoError::Mtx(e) => e.line(),
+            IoError::Dimacs(e) => e.line(),
+            IoError::Metis(e) => e.line(),
+            IoError::EdgeList(e) => e.line(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Mtx(e) => write!(f, "mtx: {e}"),
+            IoError::Dimacs(e) => write!(f, "dimacs: {e}"),
+            IoError::Metis(e) => write!(f, "metis: {e}"),
+            IoError::EdgeList(e) => write!(f, "edgelist: {e}"),
+            IoError::UnknownFormat { hint } => {
+                write!(f, "cannot determine graph format of {hint}")
+            }
+            IoError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<MtxError> for IoError {
+    fn from(e: MtxError) -> Self {
+        IoError::Mtx(e)
+    }
+}
+impl From<DimacsError> for IoError {
+    fn from(e: DimacsError) -> Self {
+        IoError::Dimacs(e)
+    }
+}
+impl From<MetisError> for IoError {
+    fn from(e: MetisError) -> Self {
+        IoError::Metis(e)
+    }
+}
+impl From<EdgeListError> for IoError {
+    fn from(e: EdgeListError) -> Self {
+        IoError::EdgeList(e)
+    }
+}
+
+/// A format + limits pair: the unified, bounded-memory graph reader.
+///
+/// ```
+/// use gcol_graph::io::{GraphFormat, GraphSource, IngestLimits};
+/// let text = "p edge 3 2\ne 1 2\ne 2 3\n";
+/// let g = GraphSource::new(GraphFormat::Dimacs)
+///     .with_limits(IngestLimits { max_vertices: Some(100), max_edges: Some(100) })
+///     .read(text.as_bytes())
+///     .unwrap();
+/// assert_eq!(g.num_vertices(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSource {
+    format: GraphFormat,
+    limits: IngestLimits,
+}
+
+impl GraphSource {
+    /// A source for `format` with no size bounds.
+    pub fn new(format: GraphFormat) -> Self {
+        Self {
+            format,
+            limits: IngestLimits::NONE,
+        }
+    }
+
+    /// Attaches parse-time admission bounds.
+    pub fn with_limits(mut self, limits: IngestLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// The source's format.
+    pub fn format(&self) -> GraphFormat {
+        self.format
+    }
+
+    /// Streams `reader` into a CSR graph, enforcing the limits during
+    /// the parse.
+    pub fn read<R: BufRead>(&self, reader: R) -> Result<Csr, IoError> {
+        match self.format {
+            GraphFormat::MatrixMarket => Ok(mtx::read_matrix_market_bounded(reader, &self.limits)?),
+            GraphFormat::Dimacs => Ok(dimacs::read_dimacs_bounded(reader, &self.limits)?),
+            GraphFormat::Metis => Ok(metis::read_metis_bounded(reader, &self.limits)?),
+            GraphFormat::EdgeList => Ok(edgelist::read_edge_list_bounded(
+                reader,
+                None,
+                &self.limits,
+            )?),
+        }
+    }
+
+    /// Opens a file, resolving the format from its extension or — when
+    /// the extension says nothing — by sniffing the first line.
+    pub fn open(
+        path: impl AsRef<Path>,
+        limits: IngestLimits,
+    ) -> Result<(GraphFormat, Csr), IoError> {
+        let path = path.as_ref();
+        let format = match GraphFormat::from_path(path) {
+            Some(f) => f,
+            None => {
+                let head = read_head(path).map_err(IoError::Io)?;
+                GraphFormat::sniff(&head).ok_or_else(|| IoError::UnknownFormat {
+                    hint: path.display().to_string(),
+                })?
+            }
+        };
+        let file = std::fs::File::open(path).map_err(IoError::Io)?;
+        let g = GraphSource::new(format)
+            .with_limits(limits)
+            .read(std::io::BufReader::new(file))?;
+        Ok((format, g))
+    }
+}
+
+/// Reads up to the first 4 KiB of a file for format sniffing.
+fn read_head(path: &Path) -> std::io::Result<String> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(path)?;
+    let mut buf = [0u8; 4096];
+    let n = f.read(&mut buf)?;
+    Ok(String::from_utf8_lossy(&buf[..n]).into_owned())
+}
+
+/// Streams lines out of a reader through one reusable buffer: the
+/// shared scaffolding that keeps every parser allocation-free per line.
+/// Yields `(1-based line number, trimmed text)`.
+pub(crate) struct LineCursor<R> {
+    reader: R,
+    buf: String,
+    line: usize,
+}
+
+impl<R: BufRead> LineCursor<R> {
+    pub(crate) fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: String::new(),
+            line: 0,
+        }
+    }
+
+    /// The next line, or `None` at EOF. The returned text borrows the
+    /// internal buffer, so it lives until the next call.
+    pub(crate) fn next_line(&mut self) -> std::io::Result<Option<(usize, &str)>> {
+        self.buf.clear();
+        if self.reader.read_line(&mut self.buf)? == 0 {
+            return Ok(None);
+        }
+        self.line += 1;
+        Ok(Some((self.line, self.buf.trim())))
+    }
+}
+
+/// Distinguishes an all-digit token that merely overflows `usize`/`u32`
+/// from outright junk — the former gets the typed `HeaderOverflow`
+/// treatment, the latter a bad-entry error.
+pub(crate) fn is_overflowing_count(tok: &str) -> bool {
+    !tok.is_empty() && tok.bytes().all(|b| b.is_ascii_digit()) && tok.parse::<usize>().is_err()
+}
+
+/// Vertex counts must leave headroom for u32 vertex ids (the CSR
+/// substrate's id type); a header that claims more is treated as an
+/// overflow, not an allocation request.
+pub(crate) const MAX_DECLARED_VERTICES: usize = (u32::MAX - 1) as usize;
+
+/// Cap on builder pre-reservation from header-declared sizes: a lying
+/// header must not be able to commit memory the actual entries never
+/// justify. Real entries still grow the builder past this amortized.
+pub(crate) const RESERVE_CAP: usize = 1 << 22;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in GraphFormat::ALL {
+            assert_eq!(GraphFormat::parse(f.name()), Some(f));
+            assert_eq!(f.name().parse::<GraphFormat>().unwrap(), f);
+        }
+        assert!(GraphFormat::parse("nope").is_none());
+        assert!("nope".parse::<GraphFormat>().is_err());
+    }
+
+    #[test]
+    fn extension_resolution() {
+        let f = |p: &str| GraphFormat::from_path(Path::new(p));
+        assert_eq!(f("a/b/thermal2.mtx"), Some(GraphFormat::MatrixMarket));
+        assert_eq!(f("myciel3.col"), Some(GraphFormat::Dimacs));
+        assert_eq!(f("mesh.graph"), Some(GraphFormat::Metis));
+        assert_eq!(f("mesh.metis"), Some(GraphFormat::Metis));
+        assert_eq!(f("web.edges"), Some(GraphFormat::EdgeList));
+        assert_eq!(f("noext"), None);
+    }
+
+    #[test]
+    fn content_sniffing() {
+        assert_eq!(
+            GraphFormat::sniff("%%MatrixMarket matrix coordinate pattern general\n1 1 0\n"),
+            Some(GraphFormat::MatrixMarket)
+        );
+        assert_eq!(
+            GraphFormat::sniff("c a comment\np edge 2 1\ne 1 2\n"),
+            Some(GraphFormat::Dimacs)
+        );
+        assert_eq!(
+            GraphFormat::sniff("\n  p edge 2 1\ne 1 2\n"),
+            Some(GraphFormat::Dimacs)
+        );
+        assert_eq!(
+            GraphFormat::sniff("# snap-style comment\n0 1\n"),
+            Some(GraphFormat::EdgeList)
+        );
+        assert_eq!(
+            GraphFormat::sniff("% metis comment\n3 2\n2\n1 3\n2\n"),
+            Some(GraphFormat::Metis)
+        );
+        // Bare numbers are ambiguous (METIS header vs 0-based edge).
+        assert_eq!(GraphFormat::sniff("3 2\n"), None);
+        assert_eq!(GraphFormat::sniff(""), None);
+    }
+
+    #[test]
+    fn source_reads_every_format() {
+        // The same triangle in all four formats.
+        let cases: [(GraphFormat, &str); 4] = [
+            (
+                GraphFormat::MatrixMarket,
+                "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 3\n2 1\n3 1\n3 2\n",
+            ),
+            (GraphFormat::Dimacs, "p edge 3 3\ne 1 2\ne 2 3\ne 3 1\n"),
+            (GraphFormat::Metis, "3 3\n2 3\n1 3\n1 2\n"),
+            (GraphFormat::EdgeList, "0 1\n1 2\n2 0\n"),
+        ];
+        let mut fps = Vec::new();
+        for (fmt, text) in cases {
+            let g = GraphSource::new(fmt).read(text.as_bytes()).unwrap();
+            assert_eq!(g.num_vertices(), 3, "{fmt}");
+            assert_eq!(g.num_edges(), 6, "{fmt}");
+            fps.push(g.content_fingerprint());
+        }
+        assert!(
+            fps.windows(2).all(|w| w[0] == w[1]),
+            "identical graphs must fingerprint identically across formats"
+        );
+    }
+
+    #[test]
+    fn limits_are_enforced_per_format() {
+        let tight = IngestLimits {
+            max_vertices: Some(2),
+            max_edges: Some(2),
+        };
+        let cases: [(GraphFormat, &str); 4] = [
+            (
+                GraphFormat::MatrixMarket,
+                "%%MatrixMarket matrix coordinate pattern symmetric\n3 3 3\n2 1\n3 1\n3 2\n",
+            ),
+            (GraphFormat::Dimacs, "p edge 3 3\ne 1 2\ne 2 3\ne 3 1\n"),
+            (GraphFormat::Metis, "3 3\n2 3\n1 3\n1 2\n"),
+            (GraphFormat::EdgeList, "0 1\n1 2\n2 0\n"),
+        ];
+        for (fmt, text) in cases {
+            let err = GraphSource::new(fmt)
+                .with_limits(tight)
+                .read(text.as_bytes())
+                .unwrap_err();
+            assert!(
+                err.limit_exceeded().is_some(),
+                "{fmt}: expected a limit rejection, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn overflow_detection() {
+        assert!(is_overflowing_count("99999999999999999999999999"));
+        assert!(!is_overflowing_count("17"));
+        assert!(!is_overflowing_count("12x"));
+        assert!(!is_overflowing_count(""));
+    }
+}

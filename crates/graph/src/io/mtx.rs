@@ -5,7 +5,16 @@
 //! Numeric values are parsed and discarded (coloring only needs the
 //! sparsity pattern); diagonal entries become self-loops and are dropped by
 //! the builder, matching how graph-coloring treats matrices.
+//!
+//! The reader streams entries straight into the [`CsrBuilder`] through a
+//! reusable line buffer — memory is bounded by the edges themselves, not
+//! the input text — and a header that declares an absurd size is rejected
+//! (or capped for pre-reservation) before any allocation trusts it.
 
+use super::{
+    is_overflowing_count, IngestLimits, LimitExceeded, LineCursor, MAX_DECLARED_VERTICES,
+    RESERVE_CAP,
+};
 use crate::builder::CsrBuilder;
 use crate::csr::{Csr, VertexId};
 use std::fmt;
@@ -17,13 +26,28 @@ pub enum MtxError {
     /// Underlying IO failure.
     Io(std::io::Error),
     /// The `%%MatrixMarket` banner was missing or malformed.
-    BadHeader(String),
+    BadHeader {
+        /// 1-based line number (1 unless the input was empty).
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
     /// The matrix is not square (graphs need n == m).
     NotSquare {
+        /// 1-based line number of the size line.
+        line: usize,
         /// Row count.
         rows: usize,
         /// Column count.
         cols: usize,
+    },
+    /// A size-line count overflows what this machine (or u32 vertex ids)
+    /// can represent — the header is lying or the file is not for us.
+    HeaderOverflow {
+        /// 1-based line number of the size line.
+        line: usize,
+        /// The offending text.
+        text: String,
     },
     /// A data line did not parse.
     BadEntry {
@@ -43,20 +67,45 @@ pub enum MtxError {
     },
     /// Fewer data lines than the header promised.
     TruncatedData {
+        /// 1-based number of the last line read (0 for empty bodies).
+        line: usize,
         /// Entries promised by the size line.
         expected: usize,
         /// Entries actually present.
         got: usize,
     },
+    /// The input exceeds the caller's [`IngestLimits`].
+    TooLarge(LimitExceeded),
+}
+
+impl MtxError {
+    /// The 1-based input line the error is anchored to, if any.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            MtxError::Io(_) => None,
+            MtxError::BadHeader { line, .. }
+            | MtxError::NotSquare { line, .. }
+            | MtxError::HeaderOverflow { line, .. }
+            | MtxError::BadEntry { line, .. }
+            | MtxError::IndexOutOfRange { line, .. }
+            | MtxError::TruncatedData { line, .. } => Some(*line),
+            MtxError::TooLarge(l) => Some(l.line),
+        }
+    }
 }
 
 impl fmt::Display for MtxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MtxError::Io(e) => write!(f, "io error: {e}"),
-            MtxError::BadHeader(h) => write!(f, "bad MatrixMarket header: {h}"),
-            MtxError::NotSquare { rows, cols } => {
-                write!(f, "matrix is {rows}x{cols}, expected square")
+            MtxError::BadHeader { line, text } => {
+                write!(f, "bad MatrixMarket header at line {line}: {text:?}")
+            }
+            MtxError::NotSquare { line, rows, cols } => {
+                write!(f, "matrix is {rows}x{cols} at line {line}, expected square")
+            }
+            MtxError::HeaderOverflow { line, text } => {
+                write!(f, "size line overflows at line {line}: {text:?}")
             }
             MtxError::BadEntry { line, text } => {
                 write!(f, "unparsable entry at line {line}: {text:?}")
@@ -64,9 +113,14 @@ impl fmt::Display for MtxError {
             MtxError::IndexOutOfRange { line, index, n } => {
                 write!(f, "index {index} out of range 1..={n} at line {line}")
             }
-            MtxError::TruncatedData { expected, got } => {
-                write!(f, "expected {expected} entries, found {got}")
+            MtxError::TruncatedData {
+                line,
+                expected,
+                got,
+            } => {
+                write!(f, "expected {expected} entries, found {got} by line {line}")
             }
+            MtxError::TooLarge(l) => write!(f, "{l}"),
         }
     }
 }
@@ -86,97 +140,123 @@ impl From<std::io::Error> for MtxError {
 /// `symmetric`/`skew-symmetric` ones store one triangle which we mirror.
 /// Self-loops (diagonal entries) are dropped.
 pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<Csr, MtxError> {
-    let mut lines = reader.lines().enumerate();
+    read_matrix_market_bounded(reader, &IngestLimits::NONE)
+}
+
+/// [`read_matrix_market`] with parse-time admission bounds.
+pub fn read_matrix_market_bounded<R: BufRead>(
+    reader: R,
+    limits: &IngestLimits,
+) -> Result<Csr, MtxError> {
+    let mut cursor = LineCursor::new(reader);
 
     // Banner.
-    let (_, banner) = lines
-        .next()
-        .ok_or_else(|| MtxError::BadHeader("empty input".into()))?;
-    let banner = banner?;
+    let (banner_line, banner) = cursor.next_line()?.ok_or_else(|| MtxError::BadHeader {
+        line: 1,
+        text: "empty input".into(),
+    })?;
     let lower = banner.to_ascii_lowercase();
     let fields: Vec<&str> = lower.split_whitespace().collect();
-    if fields.len() < 5
-        || fields[0] != "%%matrixmarket"
-        || fields[1] != "matrix"
-        || fields[2] != "coordinate"
-    {
-        return Err(MtxError::BadHeader(banner));
-    }
-    let value_kind = fields[3];
-    if !matches!(value_kind, "pattern" | "real" | "integer" | "complex") {
-        return Err(MtxError::BadHeader(banner));
-    }
-    let symmetry = fields[4];
-    if !matches!(
-        symmetry,
-        "general" | "symmetric" | "skew-symmetric" | "hermitian"
-    ) {
-        return Err(MtxError::BadHeader(banner));
+    let banner_ok = fields.len() >= 5
+        && fields[0] == "%%matrixmarket"
+        && fields[1] == "matrix"
+        && fields[2] == "coordinate"
+        && matches!(fields[3], "pattern" | "real" | "integer" | "complex")
+        && matches!(
+            fields[4],
+            "general" | "symmetric" | "skew-symmetric" | "hermitian"
+        );
+    if !banner_ok {
+        return Err(MtxError::BadHeader {
+            line: banner_line,
+            text: banner.into(),
+        });
     }
 
-    // Size line (first non-comment line).
-    let mut size: Option<(usize, usize, usize)> = None;
+    let mut size: Option<(usize, usize)> = None; // (n, nnz)
     let mut builder: Option<CsrBuilder> = None;
     let mut entries_read = 0usize;
-    for (idx, line) in lines {
-        let line = line?;
-        let text = line.trim();
+    let mut last_line = banner_line;
+    while let Some((line, text)) = cursor.next_line()? {
+        last_line = line;
         if text.is_empty() || text.starts_with('%') {
             continue;
         }
         let mut it = text.split_whitespace();
-        if size.is_none() {
-            let parse = |s: Option<&str>| -> Option<usize> { s.and_then(|x| x.parse().ok()) };
-            let (rows, cols, nnz) = match (parse(it.next()), parse(it.next()), parse(it.next())) {
-                (Some(r), Some(c), Some(z)) => (r, c, z),
-                _ => {
-                    return Err(MtxError::BadEntry {
-                        line: idx + 1,
-                        text: text.into(),
-                    })
-                }
+        let Some((n, nnz)) = size else {
+            // Size line (first non-comment line after the banner).
+            let overflow = |t: &str| MtxError::HeaderOverflow {
+                line,
+                text: t.into(),
             };
+            let count = |tok: Option<&str>| -> Result<usize, MtxError> {
+                let tok = tok.ok_or_else(|| MtxError::BadEntry {
+                    line,
+                    text: text.into(),
+                })?;
+                if is_overflowing_count(tok) {
+                    return Err(overflow(text));
+                }
+                tok.parse().map_err(|_| MtxError::BadEntry {
+                    line,
+                    text: text.into(),
+                })
+            };
+            let (rows, cols, nnz) = (count(it.next())?, count(it.next())?, count(it.next())?);
             if rows != cols {
-                return Err(MtxError::NotSquare { rows, cols });
+                return Err(MtxError::NotSquare { line, rows, cols });
             }
-            size = Some((rows, cols, nnz));
-            builder = Some(CsrBuilder::with_capacity(rows, nnz * 2));
+            if rows > MAX_DECLARED_VERTICES {
+                return Err(overflow(text));
+            }
+            limits
+                .check_vertices(line, rows)
+                .map_err(MtxError::TooLarge)?;
+            limits
+                .check_edges(line, nnz.saturating_mul(2))
+                .map_err(MtxError::TooLarge)?;
+            size = Some((rows, nnz));
+            builder = Some(CsrBuilder::with_capacity(
+                rows,
+                nnz.saturating_mul(2).min(RESERVE_CAP),
+            ));
             continue;
-        }
-        let (n, _, nnz) = size.unwrap();
+        };
+        // Data line: stream the entry straight into the builder.
         let parse_idx = |s: Option<&str>| -> Result<usize, MtxError> {
             s.and_then(|x| x.parse().ok()).ok_or(MtxError::BadEntry {
-                line: idx + 1,
+                line,
                 text: text.into(),
             })
         };
         let i = parse_idx(it.next())?;
         let j = parse_idx(it.next())?;
-        for (label, v) in [("row", i), ("col", j)] {
-            let _ = label;
+        for v in [i, j] {
             if v == 0 || v > n {
-                return Err(MtxError::IndexOutOfRange {
-                    line: idx + 1,
-                    index: v,
-                    n,
-                });
+                return Err(MtxError::IndexOutOfRange { line, index: v, n });
             }
         }
         entries_read += 1;
         if entries_read > nnz {
             // Extra entries: treat like the reference readers — error out.
             return Err(MtxError::BadEntry {
-                line: idx + 1,
+                line,
                 text: format!("entry #{entries_read} exceeds nnz {nnz}"),
             });
         }
-        let b = builder.as_mut().unwrap();
-        b.add_edge((i - 1) as VertexId, (j - 1) as VertexId);
+        builder
+            .as_mut()
+            .unwrap()
+            .add_edge((i - 1) as VertexId, (j - 1) as VertexId);
     }
 
-    let (_, _, nnz) = size.ok_or_else(|| MtxError::BadHeader("missing size line".into()))?;
+    let (_, nnz) = size.ok_or_else(|| MtxError::BadHeader {
+        line: last_line.max(1),
+        text: "missing size line".into(),
+    })?;
     if entries_read != nnz {
         return Err(MtxError::TruncatedData {
+            line: last_line,
             expected: nnz,
             got: entries_read,
         });
@@ -200,6 +280,22 @@ pub fn write_matrix_market<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
     )?;
     for (u, v) in g.edges() {
         writeln!(w, "{} {}", u + 1, v + 1)?;
+    }
+    Ok(())
+}
+
+/// Writes `g` in `pattern symmetric` coordinate format: one triangle
+/// only (row ≥ col, SuiteSparse's lower-triangular convention), which the
+/// reader mirrors back. This is the compact form real collections ship.
+pub fn write_matrix_market_symmetric<W: Write>(g: &Csr, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate pattern symmetric")?;
+    writeln!(w, "% written by gcol-graph")?;
+    let nnz = g.edges().filter(|(u, v)| u > v).count();
+    writeln!(w, "{} {} {}", g.num_vertices(), g.num_vertices(), nnz)?;
+    for (u, v) in g.edges() {
+        if u > v {
+            writeln!(w, "{} {}", u + 1, v + 1)?;
+        }
     }
     Ok(())
 }
@@ -248,7 +344,11 @@ mod tests {
     fn rejects_non_square() {
         assert!(matches!(
             parse("%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n"),
-            Err(MtxError::NotSquare { rows: 2, cols: 3 })
+            Err(MtxError::NotSquare {
+                line: 2,
+                rows: 2,
+                cols: 3
+            })
         ));
     }
 
@@ -256,16 +356,20 @@ mod tests {
     fn rejects_bad_banner() {
         assert!(matches!(
             parse("%%MatrixMarket matrix array real general\n"),
-            Err(MtxError::BadHeader(_))
+            Err(MtxError::BadHeader { line: 1, .. })
         ));
-        assert!(matches!(parse(""), Err(MtxError::BadHeader(_))));
+        assert!(matches!(parse(""), Err(MtxError::BadHeader { .. })));
     }
 
     #[test]
     fn rejects_out_of_range_index() {
         assert!(matches!(
             parse("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n"),
-            Err(MtxError::IndexOutOfRange { index: 9, .. })
+            Err(MtxError::IndexOutOfRange {
+                line: 3,
+                index: 9,
+                ..
+            })
         ));
         assert!(matches!(
             parse("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"),
@@ -278,6 +382,7 @@ mod tests {
         assert!(matches!(
             parse("%%MatrixMarket matrix coordinate pattern general\n3 3 2\n1 2\n"),
             Err(MtxError::TruncatedData {
+                line: 3,
                 expected: 2,
                 got: 1
             })
@@ -291,7 +396,45 @@ mod tests {
                 "%%MatrixMarket matrix coordinate pattern general\n\
                  2 2 1\n1 2\n2 1\n"
             ),
-            Err(MtxError::BadEntry { .. })
+            Err(MtxError::BadEntry { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overflow_sized_header_without_allocating() {
+        // More vertices than u32 ids can address.
+        assert!(matches!(
+            parse("%%MatrixMarket matrix coordinate pattern general\n9999999999 9999999999 1\n"),
+            Err(MtxError::HeaderOverflow { line: 2, .. })
+        ));
+        // A count that overflows usize entirely.
+        assert!(matches!(
+            parse(
+                "%%MatrixMarket matrix coordinate pattern general\n\
+                 99999999999999999999999999 99999999999999999999999999 1\n"
+            ),
+            Err(MtxError::HeaderOverflow { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn enforces_limits_at_the_size_line() {
+        let limits = IngestLimits {
+            max_vertices: Some(2),
+            max_edges: None,
+        };
+        let err = read_matrix_market_bounded(
+            BufReader::new("%%MatrixMarket matrix coordinate pattern general\n5 5 0\n".as_bytes()),
+            &limits,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            MtxError::TooLarge(LimitExceeded {
+                line: 2,
+                vertices: 5,
+                ..
+            })
         ));
     }
 
@@ -302,6 +445,18 @@ mod tests {
         write_matrix_market(&g, &mut buf).unwrap();
         let g2 = read_matrix_market(BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_through_symmetric_writer() {
+        let g = crate::gen::simple::erdos_renyi(40, 100, 7);
+        let mut buf = Vec::new();
+        write_matrix_market_symmetric(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("pattern symmetric"));
+        let g2 = read_matrix_market(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g, g2);
+        assert_eq!(g.content_fingerprint(), g2.content_fingerprint());
     }
 
     #[test]

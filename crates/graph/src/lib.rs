@@ -10,8 +10,10 @@
 //!   incremental-recoloring path.
 //! * [`gen`] — deterministic generators: R-MAT (§IV), plus structural
 //!   stand-ins for the four University-of-Florida matrices of Table I.
-//! * [`io`] — MatrixMarket and edge-list readers/writers so the real
-//!   SuiteSparse files can be dropped in.
+//! * [`io`] — streaming, bounded-memory ingest of MatrixMarket, DIMACS
+//!   `.col`, METIS and plain edge lists (plus matching writers), with
+//!   typed line-accurate errors, so real SuiteSparse/DIMACS files can be
+//!   dropped in.
 //! * [`stats`] — the degree statistics reported in Table I.
 //! * [`ordering`] — vertex ordering heuristics (first-fit order, largest
 //!   degree first, smallest degree last, random).

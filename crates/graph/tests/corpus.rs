@@ -1,0 +1,357 @@
+//! Corpus-driven parser harness: every checked-in fixture under
+//! `tests/corpus/` is pinned to an exact outcome.
+//!
+//! * `valid/` holds the same graph (Fig. 2 of the paper) in all four
+//!   formats — they must all load, agree on shape, and hash to the same
+//!   content fingerprint, which is what lets the serving cache treat a
+//!   graph identically however it arrived.
+//! * `malformed/` holds one fixture per typed error variant; each test
+//!   asserts the exact variant AND the 1-based line number, so an error
+//!   message regression (or an off-by-one in line accounting) fails
+//!   loudly instead of degrading into "something went wrong".
+//!
+//! A guard test cross-checks the directory listing against the pinned
+//! set, so a fixture can never be added without a matching assertion.
+
+use gcol_graph::io::{
+    read_dimacs, read_edge_list, read_matrix_market, read_metis, DimacsError, EdgeListError,
+    GraphFormat, GraphSource, IngestLimits, MetisError, MtxError,
+};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+
+fn corpus_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(rel)
+}
+
+fn open(rel: &str) -> BufReader<File> {
+    BufReader::new(File::open(corpus_path(rel)).unwrap_or_else(|e| panic!("{rel}: {e}")))
+}
+
+// ---------------------------------------------------------------- valid
+
+#[test]
+fn valid_fixtures_agree_across_all_formats() {
+    let fixtures = [
+        ("valid/fig2.mtx", GraphFormat::MatrixMarket),
+        ("valid/fig2.col", GraphFormat::Dimacs),
+        ("valid/fig2.graph", GraphFormat::Metis),
+        ("valid/fig2.edges", GraphFormat::EdgeList),
+    ];
+    let mut fingerprints = Vec::new();
+    for (rel, expect_fmt) in fixtures {
+        let (fmt, g) = GraphSource::open(corpus_path(rel), IngestLimits::NONE)
+            .unwrap_or_else(|e| panic!("{rel}: {e}"));
+        assert_eq!(fmt, expect_fmt, "{rel}: extension resolution");
+        assert_eq!(g.num_vertices(), 5, "{rel}");
+        assert_eq!(g.num_edges(), 14, "{rel}");
+        assert!(g.is_symmetric(), "{rel}");
+        fingerprints.push((rel, g.content_fingerprint()));
+    }
+    let (_, first) = fingerprints[0];
+    for (rel, fp) in &fingerprints {
+        assert_eq!(
+            *fp, first,
+            "{rel}: fingerprint diverges from {}",
+            fingerprints[0].0
+        );
+    }
+}
+
+#[test]
+fn valid_fixtures_load_through_direct_readers_too() {
+    let via_mtx = read_matrix_market(open("valid/fig2.mtx")).unwrap();
+    let via_col = read_dimacs(open("valid/fig2.col")).unwrap();
+    let via_metis = read_metis(open("valid/fig2.graph")).unwrap();
+    let via_edges = read_edge_list(open("valid/fig2.edges"), None).unwrap();
+    assert_eq!(via_mtx, via_col);
+    assert_eq!(via_mtx, via_metis);
+    assert_eq!(via_mtx, via_edges);
+}
+
+// ------------------------------------------------------------ malformed
+//
+// One test per fixture; each pins the exact variant and line number.
+
+#[test]
+fn mtx_bad_banner() {
+    let err = read_matrix_market(open("malformed/mtx_bad_banner.mtx")).unwrap_err();
+    assert!(
+        matches!(err, MtxError::BadHeader { line: 1, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn mtx_not_square() {
+    let err = read_matrix_market(open("malformed/mtx_not_square.mtx")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MtxError::NotSquare {
+                line: 2,
+                rows: 2,
+                cols: 3
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn mtx_index_out_of_range() {
+    let err = read_matrix_market(open("malformed/mtx_index_out_of_range.mtx")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MtxError::IndexOutOfRange {
+                line: 3,
+                index: 9,
+                n: 2
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn mtx_truncated() {
+    let err = read_matrix_market(open("malformed/mtx_truncated.mtx")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MtxError::TruncatedData {
+                line: 3,
+                expected: 2,
+                got: 1
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn mtx_header_overflow() {
+    let err = read_matrix_market(open("malformed/mtx_header_overflow.mtx")).unwrap_err();
+    assert!(
+        matches!(err, MtxError::HeaderOverflow { line: 2, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn mtx_junk_mid_stream() {
+    let err = read_matrix_market(open("malformed/mtx_junk_mid_stream.mtx")).unwrap_err();
+    assert!(matches!(err, MtxError::BadEntry { line: 4, .. }), "{err:?}");
+}
+
+#[test]
+fn mtx_excess_entries() {
+    let err = read_matrix_market(open("malformed/mtx_excess_entries.mtx")).unwrap_err();
+    assert!(matches!(err, MtxError::BadEntry { line: 4, .. }), "{err:?}");
+}
+
+#[test]
+fn dimacs_missing_problem() {
+    let err = read_dimacs(open("malformed/dimacs_missing_problem.col")).unwrap_err();
+    assert!(
+        matches!(err, DimacsError::MissingProblemLine { line: 2 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn dimacs_duplicate_problem() {
+    let err = read_dimacs(open("malformed/dimacs_duplicate_problem.col")).unwrap_err();
+    assert!(
+        matches!(err, DimacsError::DuplicateProblemLine { line: 2 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn dimacs_vertex_out_of_range() {
+    let err = read_dimacs(open("malformed/dimacs_vertex_out_of_range.col")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DimacsError::VertexOutOfRange {
+                line: 2,
+                id: 9,
+                n: 3
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn dimacs_bad_line() {
+    let err = read_dimacs(open("malformed/dimacs_bad_line.col")).unwrap_err();
+    assert!(
+        matches!(err, DimacsError::BadLine { line: 2, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn dimacs_header_overflow() {
+    let err = read_dimacs(open("malformed/dimacs_header_overflow.col")).unwrap_err();
+    assert!(
+        matches!(err, DimacsError::HeaderOverflow { line: 2, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn metis_missing_header() {
+    let err = read_metis(open("malformed/metis_missing_header.graph")).unwrap_err();
+    assert!(
+        matches!(err, MetisError::MissingHeader { line: 2 }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn metis_bad_header() {
+    let err = read_metis(open("malformed/metis_bad_header.graph")).unwrap_err();
+    assert!(
+        matches!(err, MetisError::BadHeader { line: 1, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn metis_header_overflow() {
+    let err = read_metis(open("malformed/metis_header_overflow.graph")).unwrap_err();
+    assert!(
+        matches!(err, MetisError::HeaderOverflow { line: 2, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn metis_bad_fmt() {
+    let err = read_metis(open("malformed/metis_bad_fmt.graph")).unwrap_err();
+    assert!(
+        matches!(err, MetisError::BadFormatFlag { line: 1, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn metis_out_of_range() {
+    let err = read_metis(open("malformed/metis_out_of_range.graph")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MetisError::VertexOutOfRange {
+                line: 3,
+                id: 9,
+                n: 3
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn metis_truncated() {
+    let err = read_metis(open("malformed/metis_truncated.graph")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            MetisError::TruncatedData {
+                line: 4,
+                expected: 4,
+                got: 3
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn metis_junk_mid_stream() {
+    let err = read_metis(open("malformed/metis_junk_mid_stream.graph")).unwrap_err();
+    assert!(
+        matches!(err, MetisError::BadEntry { line: 3, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn edgelist_bad_line() {
+    let err = read_edge_list(open("malformed/edgelist_bad_line.edges"), None).unwrap_err();
+    assert!(
+        matches!(err, EdgeListError::BadLine { line: 3, .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn edgelist_id_overflow() {
+    let err = read_edge_list(open("malformed/edgelist_id_overflow.edges"), None).unwrap_err();
+    assert!(
+        matches!(err, EdgeListError::IdOverflow { line: 1, .. }),
+        "{err:?}"
+    );
+}
+
+// --------------------------------------------------------------- guards
+
+/// The pinned malformed set, kept in lockstep with the tests above: a
+/// fixture on disk without an entry here (or vice versa) fails the guard,
+/// so the corpus can't silently drift from its assertions.
+const PINNED_MALFORMED: &[&str] = &[
+    "dimacs_bad_line.col",
+    "dimacs_duplicate_problem.col",
+    "dimacs_header_overflow.col",
+    "dimacs_missing_problem.col",
+    "dimacs_vertex_out_of_range.col",
+    "edgelist_bad_line.edges",
+    "edgelist_id_overflow.edges",
+    "metis_bad_fmt.graph",
+    "metis_bad_header.graph",
+    "metis_header_overflow.graph",
+    "metis_junk_mid_stream.graph",
+    "metis_missing_header.graph",
+    "metis_out_of_range.graph",
+    "metis_truncated.graph",
+    "mtx_bad_banner.mtx",
+    "mtx_excess_entries.mtx",
+    "mtx_header_overflow.mtx",
+    "mtx_index_out_of_range.mtx",
+    "mtx_junk_mid_stream.mtx",
+    "mtx_not_square.mtx",
+    "mtx_truncated.mtx",
+];
+
+#[test]
+fn every_malformed_fixture_is_pinned() {
+    let mut on_disk: Vec<String> = std::fs::read_dir(corpus_path("malformed"))
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    on_disk.sort();
+    assert_eq!(on_disk, PINNED_MALFORMED, "corpus drifted from its pins");
+}
+
+#[test]
+fn every_malformed_fixture_reports_a_line_number() {
+    // The unified error type must anchor each corpus failure to a line —
+    // that is the contract front ends rely on when relaying parse errors.
+    for rel in PINNED_MALFORMED {
+        let path = corpus_path("malformed").join(rel);
+        let err = GraphSource::open(&path, IngestLimits::NONE)
+            .err()
+            .unwrap_or_else(|| panic!("{rel}: unexpectedly parsed"));
+        assert!(
+            err.line().is_some_and(|l| l >= 1),
+            "{rel}: error {err} carries no line number"
+        );
+    }
+}

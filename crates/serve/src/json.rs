@@ -96,7 +96,11 @@ impl fmt::Display for Json {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
             Json::Num(x) => {
-                if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+                if !x.is_finite() {
+                    // JSON has no NaN/Infinity literal; `null` keeps the
+                    // document parseable (percentiles of an empty window).
+                    f.write_str("null")
+                } else if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
                     write!(f, "{}", *x as i64)
                 } else {
                     write!(f, "{x}")
@@ -410,6 +414,19 @@ mod tests {
         ] {
             let v = parse(text).unwrap();
             assert_eq!(parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        // JSON has no NaN/Infinity literal; a stats snapshot taken before
+        // any job completes carries NaN percentiles and must still
+        // serialize to a parseable document.
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let line =
+                Json::Obj(BTreeMap::from([("p50_ms".to_string(), Json::Num(x))])).to_string();
+            assert_eq!(line, "{\"p50_ms\":null}");
+            assert!(parse(&line).is_ok());
         }
     }
 

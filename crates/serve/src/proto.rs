@@ -16,8 +16,10 @@
 //! {"op":"mutate","id":3,"graph":{"gen":"rmat-er","scale":12,"seed":5},
 //!  "edits":[["+",0,3],["-",1,4]]}
 //! {"op":"recolor","id":4,"scheme":"T-base","backend":"native"}
-//! {"op":"stats","id":5}
-//! {"op":"shutdown","id":6}
+//! {"op":"load","id":5,"format":"dimacs","data":"p edge 3 3\ne 1 2\ne 2 3\ne 3 1\n"}
+//! {"op":"load","id":6,"format":"mtx","data":"%%MatrixMarket…\n","last":false}
+//! {"op":"stats","id":7}
+//! {"op":"shutdown","id":8}
 //! ```
 //!
 //! `op` defaults to `"color"`. Every field except `graph` is optional
@@ -38,6 +40,17 @@
 //! baseline (response `source` says which path ran: `"delta"`,
 //! `"scratch"`, or `"session"` for an untouched baseline served as-is).
 //!
+//! `load` streams a real graph file *into* the session: `data` carries
+//! the file text (MatrixMarket, DIMACS, METIS or edge list — `format`
+//! names it, or the server sniffs the header), and `"last":false` marks
+//! a non-final chunk so large files upload across several lines without
+//! any one line ballooning. Chunks are acked
+//! `{"ok":true,"status":"loading","bytes":N}`; the final chunk parses
+//! the accumulated text under the service's admission limits and
+//! installs the graph as the session graph, answering with its content
+//! fingerprint, so a follow-up `{"op":"color","graph":"session"}` hits
+//! the result cache exactly when the same bytes were loaded before.
+//!
 //! ## Responses
 //!
 //! ```text
@@ -53,6 +66,7 @@ use crate::json::{self, obj, Json};
 use crate::service::{JobResponse, Rejection, ServeError, ServiceStats};
 use gcol_core::{BackendKind, ColorOptions, Coloring, ExchangeKind, Fingerprint, JobSpec, Scheme};
 use gcol_graph::edit::EdgeEdit;
+use gcol_graph::io::GraphFormat;
 use gcol_graph::Csr;
 use gcol_simt::ExecMode;
 
@@ -81,6 +95,18 @@ pub enum Request {
         graph: Option<GraphSpec>,
         /// Ordered undirected edge edits to apply.
         edits: Vec<EdgeEdit>,
+    },
+    /// Stream a graph file into the session (possibly chunked).
+    Load {
+        /// Correlation id.
+        id: Option<u64>,
+        /// Declared format; absent on the first chunk means the server
+        /// sniffs the accumulated text's header on the final chunk.
+        format: Option<GraphFormat>,
+        /// This chunk's slice of the file text.
+        data: String,
+        /// `false` marks a non-final chunk (acked, not parsed yet).
+        last: bool,
     },
     /// Color the session graph, incrementally when possible.
     Recolor {
@@ -117,6 +143,8 @@ pub enum GraphSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// The connection's session graph (installed by `load`/`mutate`).
+    Session,
 }
 
 impl Request {
@@ -125,6 +153,7 @@ impl Request {
         match self {
             Request::Color { id, .. }
             | Request::Mutate { id, .. }
+            | Request::Load { id, .. }
             | Request::Recolor { id, .. }
             | Request::Stats { id }
             | Request::Shutdown { id } => *id,
@@ -153,6 +182,26 @@ impl Request {
                 graph: v.get("graph").map(parse_graph).transpose()?,
                 edits: parse_edits(&v)?,
             }),
+            "load" => {
+                let data = v
+                    .get("data")
+                    .and_then(Json::as_str)
+                    .ok_or("missing \"data\"")?
+                    .to_string();
+                let format = match v.get("format").and_then(Json::as_str) {
+                    None => None,
+                    Some(name) => Some(
+                        GraphFormat::parse(name)
+                            .ok_or_else(|| format!("unknown graph format {name:?}"))?,
+                    ),
+                };
+                Ok(Request::Load {
+                    id,
+                    format,
+                    data,
+                    last: v.get("last").and_then(Json::as_bool).unwrap_or(true),
+                })
+            }
             "recolor" => Ok(Request::Recolor {
                 id,
                 spec: parse_spec(&v)?,
@@ -235,6 +284,9 @@ fn parse_edits(v: &Json) -> Result<Vec<EdgeEdit>, String> {
 }
 
 fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
+    if v.as_str() == Some("session") {
+        return Ok(GraphSpec::Session);
+    }
     if let (Some(r), Some(c)) = (v.get("r"), v.get("c")) {
         let to_u32s = |a: &Json, what: &str| -> Result<Vec<u32>, String> {
             a.as_arr()
@@ -263,7 +315,7 @@ fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
             seed: v.get("seed").and_then(Json::as_u64).unwrap_or(0),
         });
     }
-    Err("\"graph\" needs either inline {\"r\":…,\"c\":…} or {\"gen\":…}".into())
+    Err("\"graph\" needs inline {\"r\":…,\"c\":…}, {\"gen\":…} or \"session\"".into())
 }
 
 /// Renders the success response for a resolved job.
@@ -357,6 +409,37 @@ pub fn recolor_response(
     o.to_string()
 }
 
+/// Renders the final response to a `load`: the resolved format and the
+/// parsed graph's identity (content fingerprint + size) — the same
+/// identity `mutate` reports, and the key under which `color` on the
+/// session graph caches.
+pub fn load_response(id: Option<u64>, format: GraphFormat, g: &Csr) -> String {
+    let mut o = obj([
+        ("ok", Json::Bool(true)),
+        ("status", Json::Str("loaded".into())),
+        ("format", Json::Str(format.name().into())),
+        (
+            "graph_fingerprint",
+            Json::Str(format!("{:016x}", g.content_fingerprint())),
+        ),
+        ("vertices", Json::Num(g.num_vertices() as f64)),
+        ("edges", Json::Num(g.num_edges() as f64)),
+    ]);
+    with_id(&mut o, id);
+    o.to_string()
+}
+
+/// Renders the ack for a non-final upload chunk: bytes buffered so far.
+pub fn loading_response(id: Option<u64>, bytes: usize) -> String {
+    let mut o = obj([
+        ("ok", Json::Bool(true)),
+        ("status", Json::Str("loading".into())),
+        ("bytes", Json::Num(bytes as f64)),
+    ]);
+    with_id(&mut o, id);
+    o.to_string()
+}
+
 /// Renders a positive acknowledgement (control ops with no payload).
 pub fn ack_response(id: Option<u64>, status: &str) -> String {
     let mut o = obj([
@@ -384,6 +467,7 @@ pub fn rejection_code(r: &Rejection) -> &'static str {
     match r {
         Rejection::QueueFull { .. } => "queue-full",
         Rejection::GraphTooLarge { .. } => "graph-too-large",
+        Rejection::UploadTooLarge { .. } => "upload-too-large",
         Rejection::ShuttingDown => "shutting-down",
     }
 }
@@ -552,6 +636,66 @@ mod tests {
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn parses_load_and_session_graph() {
+        match Request::parse(r#"{"op":"load","id":4,"format":"dimacs","data":"p edge 1 0\n"}"#)
+            .unwrap()
+        {
+            Request::Load {
+                id,
+                format,
+                data,
+                last,
+            } => {
+                assert_eq!(id, Some(4));
+                assert_eq!(format, Some(GraphFormat::Dimacs));
+                assert_eq!(data, "p edge 1 0\n");
+                assert!(last, "\"last\" defaults to true");
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse(r#"{"op":"load","data":"1 0\n","last":false}"#).unwrap() {
+            Request::Load { format, last, .. } => {
+                assert_eq!(format, None, "format is sniffed when absent");
+                assert!(!last);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match Request::parse(r#"{"op":"color","graph":"session","scheme":"D-base"}"#).unwrap() {
+            Request::Color { graph, spec, .. } => {
+                assert!(matches!(graph, GraphSpec::Session));
+                assert_eq!(spec.scheme, Scheme::DataBase);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for bad in [
+            r#"{"op":"load"}"#,
+            r#"{"op":"load","data":"x","format":"tsv"}"#,
+            r#"{"op":"color","graph":"sess"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn renders_load_responses() {
+        let g = Csr::try_new(vec![0, 1, 2], vec![1, 0]).unwrap();
+        let line = load_response(Some(4), GraphFormat::Metis, &g);
+        assert!(!line.contains('\n'));
+        let v = crate::json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("loaded"));
+        assert_eq!(v.get("format").and_then(Json::as_str), Some("metis"));
+        assert_eq!(
+            v.get("graph_fingerprint").and_then(Json::as_str),
+            Some(format!("{:016x}", g.content_fingerprint()).as_str())
+        );
+        assert_eq!(v.get("vertices").and_then(Json::as_u64), Some(2));
+        let ack = crate::json::parse(&loading_response(None, 512)).unwrap();
+        assert_eq!(ack.get("status").and_then(Json::as_str), Some("loading"));
+        assert_eq!(ack.get("bytes").and_then(Json::as_u64), Some(512));
     }
 
     #[test]

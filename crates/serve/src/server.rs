@@ -24,8 +24,9 @@
 //! are unreachable rather than explicitly purged).
 
 use crate::proto::{self, GraphSpec, Request};
-use crate::service::{Service, ServiceStats};
+use crate::service::{Rejection, Service, ServiceStats};
 use gcol_core::{recolor_delta, Coloring, JobSpec};
+use gcol_graph::io::{GraphFormat, GraphSource, IngestLimits};
 use gcol_graph::{Csr, VertexId};
 use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, Write};
@@ -38,6 +39,14 @@ struct Session {
     graph: Arc<Csr>,
     base: Option<(JobSpec, Arc<Coloring>)>,
     dirty: BTreeSet<VertexId>,
+}
+
+/// An in-progress chunked `load`: the text accumulated so far and the
+/// format the first chunk declared (if any). Dropped whole on any
+/// failure, so the connection recovers to a clean slate.
+struct Upload {
+    format: Option<GraphFormat>,
+    data: String,
 }
 
 /// Resolves a request's graph reference against the memoized named-graph
@@ -55,6 +64,9 @@ fn lookup_graph(
                 Ok(Arc::clone(slot.insert(resolve(&name, scale, seed)?)))
             }
         },
+        // The session graph lives on the connection, not in the named
+        // table; callers resolve it before reaching here.
+        GraphSpec::Session => Err("no session graph: load or mutate one first".into()),
     }
 }
 
@@ -80,6 +92,7 @@ where
     let mut responders: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut graphs: HashMap<(String, u32, u64), Arc<Csr>> = HashMap::new();
     let mut session: Option<Session> = None;
+    let mut upload: Option<Upload> = None;
     let write_line = |w: &Arc<Mutex<W>>, line: String| -> std::io::Result<()> {
         let mut w = w.lock().unwrap();
         w.write_all(line.as_bytes())?;
@@ -104,7 +117,9 @@ where
                 write_line(&writer, proto::stats_response(id, &service.stats()))?;
             }
             Request::Mutate { id, graph, edits } => {
-                if let Some(spec) = graph {
+                // `"graph":"session"` names the graph already installed
+                // (by a `load` or earlier mutate) — nothing to replace.
+                if let Some(spec) = graph.filter(|g| !matches!(g, GraphSpec::Session)) {
                     match lookup_graph(&mut graphs, resolve, spec) {
                         Ok(g) => {
                             session = Some(Session {
@@ -146,6 +161,92 @@ where
                         )?;
                     }
                 }
+            }
+            Request::Load {
+                id,
+                format,
+                data,
+                last,
+            } => {
+                let up = upload.get_or_insert_with(|| Upload {
+                    format: None,
+                    data: String::new(),
+                });
+                if up.format.is_none() {
+                    up.format = format;
+                }
+                up.data.push_str(&data);
+                // The byte bound cuts a lying client off mid-stream:
+                // the buffer is dropped, the connection lives on.
+                if let Some(max_bytes) = service.config().max_upload_bytes {
+                    if up.data.len() > max_bytes {
+                        let rej = Rejection::UploadTooLarge {
+                            bytes: up.data.len(),
+                            max_bytes,
+                        };
+                        upload = None;
+                        write_line(
+                            &writer,
+                            proto::error_response(
+                                id,
+                                proto::rejection_code(&rej),
+                                &rej.to_string(),
+                            ),
+                        )?;
+                        continue;
+                    }
+                }
+                if !last {
+                    write_line(&writer, proto::loading_response(id, up.data.len()))?;
+                    continue;
+                }
+                let up = upload.take().expect("buffer exists: inserted above");
+                let Some(fmt) = up.format.or_else(|| GraphFormat::sniff(&up.data)) else {
+                    write_line(
+                        &writer,
+                        proto::error_response(
+                            id,
+                            "bad-graph",
+                            "cannot determine graph format from content; pass \"format\"",
+                        ),
+                    )?;
+                    continue;
+                };
+                let cfg = service.config();
+                let limits = IngestLimits {
+                    max_vertices: cfg.max_vertices,
+                    max_edges: cfg.max_edges,
+                };
+                let line = match GraphSource::new(fmt)
+                    .with_limits(limits)
+                    .read(up.data.as_bytes())
+                {
+                    Ok(g) => {
+                        let g = Arc::new(g);
+                        session = Some(Session {
+                            graph: Arc::clone(&g),
+                            base: None,
+                            dirty: BTreeSet::new(),
+                        });
+                        proto::load_response(id, fmt, &g)
+                    }
+                    // An admission-limit breach surfaces as the same
+                    // typed rejection `submit` would produce, caught
+                    // while parsing instead of after building the graph.
+                    Err(e) => match e.limit_exceeded() {
+                        Some(l) => {
+                            let rej = Rejection::GraphTooLarge {
+                                vertices: l.vertices,
+                                edges: l.edges,
+                                max_vertices: l.max_vertices,
+                                max_edges: l.max_edges,
+                            };
+                            proto::error_response(id, proto::rejection_code(&rej), &rej.to_string())
+                        }
+                        None => proto::error_response(id, "bad-graph", &e.to_string()),
+                    },
+                };
+                write_line(&writer, line)?;
             }
             Request::Recolor {
                 id,
@@ -212,12 +313,32 @@ where
                 deadline_ms,
                 assignment,
             } => {
-                let graph = match lookup_graph(&mut graphs, resolve, graph) {
-                    Ok(g) => g,
-                    Err(msg) => {
-                        write_line(&writer, proto::error_response(id, "unknown-graph", &msg))?;
-                        continue;
-                    }
+                let graph = match graph {
+                    // The session graph colors through the same service
+                    // path as any other graph — admission control and
+                    // the fingerprint-keyed cache included, so re-loads
+                    // of identical bytes hit.
+                    GraphSpec::Session => match session.as_ref() {
+                        Some(s) => Arc::clone(&s.graph),
+                        None => {
+                            write_line(
+                                &writer,
+                                proto::error_response(
+                                    id,
+                                    "no-graph",
+                                    "no session graph: send a \"load\" or \"mutate\" first",
+                                ),
+                            )?;
+                            continue;
+                        }
+                    },
+                    other => match lookup_graph(&mut graphs, resolve, other) {
+                        Ok(g) => g,
+                        Err(msg) => {
+                            write_line(&writer, proto::error_response(id, "unknown-graph", &msg))?;
+                            continue;
+                        }
+                    },
                 };
                 let req = crate::service::JobRequest {
                     graph,

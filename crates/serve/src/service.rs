@@ -56,6 +56,11 @@ pub struct ServiceConfig {
     pub max_vertices: Option<usize>,
     /// Admission bound on stored directed edges.
     pub max_edges: Option<usize>,
+    /// Bound on the byte size of a streamed `load` upload, enforced
+    /// chunk by chunk while the text accumulates — a lying client is cut
+    /// off mid-stream ([`Rejection::UploadTooLarge`]) before the parser
+    /// ever sees the payload.
+    pub max_upload_bytes: Option<usize>,
     /// Device model the simt-backend jobs execute on.
     pub device: Device,
 }
@@ -68,6 +73,7 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             max_vertices: None,
             max_edges: None,
+            max_upload_bytes: None,
             device: Device::k20c(),
         }
     }
@@ -118,6 +124,14 @@ pub enum Rejection {
         /// The configured edge bound, if that is what tripped.
         max_edges: Option<usize>,
     },
+    /// A streamed graph upload exceeded the configured byte bound
+    /// before it finished arriving.
+    UploadTooLarge {
+        /// Bytes accumulated when the bound tripped.
+        bytes: usize,
+        /// The configured [`ServiceConfig::max_upload_bytes`].
+        max_bytes: usize,
+    },
     /// The service is draining after [`Service::shutdown`] began.
     ShuttingDown,
 }
@@ -131,6 +145,9 @@ impl std::fmt::Display for Rejection {
             Rejection::GraphTooLarge {
                 vertices, edges, ..
             } => write!(f, "graph too large ({vertices} vertices, {edges} edges)"),
+            Rejection::UploadTooLarge { bytes, max_bytes } => {
+                write!(f, "upload too large ({bytes} bytes, cap {max_bytes})")
+            }
             Rejection::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -447,6 +464,14 @@ impl Service {
     /// delta and from-scratch timelines stay comparable.
     pub fn device(&self) -> &Device {
         &self.inner.config.device
+    }
+
+    /// The configuration the service was started with. The protocol
+    /// server reads the admission bounds from here so `load` uploads are
+    /// rejected during parsing with the same limits `submit` would apply
+    /// to the finished graph.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
     }
 
     /// A point-in-time snapshot of the service counters.

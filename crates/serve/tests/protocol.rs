@@ -24,10 +24,17 @@ impl Write for SharedBuf {
 }
 
 fn run_session(input: &str) -> (Vec<Json>, gcol_serve::ServiceStats) {
-    let svc = Service::start(ServiceConfig {
-        num_workers: 2,
-        ..ServiceConfig::default()
-    });
+    run_session_with(
+        ServiceConfig {
+            num_workers: 2,
+            ..ServiceConfig::default()
+        },
+        input,
+    )
+}
+
+fn run_session_with(config: ServiceConfig, input: &str) -> (Vec<Json>, gcol_serve::ServiceStats) {
+    let svc = Service::start(config);
     let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
     let resolve = |name: &str, scale: u32, seed: u64| match name {
         "rmat" => Ok(Arc::new(gen::rmat(RmatParams::erdos_renyi(scale, 8), seed))),
@@ -282,6 +289,244 @@ fn bad_lines_get_typed_errors_and_do_not_kill_the_session() {
     );
     assert_eq!(resp[&8].get("ok").and_then(Json::as_bool), Some(true));
     assert_eq!(stats.accepted, 1);
+}
+
+// The paper's Fig. 2 graph (5 vertices, 7 undirected edges) as DIMACS
+// text, `\n`-escaped for embedding in a JSON `load` request. The same
+// graph the inline-CSR tests above use, so shapes are comparable.
+const FIG2_COL: &str = r"p edge 5 7\ne 1 2\ne 1 3\ne 2 3\ne 2 4\ne 2 5\ne 3 5\ne 4 5\n";
+
+#[test]
+fn load_colors_and_caches_by_content_fingerprint() {
+    let input = format!(
+        concat!(
+            // Upload with a declared format.
+            r#"{{"id":1,"op":"load","format":"dimacs","data":"{d}"}}"#,
+            "\n",
+            // Color the session graph: a cold run through the service.
+            r#"{{"id":2,"op":"color","graph":"session","scheme":"T-base","backend":"native"}}"#,
+            "\n",
+            // Re-upload the identical bytes, chunked this time and with
+            // the format sniffed from the `p` line.
+            r#"{{"id":3,"op":"load","data":"{c1}","last":false}}"#,
+            "\n",
+            r#"{{"id":4,"op":"load","data":"{c2}"}}"#,
+            "\n",
+            // Same graph bytes + same spec: must reuse the cached run.
+            r#"{{"id":5,"op":"color","graph":"session","scheme":"T-base","backend":"native"}}"#,
+            "\n",
+        ),
+        d = FIG2_COL,
+        c1 = r"p edge 5 7\ne 1 2\ne 1 3\ne 2 3\n",
+        c2 = r"e 2 4\ne 2 5\ne 3 5\ne 4 5\n",
+    );
+    let (lines, stats) = run_session_with(ServiceConfig::default(), &input);
+    let resp = by_id(&lines);
+
+    let r1 = resp[&1];
+    assert_eq!(r1.get("ok").and_then(Json::as_bool), Some(true), "{r1:?}");
+    assert_eq!(r1.get("status").and_then(Json::as_str), Some("loaded"));
+    assert_eq!(r1.get("format").and_then(Json::as_str), Some("dimacs"));
+    assert_eq!(r1.get("vertices").and_then(Json::as_u64), Some(5));
+    assert_eq!(r1.get("edges").and_then(Json::as_u64), Some(14));
+
+    assert_eq!(resp[&2].get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(resp[&2].get("source").and_then(Json::as_str), Some("cold"));
+
+    // The chunk ack reports buffered bytes, the final chunk the graph.
+    assert_eq!(
+        resp[&3].get("status").and_then(Json::as_str),
+        Some("loading")
+    );
+    assert!(resp[&3].get("bytes").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(
+        resp[&4].get("status").and_then(Json::as_str),
+        Some("loaded")
+    );
+    assert_eq!(
+        resp[&4].get("format").and_then(Json::as_str),
+        Some("dimacs")
+    );
+    assert_eq!(
+        resp[&4].get("graph_fingerprint").and_then(Json::as_str),
+        r1.get("graph_fingerprint").and_then(Json::as_str),
+        "identical bytes must produce the identical content fingerprint"
+    );
+
+    assert_eq!(resp[&5].get("ok").and_then(Json::as_bool), Some(true));
+    let src5 = resp[&5].get("source").and_then(Json::as_str).unwrap();
+    assert!(
+        src5 == "cache-hit" || src5 == "coalesced",
+        "re-loading the same bytes must reuse the cached/in-flight run, got {src5}"
+    );
+    assert_eq!(
+        resp[&2].get("fingerprint").and_then(Json::as_str),
+        resp[&5].get("fingerprint").and_then(Json::as_str)
+    );
+    assert_eq!(stats.executions, 1);
+    assert_eq!(stats.cache_hits + stats.coalesced, 1);
+}
+
+#[test]
+fn oversize_upload_is_cut_off_mid_stream() {
+    let input = format!(
+        concat!(
+            // Two chunks; the second pushes the buffer past the cap
+            // while the client still claims more is coming.
+            r#"{{"id":1,"op":"load","format":"dimacs","data":"{c1}","last":false}}"#,
+            "\n",
+            r#"{{"id":2,"op":"load","data":"{c1}","last":false}}"#,
+            "\n",
+            // The buffer was dropped with the rejection: a fresh small
+            // upload parses from a clean slate on the same connection.
+            r#"{{"id":3,"op":"load","format":"dimacs","data":"{small}"}}"#,
+            "\n",
+            r#"{{"id":4,"op":"color","graph":"session","backend":"native"}}"#,
+            "\n",
+        ),
+        c1 = r"p edge 5 7\ne 1 2\ne 1 3\n",
+        small = r"p edge 2 1\ne 1 2\n",
+    );
+    let (lines, _) = run_session_with(
+        ServiceConfig {
+            max_upload_bytes: Some(32),
+            ..ServiceConfig::default()
+        },
+        &input,
+    );
+    let resp = by_id(&lines);
+    assert_eq!(
+        resp[&1].get("status").and_then(Json::as_str),
+        Some("loading")
+    );
+    assert_eq!(
+        resp[&2].get("error").and_then(Json::as_str),
+        Some("upload-too-large"),
+        "{:?}",
+        resp[&2]
+    );
+    assert_eq!(
+        resp[&3].get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{:?}",
+        resp[&3]
+    );
+    assert_eq!(resp[&3].get("vertices").and_then(Json::as_u64), Some(2));
+    assert_eq!(resp[&4].get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn bad_uploads_fail_typed_and_the_connection_recovers() {
+    let input = format!(
+        concat!(
+            // Admission limits apply while parsing: the header already
+            // promises more vertices than allowed.
+            r#"{{"id":1,"op":"load","format":"dimacs","data":"{d}"}}"#,
+            "\n",
+            // Malformed text: an edge before any problem line.
+            r#"{{"id":2,"op":"load","format":"dimacs","data":"e 1 2\n"}}"#,
+            "\n",
+            // Bare numbers are ambiguous without a format declaration.
+            r#"{{"id":3,"op":"load","data":"1 2\n"}}"#,
+            "\n",
+            // After three failures the connection still loads and colors.
+            r#"{{"id":4,"op":"load","format":"dimacs","data":"{small}"}}"#,
+            "\n",
+            r#"{{"id":5,"op":"color","graph":"session","backend":"native"}}"#,
+            "\n",
+        ),
+        d = FIG2_COL,
+        small = r"p edge 3 2\ne 1 2\ne 2 3\n",
+    );
+    let (lines, _) = run_session_with(
+        ServiceConfig {
+            max_vertices: Some(4),
+            ..ServiceConfig::default()
+        },
+        &input,
+    );
+    let resp = by_id(&lines);
+    assert_eq!(
+        resp[&1].get("error").and_then(Json::as_str),
+        Some("graph-too-large"),
+        "{:?}",
+        resp[&1]
+    );
+    assert_eq!(
+        resp[&2].get("error").and_then(Json::as_str),
+        Some("bad-graph")
+    );
+    assert!(
+        resp[&2]
+            .get("detail")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("line"),
+        "parse errors carry the offending line: {:?}",
+        resp[&2]
+    );
+    assert_eq!(
+        resp[&3].get("error").and_then(Json::as_str),
+        Some("bad-graph")
+    );
+    assert_eq!(
+        resp[&4].get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{:?}",
+        resp[&4]
+    );
+    assert_eq!(resp[&5].get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn load_feeds_the_incremental_session() {
+    let input = format!(
+        concat!(
+            r#"{{"id":1,"op":"load","format":"dimacs","data":"{d}"}}"#,
+            "\n",
+            // The loaded graph is the session graph: recolor runs on it.
+            r#"{{"id":2,"op":"recolor","scheme":"T-base","backend":"native","assignment":true}}"#,
+            "\n",
+            // Close the 0–3 chord (0-based ids), then repair.
+            r#"{{"id":3,"op":"mutate","edits":[["+",0,3]]}}"#,
+            "\n",
+            r#"{{"id":4,"op":"recolor","scheme":"T-base","backend":"native","assignment":true}}"#,
+            "\n",
+        ),
+        d = FIG2_COL,
+    );
+    let (lines, _) = run_session_with(ServiceConfig::default(), &input);
+    let resp = by_id(&lines);
+    for id in 1..=4 {
+        assert_eq!(
+            resp[&id].get("ok").and_then(Json::as_bool),
+            Some(true),
+            "response {id} failed: {:?}",
+            resp[&id]
+        );
+    }
+    assert_eq!(
+        resp[&2].get("source").and_then(Json::as_str),
+        Some("scratch")
+    );
+    // The edit rolled the fingerprint the load reported.
+    assert_ne!(
+        resp[&3].get("graph_fingerprint").and_then(Json::as_str),
+        resp[&1].get("graph_fingerprint").and_then(Json::as_str)
+    );
+    assert_eq!(resp[&3].get("touched").and_then(Json::as_u64), Some(2));
+    assert_eq!(resp[&4].get("source").and_then(Json::as_str), Some("delta"));
+    assert_eq!(resp[&4].get("repaired").and_then(Json::as_u64), Some(2));
+    let colors = |r: &Json| -> Vec<u64> {
+        r.get("assignment")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect()
+    };
+    let after = colors(resp[&4]);
+    assert_ne!(after[0], after[3], "chord endpoints must differ");
 }
 
 #[test]

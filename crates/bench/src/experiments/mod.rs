@@ -57,6 +57,11 @@ pub struct ExpConfig {
     pub graph: Option<String>,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional path for the `sanitize` experiment's structured findings
+    /// report (`--sanitize-json`): the full [`gcol_simt::SanitizerReport`]
+    /// per (scheme, graph, shards) run, for diffing against the
+    /// checked-in expected-findings baseline.
+    pub sanitize_json: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -71,6 +76,7 @@ impl Default for ExpConfig {
             smoke: false,
             graph: None,
             json: None,
+            sanitize_json: None,
         }
     }
 }

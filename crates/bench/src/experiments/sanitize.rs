@@ -17,7 +17,7 @@ use crate::report::{maybe_write_json, Table};
 use gcol_core::{color_sanitized, Scheme};
 use gcol_graph::gen::{self, RmatParams, StencilKind};
 use gcol_graph::Csr;
-use gcol_simt::Device;
+use gcol_simt::{Device, SanitizerReport};
 use serde::Serialize;
 
 /// Shard counts the audit covers: the single-device driver plus the
@@ -31,6 +31,39 @@ struct Row {
     shards: usize,
     benign: u64,
     harmful: u64,
+}
+
+/// One audited (scheme, graph, shards) run with its full sanitizer
+/// report — the unit of the `--sanitize-json` document and of the
+/// checked-in expected-findings baseline
+/// (`crates/bench/tests/data/sanitize_baseline.json`).
+#[derive(Serialize)]
+pub struct AuditEntry {
+    /// Scheme name as printed in the tables (e.g. `D-ldg`).
+    pub scheme: &'static str,
+    /// Audit graph name (`rmat-er`, `grid`).
+    pub graph: &'static str,
+    /// Device count (1 = single-device driver).
+    pub shards: usize,
+    /// The run's cumulative deduplicated findings.
+    pub report: SanitizerReport,
+}
+
+impl AuditEntry {
+    /// The diff-stable projection of one finding: class, kernel and
+    /// buffer, but not the representative word/thread pair (which is an
+    /// arbitrary member of the deduplicated set) or the occurrence count
+    /// (which scales with the graph). This is what the CI baseline pins.
+    pub fn finding_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .report
+            .findings
+            .iter()
+            .map(|f| format!("{:?}/{}/{}", f.kind, f.kernel, f.buffer))
+            .collect();
+        keys.sort();
+        keys
+    }
 }
 
 fn graphs(cfg: &ExpConfig) -> Vec<(&'static str, Csr)> {
@@ -48,10 +81,40 @@ fn graphs(cfg: &ExpConfig) -> Vec<(&'static str, Csr)> {
     ]
 }
 
+/// Runs every (scheme, graph, shards) combination under the sanitizer
+/// and returns the full per-run reports. Panics on a coloring failure
+/// or an improper result, but leaves harmful-finding policy to the
+/// caller — [`run`] aborts on any, the baseline test diffs the set.
+pub fn audit(cfg: &ExpConfig) -> Vec<AuditEntry> {
+    let dev = Device::k20c();
+    let mut entries = Vec::new();
+    for scheme in Scheme::GPU {
+        for (name, g) in graphs(cfg) {
+            for p in SHARD_COUNTS {
+                let opts = cfg.color_options().with_shards(p);
+                let (coloring, report) = color_sanitized(scheme, &g, &dev, &opts)
+                    .unwrap_or_else(|e| panic!("{scheme}/{name} P={p}: {e}"));
+                gcol_core::verify_coloring(&g, &coloring.colors)
+                    .unwrap_or_else(|e| panic!("{scheme}/{name} P={p} improper: {e}"));
+                entries.push(AuditEntry {
+                    scheme: scheme.name(),
+                    graph: name,
+                    shards: p,
+                    report,
+                });
+            }
+        }
+    }
+    entries
+}
+
 /// Runs the audit. Panics with the offending report if any scheme
 /// produces a harmful finding, so a CI invocation fails loudly.
+/// `--sanitize-json` additionally writes the full structured findings
+/// (every [`AuditEntry`] with its complete report) for diffing against
+/// the checked-in baseline.
 pub fn run(cfg: &ExpConfig) -> String {
-    let dev = Device::k20c();
+    let entries = audit(cfg);
     let mut table = Table::new(vec![
         "scheme".to_string(),
         "graph".to_string(),
@@ -61,37 +124,32 @@ pub fn run(cfg: &ExpConfig) -> String {
     ]);
     let mut rows = Vec::new();
     let mut bad = Vec::new();
-    for scheme in Scheme::GPU {
-        for (name, g) in graphs(cfg) {
-            for p in SHARD_COUNTS {
-                let opts = cfg.color_options().with_shards(p);
-                let (coloring, report) = color_sanitized(scheme, &g, &dev, &opts)
-                    .unwrap_or_else(|e| panic!("{scheme}/{name} P={p}: {e}"));
-                gcol_core::verify_coloring(&g, &coloring.colors)
-                    .unwrap_or_else(|e| panic!("{scheme}/{name} P={p} improper: {e}"));
-                let benign: u64 = report.benign().map(|f| f.occurrences).sum();
-                let harmful: u64 = report.harmful().map(|f| f.occurrences).sum();
-                table.row(vec![
-                    scheme.name().to_string(),
-                    name.to_string(),
-                    p.to_string(),
-                    benign.to_string(),
-                    harmful.to_string(),
-                ]);
-                rows.push(Row {
-                    scheme: scheme.name(),
-                    graph: name,
-                    shards: p,
-                    benign,
-                    harmful,
-                });
-                if harmful > 0 {
-                    bad.push(format!("{scheme}/{name} P={p}:\n{report}"));
-                }
-            }
+    for e in &entries {
+        let benign: u64 = e.report.benign().map(|f| f.occurrences).sum();
+        let harmful: u64 = e.report.harmful().map(|f| f.occurrences).sum();
+        table.row(vec![
+            e.scheme.to_string(),
+            e.graph.to_string(),
+            e.shards.to_string(),
+            benign.to_string(),
+            harmful.to_string(),
+        ]);
+        rows.push(Row {
+            scheme: e.scheme,
+            graph: e.graph,
+            shards: e.shards,
+            benign,
+            harmful,
+        });
+        if harmful > 0 {
+            bad.push(format!(
+                "{}/{} P={}:\n{}",
+                e.scheme, e.graph, e.shards, e.report
+            ));
         }
     }
     maybe_write_json(cfg.json.as_deref(), &rows).expect("json write");
+    maybe_write_json(cfg.sanitize_json.as_deref(), &entries).expect("sanitize json write");
     assert!(
         bad.is_empty(),
         "sanitizer found harmful launches:\n{}",

@@ -86,6 +86,11 @@ OPTIONS:
                   delta everywhere; shardscale sweeps both when the flag
                   is absent
     --json PATH   also write the raw results as JSON
+    --sanitize-json PATH
+                  sanitize: also write the full structured findings report
+                  (every scheme/graph/P run with its complete sanitizer
+                  report) for diffing against the checked-in baseline at
+                  crates/bench/tests/data/sanitize_baseline.json
 
 SERVICE OPTIONS (loadgen / serve):
     --workers N   service worker threads (default 4)
@@ -172,6 +177,14 @@ fn main() {
                     args.get(i + 1)
                         .cloned()
                         .unwrap_or_else(|| die("--json needs a path")),
+                );
+                i += 2;
+            }
+            "--sanitize-json" => {
+                cfg.sanitize_json = Some(
+                    args.get(i + 1)
+                        .cloned()
+                        .unwrap_or_else(|| die("--sanitize-json needs a path")),
                 );
                 i += 2;
             }

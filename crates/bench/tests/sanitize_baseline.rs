@@ -1,0 +1,95 @@
+//! Expected-findings baseline for the launch sanitizer.
+//!
+//! `data/sanitize_baseline.json` pins the sanitizer's steady state at
+//! scale 8 — every (scheme, graph, shards) run and its full report,
+//! which today is exclusively the paper's documented benign `st_warp`
+//! speculation race. This test re-runs the audit and diffs against the
+//! baseline, so CI catches both regressions (a new finding class — a
+//! real race, an `ldg` of a written buffer, an OOB) *and* silent
+//! coverage loss (a kernel that stops being audited, a race that
+//! vanishes because speculation was accidentally serialized).
+//!
+//! Regenerate after an intentional kernel change with:
+//!
+//! ```text
+//! cargo run --release -p gcol-bench -- sanitize --scale 8 \
+//!     --sanitize-json crates/bench/tests/data/sanitize_baseline.json
+//! ```
+
+use gcol_bench::experiments::{sanitize, ExpConfig};
+
+const BASELINE: &str = include_str!("data/sanitize_baseline.json");
+
+fn scale8() -> ExpConfig {
+    ExpConfig {
+        scale: 8,
+        ..ExpConfig::default()
+    }
+}
+
+#[test]
+fn audit_matches_checked_in_baseline() {
+    let entries = sanitize::audit(&scale8());
+    let actual = serde_json::to_string_pretty(&entries).expect("serialize audit");
+    assert_eq!(
+        actual.trim(),
+        BASELINE.trim(),
+        "sanitizer findings drifted from tests/data/sanitize_baseline.json; \
+         if the kernel change is intentional, regenerate with \
+         `cargo run --release -p gcol-bench -- sanitize --scale 8 \
+         --sanitize-json crates/bench/tests/data/sanitize_baseline.json`"
+    );
+}
+
+/// The baseline may only ever contain the documented benign race: a
+/// harmful finding can never be baselined away by regenerating the
+/// file. Checked against both the live audit (typed) and the checked-in
+/// text (so a hand-edited baseline fails too).
+#[test]
+fn baseline_contains_only_the_documented_benign_race() {
+    let entries = sanitize::audit(&scale8());
+    let mut findings = 0;
+    for e in &entries {
+        for f in &e.report.findings {
+            assert!(
+                f.kind.is_benign(),
+                "{}/{} P={}: harmful finding in the steady state: {f}",
+                e.scheme,
+                e.graph,
+                e.shards
+            );
+            findings += 1;
+        }
+    }
+    assert!(findings > 0, "the speculation race must be observed at all");
+
+    for (i, chunk) in BASELINE.split("\"kind\": ").enumerate() {
+        if i > 0 {
+            assert!(
+                chunk.starts_with("\"WarpSpecRace\""),
+                "non-benign kind in the checked-in baseline near: {}",
+                &chunk[..chunk.len().min(40)]
+            );
+        }
+    }
+}
+
+/// The diff-stable projection used for quick triage: every run reports
+/// the race on a color buffer — `color` in the single-device drivers,
+/// `shard-color` in the sharded cross-resolve — and nothing else.
+#[test]
+fn finding_keys_name_only_color_buffers() {
+    let entries = sanitize::audit(&scale8());
+    for e in &entries {
+        for key in e.finding_keys() {
+            assert!(
+                key.starts_with("WarpSpecRace/")
+                    && (key.ends_with("/color") || key.ends_with("/shard-color")),
+                "{}/{} P={}: unexpected finding key {key}",
+                e.scheme,
+                e.graph,
+                e.shards
+            );
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! and the Atomic Operation Unit becomes the bottleneck. The `ablation`
 //! experiment in `gcol-bench` quantifies exactly how much the paper's
 //! prefix-sum optimization buys.
+//!
+//! gcol::hot_path
 
 use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
 use crate::{ColorError, ColorOptions, Coloring, Scheme};

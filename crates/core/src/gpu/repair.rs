@@ -14,13 +14,13 @@
 //!    dirty worklist finds conflicted vertices and immediately recolors
 //!    each loser (first-fit, optionally jitter-started), stamping it
 //!    with the pass number. Two callers, two loser rules:
-//!    [`CrossResolve`] (sharded exchange) blames the larger *global id*
+//!    `CrossResolve` (sharded exchange) blames the larger *global id*
 //!    of a ghost-edge conflict so two shards agree without
-//!    communicating, while [`DirtyResolve`] (incremental recoloring)
+//!    communicating, while `DirtyResolve` (incremental recoloring)
 //!    blames the dirty endpoint — a clean vertex's color is contractual
 //!    and must never change.
 //! 2. **Stamp-scoped fixpoint** — concurrently recolored vertices can
-//!    re-collide; [`OwnedResolve`] rescans only the vertices stamped by
+//!    re-collide; `OwnedResolve` rescans only the vertices stamped by
 //!    the previous pass (a just-recolored vertex avoided every color it
 //!    could see, so new conflicts need *both* endpoints fresh), the
 //!    smaller id yields, and a quiet pass ends the loop. Exceeding
@@ -39,6 +39,8 @@
 //! two-word buffer so each fixpoint pass reads both with a single
 //! 8-byte d2h round trip; on a latency-dominated link one 8-byte read
 //! costs half of two 4-byte ones.
+//!
+//! gcol::hot_path
 
 use super::{pass_marker, GpuGraph, SpecGreedyDriver};
 use crate::ColorError;
@@ -349,7 +351,7 @@ pub struct RepairEngine {
     pub color: Buffer<u32>,
     /// Per-vertex recolor stamps (which pass last recolored the vertex).
     pub stamp: Buffer<u32>,
-    /// Two-word flag block ([`FLAG_CONFLICT`], [`FLAG_CHANGED`]).
+    /// Two-word flag block (`FLAG_CONFLICT`, `FLAG_CHANGED`).
     pub flags: Buffer<u32>,
     /// The dirty worklist; callers write the first `num_items` entries
     /// before each repair call.
@@ -395,7 +397,7 @@ impl RepairEngine {
     }
 
     /// One sharded ghost-exchange repair round: clears the conflict
-    /// flag, launches [`CrossResolve`] over the first `num_items`
+    /// flag, launches `CrossResolve` over the first `num_items`
     /// worklist entries (the dirty-adjacent boundary vertices, staged by
     /// the caller), then runs the stamp-scoped fixpoint. Returns whether
     /// any cross conflict was found; if so the fixpoint has settled the
@@ -426,7 +428,7 @@ impl RepairEngine {
     }
 
     /// One incremental repair round: clears the conflict flag, launches
-    /// [`DirtyResolve`] over the first `num_items` worklist entries (the
+    /// `DirtyResolve` over the first `num_items` worklist entries (the
     /// dirty vertices, staged by the caller, with `member` marking their
     /// characteristic vector), then runs the stamp-scoped fixpoint.
     /// Returns whether any conflict was found (and repaired).

@@ -4,6 +4,8 @@
 //! colored immediately exits (the work-inefficiency the data-driven variant
 //! removes). A global `changed` flag, set by any thread that colors a
 //! vertex, drives the host-side do/while loop.
+//!
+//! gcol::hot_path
 
 use super::{pass_marker, speculative_first_fit, GpuGraph, SpecGreedyDriver};
 use crate::{ColorError, ColorOptions, Coloring, Scheme};

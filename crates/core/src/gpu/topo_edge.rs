@@ -50,6 +50,7 @@ impl Kernel for EdgeVariantColor {
 struct EdgeDetect {
     g: GpuGraph,
     /// Source vertex of each CSR slot (edge→row map).
+    /// gcol-lint: readonly
     src: Buffer<u32>,
     color: Buffer<u32>,
     colored: Buffer<u32>,

@@ -228,6 +228,7 @@ pub enum IoError {
     EdgeList(EdgeListError),
     /// The format could not be determined (no extension, ambiguous
     /// content).
+    // gcol-lint: allow(io-error-line) — sniffing fails before any line is read
     UnknownFormat {
         /// What was inspected (a path, or a content description).
         hint: String,

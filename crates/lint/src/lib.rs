@@ -1,0 +1,719 @@
+//! Static invariant linter for the gcol workspace.
+//!
+//! The dynamic trace sanitizer (`gcol-simt::sanitize`) audits kernel
+//! *traces* — it can only judge accesses that execute. This linter is
+//! the static complement: a token-level walk over the workspace source
+//! that enforces invariants on every path, executed or not. No `syn`,
+//! no rustc plugin — the checked properties are shallow enough that a
+//! comment/string-aware scanner is both sufficient and dependency-free
+//! (this build environment has no route to a crates registry; see
+//! `third_party/README.md`).
+//!
+//! ## Rules
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `kernel-ctx` | inside a fn taking `impl KernelCtx`, every memory access goes through the ctx (`ld`/`ldg`/`st`/atomics/`local_*`); direct indexing `a[i]` is an error |
+//! | `readonly-ldg` | a buffer field annotated `/// gcol-lint: readonly` is only ever passed to `ldg` |
+//! | `hot-path` | a module tagged `//! gcol::hot_path` contains no `std::time`, randomness, or heap allocation |
+//! | `io-error-line` | every variant of an `*Error` enum under `crates/graph/src/io/` carries a line number (struct variants need a `line` field; tuple variants must be `Io`/`TooLarge` or delegate to another `*Error` type) |
+//!
+//! ## Pragmas
+//!
+//! * `//! gcol::hot_path` — first doc line of a module: tags the whole
+//!   file for the `hot-path` rule.
+//! * `/// gcol-lint: readonly` — doc line on a struct field: the field
+//!   may only appear as an `ldg` argument.
+//! * `// gcol-lint: allow(<rule>)` — suppresses `<rule>` findings on
+//!   the same line and the line immediately following (put the reason
+//!   in the same comment).
+//!
+//! `#[cfg(test)]` modules are skipped entirely: tests legitimately
+//! allocate, sleep and index.
+//!
+//! ## Honest limitations
+//!
+//! Token-level analysis sees spellings, not semantics: a readonly
+//! buffer copied into a local (`let s = self.src;`) escapes the
+//! `readonly-ldg` check, and `hot-path` matches a fixed vocabulary of
+//! allocating constructors. The rules are tuned so the *existing*
+//! kernel idiom stays clean and each violation class the dynamic
+//! sanitizer has actually caught is rejected — see the negative tests.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// One linter finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as given to [`lint_file`].
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Rule identifier (`kernel-ctx`, `readonly-ldg`, `hot-path`,
+    /// `io-error-line`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The comment/string-blanked view of one source file, with the pragma
+/// facts collected while blanking.
+struct FileView {
+    /// Source with comment and string-literal *contents* replaced by
+    /// spaces (delimiters and newlines preserved, so offsets and line
+    /// numbers match the original).
+    code: Vec<u8>,
+    /// Byte offset of each line start (index 0 = line 1).
+    line_starts: Vec<usize>,
+    /// File carries the `//! gcol::hot_path` tag.
+    hot_path: bool,
+    /// `(field name, declaration line)` per `/// gcol-lint: readonly`.
+    readonly_fields: Vec<(String, usize)>,
+    /// `(line, rule)` suppressions from `gcol-lint: allow(rule)`.
+    allows: HashSet<(usize, String)>,
+}
+
+impl FileView {
+    fn line_of(&self, offset: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= offset)
+    }
+
+    fn allowed(&self, line: usize, rule: &str) -> bool {
+        // A pragma suppresses its own line and the next line.
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows.contains(&(*l, rule.to_string()))
+                || self.allows.contains(&(*l, "all".to_string()))
+        })
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Overwrites a region with spaces, preserving newlines so line numbers
+/// computed on the blanked view match the original source.
+fn blank_keeping_newlines(region: &mut [u8]) {
+    for b in region {
+        if *b != b'\n' {
+            *b = b' ';
+        }
+    }
+}
+
+/// Builds the blanked code view and collects pragmas.
+fn scan(source: &str) -> FileView {
+    let bytes = source.as_bytes();
+    let mut code = bytes.to_vec();
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| line_starts.partition_point(|&s| s <= offset);
+
+    let mut hot_path = false;
+    let mut readonly_lines: Vec<usize> = Vec::new();
+    let mut allows: HashSet<(usize, String)> = HashSet::new();
+
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let line = line_of(start);
+                let trimmed = text.trim_start_matches('/').trim_start_matches('!').trim();
+                if text.starts_with("//!") && trimmed == "gcol::hot_path" {
+                    hot_path = true;
+                }
+                if text.starts_with("///") && trimmed == "gcol-lint: readonly" {
+                    readonly_lines.push(line);
+                }
+                if let Some(rest) = trimmed.strip_prefix("gcol-lint: allow(") {
+                    if let Some(end) = rest.find(')') {
+                        allows.insert((line, rest[..end].trim().to_string()));
+                    }
+                }
+                code[start..i].fill(b' ');
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank_keeping_newlines(&mut code[start..i]);
+            }
+            b'"' => {
+                // Plain string literal: blank the contents.
+                i += 1;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    let step = if bytes[i] == b'\\' { 2 } else { 1 };
+                    let end = (i + step).min(bytes.len());
+                    blank_keeping_newlines(&mut code[i..end]);
+                    i += step;
+                }
+                i += 1;
+            }
+            b'r' if bytes.get(i + 1) == Some(&b'"')
+                || (bytes.get(i + 1) == Some(&b'#')
+                    && !i.checked_sub(1).is_some_and(|p| is_ident(bytes[p]))) =>
+            {
+                // Raw string r"..." / r#"..."# (not an identifier ending in r).
+                if i.checked_sub(1).is_some_and(|p| is_ident(bytes[p])) {
+                    i += 1;
+                    continue;
+                }
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) != Some(&b'"') {
+                    i += 1;
+                    continue;
+                }
+                j += 1;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                let end = bytes[j..]
+                    .windows(closer.len())
+                    .position(|w| w == closer.as_slice())
+                    .map(|p| j + p)
+                    .unwrap_or(bytes.len());
+                blank_keeping_newlines(&mut code[j..end]);
+                i = (end + closer.len()).min(bytes.len());
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a literal closes with ' within
+                // a couple of bytes; a lifetime does not.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    let mut j = i + 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    let end = j.min(code.len());
+                    code[i + 1..end].fill(b' ');
+                    i = j + 1;
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    code[i + 1] = b' ';
+                    i += 3;
+                } else {
+                    i += 1; // lifetime
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Blank `#[cfg(test)] mod … { … }` blocks: tests may allocate,
+    // sleep and index freely.
+    blank_test_mods(&mut code);
+
+    // Resolve each readonly marker to the next field declaration.
+    let mut readonly_fields = Vec::new();
+    'marker: for marker_line in readonly_lines {
+        for l in marker_line..line_starts.len() {
+            let start = line_starts[l];
+            let end = line_starts
+                .get(l + 1)
+                .copied()
+                .unwrap_or(code.len())
+                .min(code.len());
+            let text = String::from_utf8_lossy(&code[start..end]);
+            let t = text.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue; // doc line (blanked) or attribute
+            }
+            let t = t.strip_prefix("pub").map(str::trim_start).unwrap_or(t);
+            let name: String = t.chars().take_while(|c| is_ident(*c as u8)).collect();
+            if !name.is_empty() && t[name.len()..].trim_start().starts_with(':') {
+                readonly_fields.push((name, l + 1));
+            }
+            continue 'marker;
+        }
+    }
+
+    FileView {
+        code,
+        line_starts,
+        hot_path,
+        readonly_fields,
+        allows,
+    }
+}
+
+/// Blanks every `#[cfg(test)]`-attributed `mod` block in place.
+fn blank_test_mods(code: &mut [u8]) {
+    let marker = b"#[cfg(test)]";
+    let mut from = 0;
+    while let Some(p) = find(code, marker, from) {
+        from = p + marker.len();
+        // The next item must be `mod name {`; skip other attributes.
+        let mut i = from;
+        loop {
+            while i < code.len() && (code[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if code.get(i) == Some(&b'#') {
+                while i < code.len() && code[i] != b']' {
+                    i += 1;
+                }
+                i += 1;
+                continue;
+            }
+            break;
+        }
+        if !slice_starts_with_word(code, i, b"mod") {
+            continue;
+        }
+        let Some(open) = code[i..].iter().position(|&b| b == b'{' || b == b';') else {
+            continue;
+        };
+        if code[i + open] == b';' {
+            continue; // out-of-line test module (a sibling file)
+        }
+        let mut depth = 0usize;
+        let mut j = i + open;
+        while j < code.len() {
+            match code[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        for k in (i + open)..=j.min(code.len() - 1) {
+            if code[k] != b'\n' {
+                code[k] = b' ';
+            }
+        }
+        from = j.min(code.len());
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+fn slice_starts_with_word(code: &[u8], at: usize, word: &[u8]) -> bool {
+    code.len() >= at + word.len()
+        && &code[at..at + word.len()] == word
+        && code.get(at + word.len()).is_none_or(|&b| !is_ident(b))
+}
+
+/// Previous non-whitespace byte before `at`.
+fn prev_sig(code: &[u8], at: usize) -> Option<u8> {
+    code[..at]
+        .iter()
+        .rev()
+        .copied()
+        .find(|b| !(*b as char).is_whitespace())
+}
+
+/// Lints one file. `path` is used for diagnostics and to decide whether
+/// the `io-error-line` rule applies (paths under `graph/src/io`).
+pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
+    let view = scan(source);
+    let mut diags = Vec::new();
+    rule_kernel_ctx(path, &view, &mut diags);
+    rule_readonly_ldg(path, &view, &mut diags);
+    if view.hot_path {
+        rule_hot_path(path, &view, &mut diags);
+    }
+    if path.replace('\\', "/").contains("graph/src/io") {
+        rule_io_error_line(path, &view, &mut diags);
+    }
+    diags.retain(|d| !view.allowed(d.line, d.rule));
+    diags.sort_by_key(|d| d.line);
+    diags
+}
+
+/// `kernel-ctx`: inside fns taking `impl KernelCtx`, flag `expr[...]`
+/// indexing (an identifier, `)` or `]` directly followed by `[`).
+fn rule_kernel_ctx(path: &str, view: &FileView, diags: &mut Vec<Diagnostic>) {
+    let code = &view.code;
+    let mut from = 0;
+    while let Some(fn_at) = find(code, b"fn ", from) {
+        from = fn_at + 3;
+        if fn_at > 0 && is_ident(code[fn_at - 1]) {
+            continue; // `…fn ` inside an identifier
+        }
+        // Parameter list: first `(…)` after the name/generics.
+        let Some(open) = code[fn_at..].iter().position(|&b| b == b'(') else {
+            continue;
+        };
+        let params_start = fn_at + open;
+        let Some(params_end) = matching(code, params_start, b'(', b')') else {
+            continue;
+        };
+        let params = &code[params_start..=params_end];
+        if find(params, b"impl KernelCtx", 0).is_none() {
+            continue;
+        }
+        // Body: `{` before any `;` means this fn has one.
+        let mut k = params_end + 1;
+        while k < code.len() && code[k] != b'{' && code[k] != b';' {
+            k += 1;
+        }
+        if k >= code.len() || code[k] == b';' {
+            continue; // trait method declaration
+        }
+        let Some(body_end) = matching(code, k, b'{', b'}') else {
+            continue;
+        };
+        let mut i = k + 1;
+        while i < body_end {
+            if code[i] == b'[' {
+                if let Some(p) = prev_sig(code, i) {
+                    if is_ident(p) || p == b')' || p == b']' {
+                        let line = view.line_of(i);
+                        diags.push(Diagnostic {
+                            file: path.to_string(),
+                            line,
+                            rule: "kernel-ctx",
+                            message: "direct indexing inside a kernel; device memory \
+                                      must go through KernelCtx (ld/ldg/st/atomics) and \
+                                      scratch through local_ld/local_st"
+                                .to_string(),
+                        });
+                    }
+                }
+                // Skip the index expression so `a[b[i]]` reports once.
+                if let Some(close) = matching(code, i, b'[', b']') {
+                    i = close;
+                }
+            }
+            i += 1;
+        }
+        from = body_end;
+    }
+}
+
+/// `readonly-ldg`: a field annotated `/// gcol-lint: readonly` may only
+/// appear (as a dotted access) in argument position of an `ldg` call.
+fn rule_readonly_ldg(path: &str, view: &FileView, diags: &mut Vec<Diagnostic>) {
+    for (field, decl_line) in &view.readonly_fields {
+        let code = &view.code;
+        // One forward pass maintaining the enclosing-call stack: the
+        // identifier token directly before each open paren.
+        let mut stack: Vec<Option<String>> = Vec::new();
+        let mut i = 0;
+        while i < code.len() {
+            match code[i] {
+                b'(' => {
+                    stack.push(callee_before(code, i));
+                    i += 1;
+                }
+                b')' => {
+                    stack.pop();
+                    i += 1;
+                }
+                b'.' if slice_starts_with_word(code, i + 1, field.as_bytes()) => {
+                    let after = i + 1 + field.len();
+                    // `.field(` is a method call named like the field,
+                    // not a buffer access.
+                    if code.get(after) == Some(&b'(') {
+                        i = after;
+                        continue;
+                    }
+                    let enclosing = stack.iter().rev().flatten().next();
+                    if enclosing.map(String::as_str) != Some("ldg") {
+                        diags.push(Diagnostic {
+                            file: path.to_string(),
+                            line: view.line_of(i),
+                            rule: "readonly-ldg",
+                            message: format!(
+                                "buffer `{field}` is marked read-only \
+                                 (gcol-lint: readonly at line {decl_line}) but is \
+                                 accessed outside an ldg() call"
+                            ),
+                        });
+                    }
+                    i = after;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+}
+
+/// Identifier token immediately before the `(` at `at` (the callee of
+/// that call), if any.
+fn callee_before(code: &[u8], at: usize) -> Option<String> {
+    let mut j = at;
+    while j > 0 && (code[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident(code[j - 1]) {
+        j -= 1;
+    }
+    if j == end {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&code[j..end]).into_owned())
+}
+
+/// `hot-path`: no time, randomness or allocation in tagged modules.
+fn rule_hot_path(path: &str, view: &FileView, diags: &mut Vec<Diagnostic>) {
+    const FORBIDDEN: &[(&str, &str)] = &[
+        ("std::time", "time"),
+        ("Instant", "time"),
+        ("SystemTime", "time"),
+        ("thread_rng", "randomness"),
+        ("rand::", "randomness"),
+        ("Vec::new", "allocation"),
+        ("Vec::with_capacity", "allocation"),
+        ("vec!", "allocation"),
+        ("Box::new", "allocation"),
+        ("String::new", "allocation"),
+        ("String::from", "allocation"),
+        ("format!", "allocation"),
+        ("to_vec", "allocation"),
+        ("to_string", "allocation"),
+        ("to_owned", "allocation"),
+        ("collect", "allocation"),
+        ("with_capacity", "allocation"),
+        ("HashMap::new", "allocation"),
+        ("HashSet::new", "allocation"),
+        ("BTreeMap::new", "allocation"),
+        ("VecDeque::new", "allocation"),
+        ("Rc::new", "allocation"),
+        ("Arc::new", "allocation"),
+    ];
+    let code = &view.code;
+    for (pat, class) in FORBIDDEN {
+        let mut from = 0;
+        while let Some(p) = find(code, pat.as_bytes(), from) {
+            from = p + pat.len();
+            let before_ok = p == 0 || !is_ident(code[p - 1]);
+            let last = pat.as_bytes()[pat.len() - 1];
+            let after_ok = !is_ident(last) || code.get(from).is_none_or(|&b| !is_ident(b));
+            if before_ok && after_ok {
+                diags.push(Diagnostic {
+                    file: path.to_string(),
+                    line: view.line_of(p),
+                    rule: "hot-path",
+                    message: format!(
+                        "`{pat}` ({class}) in a module tagged `//! gcol::hot_path`; \
+                         hot-path modules must be time-, randomness- and \
+                         allocation-free"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `io-error-line`: every variant of an `*Error` enum carries a line
+/// number. Struct variants need a `line` field; tuple variants must be
+/// `Io`/`TooLarge` or wrap another `*Error` type (delegation); unit
+/// variants are always an error.
+fn rule_io_error_line(path: &str, view: &FileView, diags: &mut Vec<Diagnostic>) {
+    let code = &view.code;
+    let mut from = 0;
+    while let Some(at) = find(code, b"enum ", from) {
+        from = at + 5;
+        if at > 0 && is_ident(code[at - 1]) {
+            continue;
+        }
+        let mut i = at + 5;
+        while i < code.len() && (code[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < code.len() && is_ident(code[i]) {
+            i += 1;
+        }
+        let name = String::from_utf8_lossy(&code[name_start..i]).into_owned();
+        if !name.ends_with("Error") {
+            continue;
+        }
+        while i < code.len() && code[i] != b'{' {
+            i += 1;
+        }
+        let Some(body_end) = matching(code, i, b'{', b'}') else {
+            continue;
+        };
+        let mut j = i + 1;
+        while j < body_end {
+            // Skip whitespace, attributes, commas.
+            while j < body_end && ((code[j] as char).is_whitespace() || code[j] == b',') {
+                j += 1;
+            }
+            if code.get(j) == Some(&b'#') {
+                while j < body_end && code[j] != b']' {
+                    j += 1;
+                }
+                j += 1;
+                continue;
+            }
+            if j >= body_end {
+                break;
+            }
+            let vstart = j;
+            while j < body_end && is_ident(code[j]) {
+                j += 1;
+            }
+            if j == vstart {
+                j += 1;
+                continue;
+            }
+            let vname = String::from_utf8_lossy(&code[vstart..j]).into_owned();
+            while j < body_end && (code[j] as char).is_whitespace() {
+                j += 1;
+            }
+            let vline = view.line_of(vstart);
+            match code.get(j) {
+                Some(&b'{') => {
+                    let vend = matching(code, j, b'{', b'}').unwrap_or(body_end);
+                    if !struct_body_has_line_field(&code[j..=vend]) {
+                        diags.push(Diagnostic {
+                            file: path.to_string(),
+                            line: vline,
+                            rule: "io-error-line",
+                            message: format!(
+                                "variant `{name}::{vname}` must carry a 1-based \
+                                 `line` field anchoring the failure to its input line"
+                            ),
+                        });
+                    }
+                    j = vend + 1;
+                }
+                Some(&b'(') => {
+                    let vend = matching(code, j, b'(', b')').unwrap_or(body_end);
+                    let payload = String::from_utf8_lossy(&code[j..=vend]).into_owned();
+                    let delegates = payload.contains("Error");
+                    let exempt = vname == "Io" || vname == "TooLarge" || delegates;
+                    if !exempt {
+                        diags.push(Diagnostic {
+                            file: path.to_string(),
+                            line: vline,
+                            rule: "io-error-line",
+                            message: format!(
+                                "tuple variant `{name}::{vname}` carries no line \
+                                 number (only `Io`, `TooLarge`, and delegation to \
+                                 another *Error type are exempt)"
+                            ),
+                        });
+                    }
+                    j = vend + 1;
+                }
+                _ => {
+                    diags.push(Diagnostic {
+                        file: path.to_string(),
+                        line: vline,
+                        rule: "io-error-line",
+                        message: format!("unit variant `{name}::{vname}` carries no line number"),
+                    });
+                }
+            }
+        }
+        from = body_end;
+    }
+}
+
+fn struct_body_has_line_field(body: &[u8]) -> bool {
+    let mut from = 0;
+    while let Some(p) = find(body, b"line", from) {
+        from = p + 4;
+        let before_ok = p == 0 || !is_ident(body[p - 1]);
+        let mut j = p + 4;
+        if before_ok && body.get(j).is_none_or(|&b| !is_ident(b)) {
+            while j < body.len() && (body[j] as char).is_whitespace() {
+                j += 1;
+            }
+            if body.get(j) == Some(&b':') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Offset of the delimiter matching the opener at `open` (which must be
+/// `opener`), or `None` if unbalanced.
+fn matching(code: &[u8], open: usize, opener: u8, closer: u8) -> Option<usize> {
+    debug_assert_eq!(code[open], opener);
+    let mut depth = 0usize;
+    for (i, &b) in code.iter().enumerate().skip(open) {
+        if b == opener {
+            depth += 1;
+        } else if b == closer {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanking_preserves_line_numbers() {
+        let v = scan("let a = 1; // comment [x]\nlet b = \"str[2]\";\n");
+        let code = String::from_utf8(v.code).unwrap();
+        assert!(!code.contains("comment"));
+        assert!(!code.contains("str[2]"));
+        assert_eq!(code.matches('\n').count(), 2);
+    }
+
+    #[test]
+    fn pragmas_are_collected() {
+        let v = scan(
+            "//! gcol::hot_path\nstruct S {\n    /// gcol-lint: readonly\n    src: Buffer<u32>,\n}\n// gcol-lint: allow(hot-path) reason\nlet x = 1;\n",
+        );
+        assert!(v.hot_path);
+        assert_eq!(v.readonly_fields, vec![("src".to_string(), 4)]);
+        assert!(v.allows.contains(&(6, "hot-path".to_string())));
+    }
+
+    #[test]
+    fn cfg_test_mods_are_skipped() {
+        let src = "fn k(t: &mut impl KernelCtx) { t.ld(b, 0); }\n#[cfg(test)]\nmod tests {\n    fn k2(t: &mut impl KernelCtx) { let x = a[0]; }\n}\n";
+        assert!(lint_file("x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,89 @@
+//! `gcol-lint` — walks every `crates/*/src/**/*.rs` in the workspace,
+//! runs the invariant rules from the library, prints one
+//! `file:line: rule: message` diagnostic per finding, and exits
+//! nonzero if anything fired. Run from the workspace root (CI does
+//! `cargo run -p gcol-lint`); pass explicit paths to lint a subset.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files = if args.is_empty() {
+        let root = workspace_root();
+        let mut files = Vec::new();
+        let crates = root.join("crates");
+        let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates) {
+            Ok(rd) => rd.filter_map(|e| e.ok()).map(|e| e.path()).collect(),
+            Err(e) => {
+                eprintln!("gcol-lint: cannot read {}: {e}", crates.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        crate_dirs.sort();
+        for dir in crate_dirs {
+            let src = dir.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files);
+            }
+        }
+        files
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut findings = 0usize;
+    let mut linted = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("gcol-lint: cannot read {}: {e}", file.display());
+                findings += 1;
+                continue;
+            }
+        };
+        linted += 1;
+        for diag in gcol_lint::lint_file(&file.display().to_string(), &source) {
+            println!("{diag}");
+            findings += 1;
+        }
+    }
+
+    if findings > 0 {
+        eprintln!("gcol-lint: {findings} finding(s) across {linted} file(s)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("gcol-lint: clean ({linted} files)");
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: `$CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// else the current directory (which must contain `crates/`).
+fn workspace_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = Path::new(&manifest);
+        if let Some(root) = p.ancestors().nth(2) {
+            if root.join("crates").is_dir() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Seeded-violation tests: each rule gets a miniature source file with
+//! a deliberate violation and the test asserts the linter fires with
+//! the right rule at the right file:line. A linter whose negative tests
+//! pass vacuously (rule never fires) is worse than no linter — these
+//! are the proof each rule actually rejects its violation class.
+
+use gcol_lint::lint_file;
+
+/// kernel-ctx: raw slice indexing inside a kernel body is rejected at
+/// the offending line; the ctx-mediated version of the same access is
+/// accepted.
+#[test]
+fn kernel_ctx_rejects_direct_indexing() {
+    let bad = "\
+fn kernel(t: &mut impl KernelCtx, colors: &[u32]) {
+    let v = t.global_id();
+    let c = colors[v as usize];
+    t.st(out, v, c);
+}
+";
+    let diags = lint_file("seed/kernel_bad.rs", bad);
+    assert_eq!(diags.len(), 1, "exactly the indexing line fires: {diags:?}");
+    assert_eq!(diags[0].rule, "kernel-ctx");
+    assert_eq!(diags[0].file, "seed/kernel_bad.rs");
+    assert_eq!(
+        diags[0].line, 3,
+        "diagnostic anchors to `colors[v as usize]`"
+    );
+
+    let good = bad.replace("colors[v as usize]", "t.ld(colors, v as usize)");
+    assert!(
+        lint_file("seed/kernel_good.rs", &good).is_empty(),
+        "the ctx-mediated access is clean"
+    );
+}
+
+/// kernel-ctx: attributes (`#[inline]`), `vec![…]` in non-kernel fns,
+/// and indexing in ordinary host functions never fire.
+#[test]
+fn kernel_ctx_ignores_host_code_and_attributes() {
+    let src = "\
+#[inline]
+fn host(data: &[u32]) -> u32 {
+    let v = vec![1, 2, 3];
+    data[0] + v[1]
+}
+
+#[inline(always)]
+fn kernel(t: &mut impl KernelCtx) {
+    let x = t.ld(buf, 0);
+    t.st(buf, 0, x + 1);
+}
+";
+    assert!(lint_file("seed/host.rs", src).is_empty());
+}
+
+/// readonly-ldg: an annotated field passed to anything but `ldg` —
+/// here an `st` call and a raw read — fires per access site.
+#[test]
+fn readonly_ldg_rejects_non_ldg_access() {
+    let bad = "\
+struct EdgeKernel {
+    /// gcol-lint: readonly
+    src: Buffer<u32>,
+    dst: Buffer<u32>,
+}
+impl EdgeKernel {
+    fn run(&self, t: &mut impl KernelCtx) {
+        let e = t.global_id() as usize;
+        let u = t.ldg(self.src, e);
+        t.st(self.src, e, u + 1);
+    }
+}
+";
+    let diags = lint_file("seed/readonly_bad.rs", bad);
+    assert_eq!(diags.len(), 1, "only the st() access fires: {diags:?}");
+    assert_eq!(diags[0].rule, "readonly-ldg");
+    assert_eq!(diags[0].line, 10, "anchors to the st(self.src, …) line");
+    assert!(diags[0].message.contains("src"));
+
+    let good = bad.replace("t.st(self.src, e, u + 1);", "t.st(self.dst, e, u + 1);");
+    assert!(
+        lint_file("seed/readonly_good.rs", &good).is_empty(),
+        "writes to the unannotated buffer are fine"
+    );
+}
+
+/// hot-path: the module tag turns allocation into an error; without the
+/// tag the same source is clean.
+#[test]
+fn hot_path_rejects_allocation_and_time() {
+    let body = "\
+fn repair(order: &mut [u32]) {
+    let t0 = std::time::Instant::now();
+    let mut scratch = Vec::new();
+    scratch.push(t0.elapsed().as_nanos() as u32);
+    order.sort_unstable();
+}
+";
+    let tagged = format!("//! gcol::hot_path\n{body}");
+    let diags = lint_file("seed/hot_bad.rs", &tagged);
+    assert!(
+        diags.iter().all(|d| d.rule == "hot-path"),
+        "only hot-path fires: {diags:?}"
+    );
+    // std::time + Instant on line 3, Vec::new on line 4.
+    assert!(
+        diags.iter().any(|d| d.line == 3),
+        "the Instant::now line fires: {diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.line == 4),
+        "the Vec::new line fires: {diags:?}"
+    );
+
+    assert!(
+        lint_file("seed/hot_untagged.rs", body).is_empty(),
+        "same source without the tag is out of scope"
+    );
+}
+
+/// io-error-line: an io error enum variant without a `line` field is
+/// rejected; the exempt shapes (Io, delegation to another *Error) pass.
+#[test]
+fn io_error_line_rejects_unanchored_variants() {
+    let bad = "\
+pub enum MtxError {
+    BadHeader { line: usize, found: String },
+    Truncated,
+    DuplicateEntry { row: u64, col: u64 },
+    Io(std::io::Error),
+    Mtx(HeaderError),
+}
+";
+    let diags = lint_file("crates/graph/src/io/seed.rs", bad);
+    assert_eq!(
+        diags.len(),
+        2,
+        "Truncated and DuplicateEntry fire: {diags:?}"
+    );
+    assert!(diags.iter().all(|d| d.rule == "io-error-line"));
+    assert_eq!(diags[0].line, 3, "unit variant `Truncated`");
+    assert_eq!(diags[1].line, 4, "struct variant without `line`");
+
+    // Outside graph/src/io the rule does not apply at all.
+    assert!(
+        lint_file("crates/core/src/seed.rs", bad).is_empty(),
+        "io-error-line is scoped to the io tree"
+    );
+}
+
+/// The allow pragma suppresses exactly its rule on the next line and
+/// nothing else.
+#[test]
+fn allow_pragma_is_line_and_rule_scoped() {
+    let src = "\
+pub enum SeedError {
+    // gcol-lint: allow(io-error-line) hint-only variant, no input line exists
+    UnknownFormat { hint: String },
+    Truncated,
+}
+";
+    let diags = lint_file("crates/graph/src/io/seed.rs", src);
+    assert_eq!(
+        diags.len(),
+        1,
+        "UnknownFormat suppressed, Truncated still fires: {diags:?}"
+    );
+    assert_eq!(diags[0].line, 4);
+}
+
+/// Violations inside comments, strings, and `#[cfg(test)]` modules are
+/// invisible to every rule.
+#[test]
+fn comments_strings_and_test_mods_are_blanked() {
+    let src = "\
+//! gcol::hot_path
+// this mentions Vec::new but is a comment
+fn f() {
+    let s = \"Instant::now() inside a string\";
+    let _ = s;
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v = Vec::new();
+        let _ = std::time::Instant::now();
+        let _ = v;
+    }
+}
+";
+    assert!(lint_file("seed/blanked.rs", src).is_empty());
+}

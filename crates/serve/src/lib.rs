@@ -37,10 +37,11 @@ pub mod json;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod sync;
 
 pub use cache::ResultCache;
 pub use server::serve_lines;
 pub use service::{
-    JobHandle, JobRequest, JobResponse, Rejection, ResultSource, ServeError, Service,
-    ServiceConfig, ServiceStats,
+    DrainController, JobHandle, JobRequest, JobResponse, Rejection, ResultSource, ServeError,
+    Service, ServiceConfig, ServiceStats,
 };

@@ -25,12 +25,12 @@
 
 use crate::proto::{self, GraphSpec, Request};
 use crate::service::{Rejection, Service, ServiceStats};
+use crate::sync::{thread, Arc, Mutex};
 use gcol_core::{recolor_delta, Coloring, JobSpec};
 use gcol_graph::io::{GraphFormat, GraphSource, IngestLimits};
 use gcol_graph::{Csr, VertexId};
 use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, Write};
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Per-connection incremental state: the graph `mutate` edits and the
@@ -88,8 +88,8 @@ where
     R: BufRead,
     W: Write + Send + 'static,
 {
-    let writer = Arc::new(Mutex::new(writer));
-    let mut responders: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let writer = Arc::new(Mutex::named("conn-writer", writer));
+    let mut responders: Vec<thread::JoinHandle<()>> = Vec::new();
     let mut graphs: HashMap<(String, u32, u64), Arc<Csr>> = HashMap::new();
     let mut session: Option<Session> = None;
     let mut upload: Option<Upload> = None;
@@ -168,6 +168,19 @@ where
                 data,
                 last,
             } => {
+                // A drain that began mid-upload resolves the upload with
+                // the same typed rejection `submit` would give: the
+                // buffer is dropped, the connection stays usable, and no
+                // graph is parsed that nothing could ever run against.
+                if service.is_draining() {
+                    let rej = Rejection::ShuttingDown;
+                    upload = None;
+                    write_line(
+                        &writer,
+                        proto::error_response(id, proto::rejection_code(&rej), &rej.to_string()),
+                    )?;
+                    continue;
+                }
                 let up = upload.get_or_insert_with(|| Upload {
                     format: None,
                     data: String::new(),
@@ -352,7 +365,7 @@ where
                     )?,
                     Ok(handle) => {
                         let writer = Arc::clone(&writer);
-                        responders.push(std::thread::spawn(move || {
+                        responders.push(thread::spawn(move || {
                             let line = match handle.wait() {
                                 Ok(r) => proto::ok_response(id, &r, assignment),
                                 Err(e) => proto::error_response(

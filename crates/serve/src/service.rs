@@ -32,11 +32,11 @@
 //!   second queue slot.
 
 use crate::cache::ResultCache;
+use crate::sync::{thread, Arc, Condvar, Mutex};
 use gcol_core::{ColorError, Coloring, Fingerprint, JobSpec};
 use gcol_graph::Csr;
 use gcol_simt::Device;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Service tuning knobs.
@@ -314,7 +314,27 @@ struct Inner {
 /// The service. See the module docs for the request lifecycle.
 pub struct Service {
     inner: Arc<Inner>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+/// Cloneable handle that can observe and begin a drain from outside the
+/// thread that owns the [`Service`] — a signal handler, or a test
+/// driving [`crate::serve_lines`] (which consumes the service by value).
+#[derive(Clone)]
+pub struct DrainController {
+    inner: Arc<Inner>,
+}
+
+impl DrainController {
+    /// Same as [`Service::begin_drain`].
+    pub fn begin_drain(&self) {
+        begin_drain(&self.inner);
+    }
+
+    /// Whether a drain has begun (new submissions are being rejected).
+    pub fn is_draining(&self) -> bool {
+        self.inner.state.lock().unwrap().draining
+    }
 }
 
 impl Service {
@@ -322,21 +342,24 @@ impl Service {
     /// the running service.
     pub fn start(config: ServiceConfig) -> Self {
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                inflight: HashMap::new(),
-                cache: ResultCache::new(config.cache_capacity),
-                counters: Counters::default(),
-                draining: false,
-                latencies_ms: Vec::new(),
-            }),
+            state: Mutex::named(
+                "serve-state",
+                State {
+                    queue: VecDeque::new(),
+                    inflight: HashMap::new(),
+                    cache: ResultCache::new(config.cache_capacity),
+                    counters: Counters::default(),
+                    draining: false,
+                    latencies_ms: Vec::new(),
+                },
+            ),
             work_cv: Condvar::new(),
             config,
         });
         let workers = (0..inner.config.num_workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("gcol-serve-worker-{i}"))
                     .spawn(move || worker_loop(&inner))
                     .expect("spawn worker")
@@ -360,7 +383,7 @@ impl Service {
             fingerprint: fp,
             submitted: now,
             deadline: req.deadline.map(|d| now + d),
-            done: Mutex::new(None),
+            done: Mutex::named("job-cell", None),
             cv: Condvar::new(),
         });
 
@@ -439,11 +462,22 @@ impl Service {
     /// [`Rejection::ShuttingDown`] — without blocking. Already-accepted
     /// jobs keep executing; [`Service::shutdown`] completes the drain.
     pub fn begin_drain(&self) {
-        {
-            let mut st = self.inner.state.lock().unwrap();
-            st.draining = true;
+        begin_drain(&self.inner);
+    }
+
+    /// Whether a drain has begun. The protocol server checks this so an
+    /// in-progress `load` upload resolves with a typed rejection instead
+    /// of parsing a graph no job could ever be submitted against.
+    pub fn is_draining(&self) -> bool {
+        self.inner.state.lock().unwrap().draining
+    }
+
+    /// A handle for beginning/observing drain after the service itself
+    /// has been moved (e.g. into [`crate::serve_lines`]).
+    pub fn controller(&self) -> DrainController {
+        DrainController {
+            inner: Arc::clone(&self.inner),
         }
-        self.inner.work_cv.notify_all();
     }
 
     /// Stops accepting new jobs, drains every queued and in-flight
@@ -520,6 +554,14 @@ impl Service {
             p99_ms: pct(0.99),
         }
     }
+}
+
+fn begin_drain(inner: &Inner) {
+    {
+        let mut st = inner.state.lock().unwrap();
+        st.draining = true;
+    }
+    inner.work_cv.notify_all();
 }
 
 impl State {

@@ -1,0 +1,407 @@
+//! Synchronization facade: every lock, condvar and thread the serve
+//! layer uses goes through this module, so the whole layer can be
+//! compiled against two backends:
+//!
+//! * **std** (the default): thin wrappers over `std::sync`, plus — in
+//!   debug builds — the [`lock_order`] tracker, which records the
+//!   runtime lock-acquisition graph of [named](Mutex::named) mutex
+//!   classes and detects ordering cycles (the static shadow of a
+//!   deadlock) long before a schedule actually deadlocks.
+//! * **loom** (`RUSTFLAGS="--cfg loom"`): the model-checking backend.
+//!   `cargo test -p gcol-serve --test loom` then explores *every*
+//!   bounded interleaving of the admission queue, coalescing map, cache
+//!   fill and drain machinery instead of the handful a normal run
+//!   happens to hit. See `third_party/loom` for the explorer itself.
+//!
+//! The wrappers keep `std::sync` signatures (`lock()` returns a
+//! `LockResult`, condvar `wait` consumes and returns the guard) so code
+//! written against this module reads exactly like code written against
+//! `std::sync` — the facade is a compile-time switch, not an API.
+//!
+//! `Arc` is deliberately re-exported from `std` under both backends:
+//! the loom shim does not model drop/ref-count interleavings, and
+//! keeping one `Arc` type lets non-sync code share it freely.
+
+pub use std::sync::Arc;
+use std::sync::LockResult;
+
+#[cfg(loom)]
+use loom::sync as imp;
+#[cfg(not(loom))]
+use std::sync as imp;
+
+/// Model-aware threads: `std::thread` normally, loom's cooperative
+/// model threads under `--cfg loom`.
+pub mod thread {
+    #[cfg(loom)]
+    pub use loom::thread::{spawn, yield_now, Builder, JoinHandle};
+    #[cfg(not(loom))]
+    pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+}
+
+/// Mutex wrapper: backend-switched, never poisons (a panicked holder's
+/// poison is swallowed on the std backend — the serve layer treats
+/// panics as bugs, not states to propagate through locks), and
+/// optionally [named](Mutex::named) into a lock-order class.
+pub struct Mutex<T> {
+    class: Option<&'static str>,
+    inner: imp::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// An anonymous mutex: tracked backend-wise but not part of the
+    /// lock-order graph.
+    pub fn new(value: T) -> Self {
+        Self {
+            class: None,
+            inner: imp::Mutex::new(value),
+        }
+    }
+
+    /// A mutex belonging to the named lock-order class. Every
+    /// acquisition while another class is held records an edge in the
+    /// [`lock_order`] graph (debug builds, std backend).
+    pub fn named(class: &'static str, value: T) -> Self {
+        Self {
+            class: Some(class),
+            inner: imp::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock. The `LockResult` is always `Ok` (see the type
+    /// docs on poisoning); the signature mirrors `std::sync::Mutex` so
+    /// call sites read identically.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some(c) = self.class {
+            lock_order::acquire(c);
+        }
+        let inner = lock_unpoisoned(&self.inner);
+        Ok(MutexGuard {
+            class: self.class,
+            inner: Some(inner),
+        })
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex")
+            .field("class", &self.class)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(not(loom))]
+fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(loom)]
+fn lock_unpoisoned<T>(m: &loom::sync::Mutex<T>) -> loom::sync::MutexGuard<'_, T> {
+    m.lock()
+        .unwrap_or_else(|_| unreachable!("loom mutexes never poison"))
+}
+
+/// Guard for [`Mutex`]; releases the lock (and pops the lock-order
+/// class) on drop.
+pub struct MutexGuard<'a, T> {
+    class: Option<&'static str>,
+    inner: Option<imp::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(c) = self.class {
+            lock_order::release(c);
+        }
+    }
+}
+
+/// Condition variable wrapper, backend-switched like [`Mutex`].
+pub struct Condvar {
+    inner: imp::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// A new condvar with no waiters.
+    pub fn new() -> Self {
+        Self {
+            inner: imp::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's mutex and parks until notified,
+    /// then re-acquires. The lock-order class is popped for the duration
+    /// of the wait (the lock is genuinely not held).
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let class = guard.class.take();
+        let inner = guard.inner.take().expect("guard live");
+        drop(guard);
+        if let Some(c) = class {
+            lock_order::release(c);
+        }
+        let inner = match self.inner.wait(inner) {
+            Ok(g) => g,
+            Err(e) => wait_unpoisoned(e),
+        };
+        if let Some(c) = class {
+            lock_order::acquire(c);
+        }
+        Ok(MutexGuard {
+            class,
+            inner: Some(inner),
+        })
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one()
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+#[cfg(not(loom))]
+fn wait_unpoisoned<T>(
+    e: std::sync::PoisonError<std::sync::MutexGuard<'_, T>>,
+) -> std::sync::MutexGuard<'_, T> {
+    e.into_inner()
+}
+
+#[cfg(loom)]
+fn wait_unpoisoned<T>(
+    _: std::sync::PoisonError<loom::sync::MutexGuard<'_, T>>,
+) -> loom::sync::MutexGuard<'_, T> {
+    unreachable!("loom condvars never poison")
+}
+
+/// Runtime lock-order tracking over the [named](Mutex::named) mutex
+/// classes (debug builds, std backend; compiled out elsewhere).
+///
+/// Whenever a thread acquires a named mutex while holding another, the
+/// pair `(held → acquired)` becomes an edge in a process-global directed
+/// graph. A cycle in that graph means two schedules exist that acquire
+/// the same classes in opposite orders — the precondition for an
+/// AB/BA deadlock — even if no observed schedule has deadlocked yet.
+/// Cycles are detected at edge-insert time and recorded (not panicked:
+/// detection may run inside a lock acquisition deep in a worker);
+/// integration tests call [`lock_order::assert_acyclic`] at the end to
+/// fail loudly.
+pub mod lock_order {
+    #[cfg(all(debug_assertions, not(loom)))]
+    mod imp {
+        use std::cell::RefCell;
+        use std::collections::{BTreeMap, BTreeSet};
+        use std::sync::Mutex as StdMutex;
+
+        struct Graph {
+            /// class → classes acquired while it was held.
+            edges: BTreeMap<&'static str, BTreeSet<&'static str>>,
+            violations: Vec<String>,
+        }
+
+        static GRAPH: StdMutex<Option<Graph>> = StdMutex::new(None);
+
+        thread_local! {
+            static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        }
+
+        /// Is `to` reachable from `from` along recorded edges?
+        fn reachable(g: &Graph, from: &'static str, to: &'static str) -> bool {
+            let mut stack = vec![from];
+            let mut seen = BTreeSet::new();
+            while let Some(n) = stack.pop() {
+                if n == to {
+                    return true;
+                }
+                if seen.insert(n) {
+                    if let Some(next) = g.edges.get(n) {
+                        stack.extend(next.iter().copied());
+                    }
+                }
+            }
+            false
+        }
+
+        pub fn acquire(class: &'static str) {
+            let held: Vec<&'static str> = HELD.with(|h| h.borrow().clone());
+            if !held.is_empty() {
+                let mut slot = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+                let g = slot.get_or_insert_with(|| Graph {
+                    edges: BTreeMap::new(),
+                    violations: Vec::new(),
+                });
+                for h in held {
+                    if h == class {
+                        // Recursive acquisition of the same class is its
+                        // own violation (self-deadlock with one thread).
+                        g.violations.push(format!(
+                            "lock-order: class {class:?} acquired while already held \
+                             by the same thread"
+                        ));
+                        continue;
+                    }
+                    if g.edges.entry(h).or_default().insert(class) && reachable(g, class, h) {
+                        g.violations.push(format!(
+                            "lock-order cycle: edge {h:?} -> {class:?} closes a cycle \
+                             (some schedule acquires these classes in the opposite order)"
+                        ));
+                    }
+                }
+            }
+            HELD.with(|h| h.borrow_mut().push(class));
+        }
+
+        pub fn release(class: &'static str) {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                // Guards may drop out of acquisition order; pop the most
+                // recent instance of this class.
+                if let Some(i) = h.iter().rposition(|c| *c == class) {
+                    h.remove(i);
+                }
+            });
+        }
+
+        pub fn violations() -> Vec<String> {
+            GRAPH
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .map(|g| g.violations.clone())
+                .unwrap_or_default()
+        }
+
+        pub fn edges() -> Vec<(&'static str, &'static str)> {
+            GRAPH
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .map(|g| {
+                    g.edges
+                        .iter()
+                        .flat_map(|(h, ts)| ts.iter().map(move |t| (*h, *t)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        }
+    }
+
+    #[cfg(not(all(debug_assertions, not(loom))))]
+    mod imp {
+        pub fn acquire(_class: &'static str) {}
+        pub fn release(_class: &'static str) {}
+        pub fn violations() -> Vec<String> {
+            Vec::new()
+        }
+        pub fn edges() -> Vec<(&'static str, &'static str)> {
+            Vec::new()
+        }
+    }
+
+    pub(super) use imp::{acquire, release};
+
+    /// Every lock-order violation recorded so far (cycles and recursive
+    /// same-class acquisitions). Empty in release builds and under loom.
+    pub fn violations() -> Vec<String> {
+        imp::violations()
+    }
+
+    /// The recorded acquisition edges `(held, acquired)`. Empty in
+    /// release builds and under loom.
+    pub fn edges() -> Vec<(&'static str, &'static str)> {
+        imp::edges()
+    }
+
+    /// Panics if any lock-order violation has been recorded. Call at the
+    /// end of integration tests that exercised concurrent paths.
+    pub fn assert_acyclic() {
+        let v = violations();
+        assert!(
+            v.is_empty(),
+            "lock-order violations recorded:\n  {}",
+            v.join("\n  ")
+        );
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_roundtrip_and_condvar() {
+        let m = Mutex::new(0u32);
+        *m.lock().unwrap() = 7;
+        assert_eq!(*m.lock().unwrap(), 7);
+        let cv = Condvar::new();
+        cv.notify_one(); // no waiters: must not panic
+        cv.notify_all();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lock_order_cycle_detected() {
+        // Classes unique to this test so parallel tests cannot pollute
+        // the edges under scrutiny.
+        let a = Mutex::named("t-cycle-a", ());
+        let b = Mutex::named("t-cycle-b", ());
+        {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap(); // a -> b
+        }
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap(); // b -> a: closes the cycle
+        }
+        let v = lock_order::violations();
+        assert!(
+            v.iter().any(|m| m.contains("t-cycle")),
+            "cycle between test classes not recorded: {v:?}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn consistent_order_records_edges_without_violation() {
+        let outer = Mutex::named("t-order-outer", ());
+        let inner = Mutex::named("t-order-inner", ());
+        for _ in 0..3 {
+            let _g1 = outer.lock().unwrap();
+            let _g2 = inner.lock().unwrap();
+        }
+        assert!(lock_order::edges().contains(&("t-order-outer", "t-order-inner")));
+        assert!(!lock_order::violations()
+            .iter()
+            .any(|m| m.contains("t-order")));
+    }
+}

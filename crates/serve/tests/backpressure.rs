@@ -207,3 +207,40 @@ fn duplicate_submissions_coalesce_and_repeats_hit_the_cache() {
     assert_eq!(stats.coalesced, 1);
     assert_eq!(stats.cache_hits, 1);
 }
+
+/// Debug builds record the lock-acquisition graph of the named mutex
+/// classes (`serve-state`, `job-cell`, `conn-writer`); after driving the
+/// worker pool, coalescing and cache concurrently, the graph must stay
+/// acyclic — a cycle means two schedules acquire classes in opposite
+/// orders, the precondition for an AB/BA deadlock the loom suite would
+/// then have to find.
+#[test]
+fn concurrent_load_keeps_the_lock_order_acyclic() {
+    let svc = Arc::new(Service::start(ServiceConfig {
+        num_workers: 3,
+        queue_capacity: 32,
+        ..ServiceConfig::default()
+    }));
+    let g = small_graph(11);
+    let submitters: Vec<_> = (0..4)
+        .map(|t| {
+            let svc = Arc::clone(&svc);
+            let g = Arc::clone(&g);
+            std::thread::spawn(move || {
+                for i in 0..8 {
+                    // A mix of duplicates (coalesce/cache) and distinct jobs.
+                    if let Ok(h) = svc.submit(JobRequest::new(Arc::clone(&g), native_spec(i % 3))) {
+                        let _ = h.wait();
+                    }
+                    let _ = t;
+                }
+            })
+        })
+        .collect();
+    for s in submitters {
+        s.join().unwrap();
+    }
+    let svc = Arc::try_unwrap(svc).unwrap_or_else(|_| panic!("handles leaked"));
+    svc.shutdown();
+    gcol_serve::sync::lock_order::assert_acyclic();
+}

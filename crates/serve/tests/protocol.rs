@@ -553,3 +553,110 @@ fn shutdown_request_acks_and_stops_reading() {
     );
     assert_eq!(stats.accepted, 1);
 }
+
+/// The protocol server adds the `conn-writer` class (responder threads
+/// write under it while job cells resolve): after full pipelined
+/// sessions, the recorded acquisition graph must still be acyclic.
+#[test]
+fn pipelined_sessions_keep_the_lock_order_acyclic() {
+    let input = concat!(
+        r#"{"id":1,"op":"color","graph":{"gen":"rmat","scale":5,"seed":3}}"#,
+        "\n",
+        r#"{"id":2,"op":"color","graph":{"gen":"rmat","scale":5,"seed":3}}"#,
+        "\n",
+        r#"{"id":3,"op":"color","graph":{"gen":"rmat","scale":5,"seed":4},"backend":"native"}"#,
+        "\n",
+        r#"{"id":4,"op":"stats"}"#,
+        "\n",
+    );
+    let (lines, _) = run_session(input);
+    assert_eq!(by_id(&lines).len(), 4);
+    gcol_serve::sync::lock_order::assert_acyclic();
+}
+
+/// A `Read` that hands out one scripted line per call and fires
+/// `begin_drain` at a chosen line boundary — the deterministic stand-in
+/// for a drain signal landing mid-upload.
+struct DrainBetween {
+    lines: Vec<Vec<u8>>,
+    next: usize,
+    drain_before: usize,
+    ctl: gcol_serve::DrainController,
+}
+
+impl std::io::Read for DrainBetween {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.next >= self.lines.len() {
+            return Ok(0);
+        }
+        if self.next == self.drain_before {
+            self.ctl.begin_drain();
+        }
+        let line = &self.lines[self.next];
+        assert!(buf.len() >= line.len(), "test lines fit one read");
+        buf[..line.len()].copy_from_slice(line);
+        self.next += 1;
+        Ok(line.len())
+    }
+}
+
+/// Shutdown edge: a chunked `load` is mid-upload when `begin_drain`
+/// fires. The connection must resolve cleanly — the remaining chunks get
+/// the same typed `shutting-down` rejection a `submit` would, the
+/// accumulated buffer is dropped (no graph is parsed, no session
+/// installed), and `serve_lines` returns instead of hanging.
+#[test]
+fn upload_in_progress_when_drain_fires_resolves_typed() {
+    let svc = Service::start(ServiceConfig {
+        num_workers: 1,
+        ..ServiceConfig::default()
+    });
+    let ctl = svc.controller();
+    let script = [
+        // Chunk 1 arrives before the drain…
+        r#"{"id":1,"op":"load","format":"edges","data":"0 1\n1 2\n","last":false}"#,
+        // …the drain fires here…
+        r#"{"id":2,"op":"load","data":"2 3\n","last":true}"#,
+        // …and a fresh request on the drained connection is also typed.
+        r#"{"id":3,"op":"color","graph":{"gen":"rmat","scale":4,"seed":1},"backend":"native"}"#,
+    ];
+    let reader = std::io::BufReader::new(DrainBetween {
+        lines: script
+            .iter()
+            .map(|l| format!("{l}\n").into_bytes())
+            .collect(),
+        next: 0,
+        drain_before: 1,
+        ctl,
+    });
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let resolve = |name: &str, scale: u32, seed: u64| match name {
+        "rmat" => Ok(Arc::new(gen::rmat(RmatParams::erdos_renyi(scale, 8), seed))),
+        other => Err(format!("unknown graph generator '{other}'")),
+    };
+    let stats = serve_lines(svc, reader, buf.clone(), &resolve).unwrap();
+    let bytes = buf.0.lock().unwrap().clone();
+    let lines: Vec<Json> = String::from_utf8(bytes)
+        .unwrap()
+        .lines()
+        .map(|l| json::parse(l).expect("valid JSON"))
+        .collect();
+    let resp = by_id(&lines);
+    assert_eq!(
+        resp[&1].get("status").and_then(Json::as_str),
+        Some("loading"),
+        "pre-drain chunk was accepted"
+    );
+    assert_eq!(
+        resp[&2].get("error").and_then(Json::as_str),
+        Some("shutting-down"),
+        "mid-upload drain resolves the upload with the typed rejection"
+    );
+    assert_eq!(
+        resp[&3].get("error").and_then(Json::as_str),
+        Some("shutting-down"),
+        "post-drain submissions are rejected the same way"
+    );
+    assert_eq!(stats.accepted, 0, "the dropped upload never became a job");
+    gcol_serve::sync::lock_order::assert_acyclic();
+}

@@ -57,6 +57,7 @@ use crate::backend::Backend;
 use crate::kernel::{CoopKernel, Kernel, KernelCtx};
 use crate::mem::{Buffer, GpuMem, Word};
 use crate::profile::RunProfile;
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Mutex;
@@ -115,8 +116,9 @@ struct Immediate {
     thread: u32,
 }
 
-/// The class of a sanitizer [`Finding`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// The class of a sanitizer [`Finding`]. Serializes as the variant name
+/// (`"WarpSpecRace"`), which is what the checked-in CI baselines key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum FindingKind {
     /// Two threads plain-store conflicting values to one word.
     StStRace,
@@ -164,7 +166,7 @@ impl FindingKind {
 }
 
 /// One analyzed violation (or benign-race observation).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct Finding {
     /// The violation class.
     pub kind: FindingKind,
@@ -211,7 +213,7 @@ impl fmt::Display for Finding {
 
 /// The cumulative result of every launch analyzed by a
 /// [`SanitizeBackend`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct SanitizerReport {
     /// Deduplicated findings in discovery order.
     pub findings: Vec<Finding>,

@@ -1,0 +1,963 @@
+//! Offline stand-in for the [`loom`](https://docs.rs/loom) concurrency
+//! model checker.
+//!
+//! The real loom is unreachable from this build environment, so this shim
+//! implements the core idea from scratch: run a test body many times,
+//! exhaustively enumerating the order in which its threads interleave at
+//! *synchronization points* (mutex acquisitions, condvar waits, atomic
+//! operations, spawns, joins), so that order-dependent bugs are found
+//! systematically instead of by luck.
+//!
+//! # How it works
+//!
+//! Every thread spawned inside [`model`] is a real OS thread, but only
+//! one runs at a time: a cooperative `Scheduler` owns an `active`
+//! token, and each loom primitive calls back into the scheduler at a
+//! *choice point*, where the scheduler picks which runnable thread runs
+//! next. The sequence of choices is recorded; after the execution
+//! completes, the driver backtracks depth-first — the last choice point
+//! with an unexplored alternative is advanced and the prefix replayed —
+//! until the whole (preemption-bounded) schedule tree is exhausted.
+//!
+//! Blocking is modeled, not spun: a thread that would block (contended
+//! mutex, condvar wait, join on a live thread) is parked in a
+//! `Blocked*` state and only becomes schedulable again when the event it
+//! waits for happens. A state where no thread is runnable and not all
+//! have finished is reported as a **deadlock** with the blocked-thread
+//! states in the panic message.
+//!
+//! # Preemption bounding
+//!
+//! Exhaustive interleaving is exponential; like real loom, the explorer
+//! bounds the number of *preemptions* per execution — choice points
+//! where a runnable current thread is descheduled in favor of another.
+//! Most concurrency bugs need very few preemptions (the classic result
+//! behind CHESS-style bounded search), so the default bound of 2 already
+//! covers the bug classes these tests target while keeping runs fast.
+//! `LOOM_MAX_PREEMPTIONS` raises it (the nightly CI job does).
+//!
+//! # Honest differences vs real loom
+//!
+//! * **Sequential consistency only.** Because exactly one thread runs at
+//!   a time, every atomic behaves as `SeqCst`; relaxed-memory reorderings
+//!   that real loom models (its C11 memory-model layer) are not explored.
+//! * **`notify_one` wakes the longest waiter** (FIFO) instead of
+//!   branching over every waiter choice, and condvars never wake
+//!   spuriously. Code must still tolerate wakeups via the standard
+//!   `while` re-check pattern — a missing loop shows up as an assertion
+//!   failure on some schedule, not as a missed wakeup.
+//! * **`sync::Arc` is `std::sync::Arc`** — drop/ref-count interleavings
+//!   are not explored.
+//! * Executions must be deterministic given the schedule (no wall-clock
+//!   branching, no randomness); a replay divergence aborts with a
+//!   "nondeterministic execution" panic rather than exploring garbage.
+//!
+//! Environment knobs: `LOOM_MAX_PREEMPTIONS` (default 2),
+//! `LOOM_MAX_ITERATIONS` (default 100 000 executions — exceeding it is a
+//! *failure*, not a silent truncation), `LOOM_LOG=1` prints the explored
+//! execution count.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Payload used to unwind threads of an aborted execution (first panic or
+/// detected deadlock wins; the rest are torn down with this token and
+/// their unwinds discarded).
+struct AbortToken;
+
+/// Hard cap on sync operations in one execution — a runaway model (e.g.
+/// a spin loop around an atomic) fails loudly instead of hanging CI.
+const MAX_OPS_PER_EXECUTION: u64 = 1_000_000;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TState {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedCondvar { cv: u64, seq: u64 },
+    BlockedJoin(usize),
+    Finished,
+}
+
+/// One recorded scheduling decision: which position of the runnable set
+/// was taken, out of how many options. The driver's DFS advances `pos`
+/// on backtrack.
+#[derive(Clone, Copy, Debug)]
+struct ChoiceRec {
+    pos: usize,
+    len: usize,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    /// Thread currently holding the run token.
+    active: usize,
+    /// Index of the next choice point within `path`.
+    step: usize,
+    /// Replay prefix (from the driver) extended in place by new choices.
+    path: Vec<ChoiceRec>,
+    preemptions: usize,
+    wait_seq: u64,
+    ops: u64,
+    aborting: bool,
+    failure: Option<Box<dyn Any + Send>>,
+    all_done: bool,
+}
+
+struct Scheduler {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+    max_preemptions: usize,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    fn new(prefix: Vec<ChoiceRec>, max_preemptions: usize) -> Self {
+        Self {
+            state: StdMutex::new(SchedState {
+                threads: vec![TState::Runnable],
+                active: 0,
+                step: 0,
+                path: prefix,
+                preemptions: 0,
+                wait_seq: 0,
+                ops: 0,
+                aborting: false,
+                failure: None,
+                all_done: false,
+            }),
+            cv: StdCondvar::new(),
+            max_preemptions,
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Picks the next thread to run. `current_runnable` says whether the
+    /// calling thread stays schedulable (a plain choice point) or is
+    /// blocking/finishing. Returns the chosen thread, or `None` when the
+    /// execution is complete or aborting.
+    fn choose_next(
+        &self,
+        st: &mut SchedState,
+        current: usize,
+        current_runnable: bool,
+    ) -> Option<usize> {
+        if st.aborting {
+            return None;
+        }
+        st.ops += 1;
+        if st.ops > MAX_OPS_PER_EXECUTION {
+            self.abort(
+                st,
+                format!(
+                    "loom: execution exceeded {MAX_OPS_PER_EXECUTION} sync operations \
+                     (livelock in the model?)"
+                ),
+            );
+            return None;
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| matches!(t, TState::Finished)) {
+                st.all_done = true;
+                self.cv.notify_all();
+            } else {
+                self.abort(
+                    st,
+                    format!("loom: deadlock detected; thread states: {:?}", st.threads),
+                );
+            }
+            return None;
+        }
+        // Preemption bound: once spent, a still-runnable current thread
+        // keeps running (the only option offered, so DFS records no
+        // branch here).
+        let options: Vec<usize> = if current_runnable && st.preemptions >= self.max_preemptions {
+            vec![current]
+        } else {
+            runnable
+        };
+        let pos = if st.step < st.path.len() {
+            let rec = st.path[st.step];
+            if rec.len != options.len() {
+                self.abort(
+                    st,
+                    format!(
+                        "loom: nondeterministic execution: replay step {} saw {} options, \
+                         recorded {} (model must not branch on time or randomness)",
+                        st.step,
+                        options.len(),
+                        rec.len
+                    ),
+                );
+                return None;
+            }
+            rec.pos
+        } else {
+            st.path.push(ChoiceRec {
+                pos: 0,
+                len: options.len(),
+            });
+            0
+        };
+        st.step += 1;
+        let chosen = options[pos];
+        if current_runnable && chosen != current {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        Some(chosen)
+    }
+
+    /// Flags the execution as failed and wakes every parked thread so it
+    /// can unwind with [`AbortToken`].
+    fn abort(&self, st: &mut SchedState, msg: String) {
+        if !st.aborting {
+            st.aborting = true;
+            st.failure = Some(Box::new(msg));
+        }
+        self.cv.notify_all();
+    }
+
+    /// A plain choice point: the calling thread stays runnable and waits
+    /// until it is scheduled again.
+    fn switch(&self, id: usize) {
+        let mut st = self.lock();
+        match self.choose_next(&mut st, id, true) {
+            Some(next) if next == id => return,
+            Some(_) => self.cv.notify_all(),
+            None => {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+        }
+        self.wait_for_turn(st, id);
+    }
+
+    /// Parks the calling thread in `state` until something wakes it and
+    /// the scheduler picks it.
+    fn block(&self, id: usize, state: TState) {
+        let mut st = self.lock();
+        st.threads[id] = state;
+        if self.choose_next(&mut st, id, false).is_none() {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        self.cv.notify_all();
+        self.wait_for_turn(st, id);
+    }
+
+    fn wait_for_turn(&self, mut st: std::sync::MutexGuard<'_, SchedState>, id: usize) {
+        while st.active != id && !st.aborting {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+    }
+
+    /// Marks every thread blocked on `mutex_id` runnable again (the lock
+    /// was released; they re-contend at their next scheduling).
+    fn wake_mutex_waiters(&self, mutex_id: u64) {
+        let mut st = self.lock();
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedMutex(mutex_id) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    fn thread_finished(&self, id: usize, payload: Option<Box<dyn Any + Send>>) {
+        let mut st = self.lock();
+        st.threads[id] = TState::Finished;
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedJoin(id) {
+                *t = TState::Runnable;
+            }
+        }
+        if let Some(p) = payload {
+            if !st.aborting {
+                st.aborting = true;
+                st.failure = Some(p);
+            }
+        }
+        if st.aborting {
+            if st.threads.iter().all(|t| matches!(t, TState::Finished)) {
+                st.all_done = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if self.choose_next(&mut st, id, false).is_some() {
+            self.cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Ctx {
+    sched: StdArc<Scheduler>,
+    id: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Ctx {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+/// A scheduling point, from inside the model.
+fn point() {
+    let c = ctx();
+    c.sched.switch(c.id);
+}
+
+fn thread_main(sched: StdArc<Scheduler>, id: usize, body: impl FnOnce()) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            sched: StdArc::clone(&sched),
+            id,
+        })
+    });
+    // Wait to be scheduled for the first time.
+    {
+        let mut st = sched.lock();
+        while st.active != id && !st.aborting {
+            st = sched.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    let result = panic::catch_unwind(AssertUnwindSafe(body));
+    let payload = match result {
+        Ok(()) => None,
+        Err(p) if p.is::<AbortToken>() => None,
+        Err(p) => Some(p),
+    };
+    sched.thread_finished(id, payload);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Serializes concurrent `model()` calls (e.g. `cargo test` running two
+/// loom tests on different harness threads): the panic-hook swap below is
+/// process-global.
+static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Exploration settings; the [`model`] function uses the defaults.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum preemptive context switches per execution
+    /// (`LOOM_MAX_PREEMPTIONS`, default 2).
+    pub preemption_bound: Option<usize>,
+    /// Maximum executions before the exploration itself fails
+    /// (`LOOM_MAX_ITERATIONS`, default 100 000).
+    pub max_iterations: Option<usize>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// Settings from the environment (or the defaults).
+    pub fn new() -> Self {
+        Self {
+            preemption_bound: None,
+            max_iterations: None,
+        }
+    }
+
+    /// Explores every schedule of `f` within the preemption bound,
+    /// propagating the first panic (with its original payload) and
+    /// reporting deadlocks. Returns normally iff every schedule does.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let max_preemptions = self
+            .preemption_bound
+            .unwrap_or_else(|| env_usize("LOOM_MAX_PREEMPTIONS", 2));
+        let max_iterations = self
+            .max_iterations
+            .unwrap_or_else(|| env_usize("LOOM_MAX_ITERATIONS", 100_000));
+        let _guard = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        // Silence the torn-down threads' AbortToken unwinds; real panics
+        // still print (and are re-raised on the test thread below).
+        let prev_hook = panic::take_hook();
+        panic::set_hook(Box::new(|info| {
+            if !info.payload().is::<AbortToken>() {
+                let loc = info
+                    .location()
+                    .map(|l| format!("{}:{}:{}", l.file(), l.line(), l.column()))
+                    .unwrap_or_default();
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "Box<dyn Any>".into());
+                eprintln!("loom model thread panicked at {loc}:\n{msg}");
+            }
+        }));
+        let restore = |hook: Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync>| {
+            let _ = panic::take_hook();
+            panic::set_hook(hook);
+        };
+
+        let f = StdArc::new(f);
+        let mut prefix: Vec<ChoiceRec> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            if iterations > max_iterations {
+                restore(prev_hook);
+                panic!(
+                    "loom: exploration exceeded {max_iterations} executions \
+                     (raise LOOM_MAX_ITERATIONS or shrink the model)"
+                );
+            }
+            let sched = StdArc::new(Scheduler::new(std::mem::take(&mut prefix), max_preemptions));
+            {
+                let body = StdArc::clone(&f);
+                let s = StdArc::clone(&sched);
+                let os = std::thread::Builder::new()
+                    .name("loom-root".into())
+                    .spawn(move || thread_main(s, 0, move || body()))
+                    .expect("spawn loom root");
+                sched
+                    .os_handles
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(os);
+            }
+            // Root starts active (active == 0); wait for the execution.
+            let (path, failure) = {
+                let mut st = sched.lock();
+                while !st.all_done {
+                    st = sched.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+                (std::mem::take(&mut st.path), st.failure.take())
+            };
+            for h in sched
+                .os_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+            {
+                let _ = h.join();
+            }
+            if let Some(p) = failure {
+                restore(prev_hook);
+                panic::resume_unwind(p);
+            }
+            // Depth-first backtrack: advance the deepest choice with an
+            // unexplored alternative, drop exhausted tail choices.
+            prefix = path;
+            loop {
+                match prefix.last_mut() {
+                    None => break,
+                    Some(last) if last.pos + 1 < last.len => {
+                        last.pos += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        prefix.pop();
+                    }
+                }
+            }
+            if prefix.is_empty() {
+                break;
+            }
+        }
+        restore(prev_hook);
+        if std::env::var("LOOM_LOG").is_ok() {
+            eprintln!(
+                "loom: explored {iterations} executions (preemption bound {max_preemptions})"
+            );
+        }
+    }
+}
+
+/// Explores every schedule of `f` with the default bounds. See [`Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+// ---------------------------------------------------------------------------
+// loom::thread
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacement for `std::thread`.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a model thread; joining blocks (in model time) until the
+    /// thread finishes.
+    pub struct JoinHandle<T> {
+        id: usize,
+        slot: StdArc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its result. A child
+        /// panic aborts the whole model, so this only resolves `Ok`.
+        pub fn join(self) -> std::thread::Result<T> {
+            let c = ctx();
+            loop {
+                {
+                    let st = c.sched.lock();
+                    if matches!(st.threads[self.id], TState::Finished) {
+                        break;
+                    }
+                }
+                c.sched.block(c.id, TState::BlockedJoin(self.id));
+            }
+            let v = self
+                .slot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .take()
+                .expect("joined thread left no result");
+            Ok(v)
+        }
+    }
+
+    /// Spawns a model thread.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Builder::new().spawn(f).expect("loom spawn")
+    }
+
+    /// Yields the current thread at a scheduling point.
+    pub fn yield_now() {
+        point();
+    }
+
+    /// Mirror of `std::thread::Builder` (the name is carried through to
+    /// the OS thread for debuggability; stack size is ignored).
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// A new, default builder.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Names the thread.
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns a model thread.
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            let c = ctx();
+            let slot: StdArc<StdMutex<Option<T>>> = StdArc::new(StdMutex::new(None));
+            let id = {
+                let mut st = c.sched.lock();
+                st.threads.push(TState::Runnable);
+                st.threads.len() - 1
+            };
+            let sched = StdArc::clone(&c.sched);
+            let body_slot = StdArc::clone(&slot);
+            let os = std::thread::Builder::new()
+                .name(self.name.unwrap_or_else(|| format!("loom-{id}")))
+                .spawn(move || {
+                    thread_main(StdArc::clone(&sched), id, move || {
+                        let v = f();
+                        *body_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                    })
+                })?;
+            c.sched
+                .os_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(os);
+            // Choice point: the child may run before the spawner proceeds.
+            c.sched.switch(c.id);
+            Ok(JoinHandle { id, slot })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// loom::sync
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacements for `std::sync` primitives.
+pub mod sync {
+    use super::*;
+    pub use std::sync::Arc;
+    use std::sync::LockResult;
+
+    static NEXT_SYNC_ID: StdAtomicU64 = StdAtomicU64::new(1);
+
+    fn next_id() -> u64 {
+        NEXT_SYNC_ID.fetch_add(1, StdOrdering::Relaxed)
+    }
+
+    /// Model-checked mutex: acquisition is a scheduling point, contention
+    /// parks the thread in the model scheduler.
+    pub struct Mutex<T> {
+        id: u64,
+        /// Model-level ownership; the inner std lock is never contended
+        /// (only the model-level owner touches it).
+        held: std::sync::atomic::AtomicBool,
+        inner: StdMutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new unlocked mutex.
+        pub fn new(value: T) -> Self {
+            Self {
+                id: next_id(),
+                held: std::sync::atomic::AtomicBool::new(false),
+                inner: StdMutex::new(value),
+            }
+        }
+
+        /// Acquires the lock (a model scheduling point; blocks in model
+        /// time while contended). Never poisoned.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            let c = ctx();
+            loop {
+                c.sched.switch(c.id);
+                if !self.held.swap(true, StdOrdering::SeqCst) {
+                    break;
+                }
+                c.sched.block(c.id, TState::BlockedMutex(self.id));
+            }
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            })
+        }
+    }
+
+    /// Guard for [`Mutex`]; releases the model-level lock on drop and
+    /// wakes blocked threads.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard live")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard live")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            self.lock.held.store(false, StdOrdering::SeqCst);
+            if let Some(c) = CTX.with(|c| c.borrow().clone()) {
+                c.sched.wake_mutex_waiters(self.lock.id);
+            }
+        }
+    }
+
+    /// Model-checked condition variable. `notify_one` wakes the longest
+    /// waiter; there are no spurious wakeups (see the crate docs).
+    pub struct Condvar {
+        id: u64,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// A new condvar with no waiters.
+        pub fn new() -> Self {
+            Self { id: next_id() }
+        }
+
+        /// Atomically releases the guard's mutex and parks until
+        /// notified, then re-acquires. Never poisoned.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let c = ctx();
+            let lock = guard.lock;
+            let seq = {
+                let mut st = c.sched.lock();
+                st.wait_seq += 1;
+                st.wait_seq
+            };
+            // Release-and-park is atomic w.r.t. the model: the blocked
+            // state is installed by `block` before any other thread runs.
+            drop(guard);
+            c.sched
+                .block(c.id, TState::BlockedCondvar { cv: self.id, seq });
+            lock.lock()
+        }
+
+        /// Wakes the longest-parked waiter, if any (lost otherwise).
+        pub fn notify_one(&self) {
+            let c = ctx();
+            let mut st = c.sched.lock();
+            let oldest = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    TState::BlockedCondvar { cv, seq } if *cv == self.id => Some((*seq, i)),
+                    _ => None,
+                })
+                .min();
+            if let Some((_, i)) = oldest {
+                st.threads[i] = TState::Runnable;
+            }
+        }
+
+        /// Wakes every parked waiter.
+        pub fn notify_all(&self) {
+            let c = ctx();
+            let mut st = c.sched.lock();
+            for t in st.threads.iter_mut() {
+                if matches!(t, TState::BlockedCondvar { cv, .. } if *cv == self.id) {
+                    *t = TState::Runnable;
+                }
+            }
+        }
+    }
+
+    /// Model-aware atomics: every operation is a scheduling point; all
+    /// orderings behave as `SeqCst` (see the crate docs).
+    pub mod atomic {
+        use super::super::point;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! atomics {
+            ($($name:ident($inner:ident, $ty:ty);)+) => {$(
+                /// Model-aware atomic: every operation is a scheduling
+                /// point and behaves as `SeqCst`.
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$inner);
+
+                impl $name {
+                    /// A new atomic with the given value.
+                    pub fn new(v: $ty) -> Self {
+                        Self(std::sync::atomic::$inner::new(v))
+                    }
+
+                    /// Atomic load (scheduling point).
+                    pub fn load(&self, _o: Ordering) -> $ty {
+                        point();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// Atomic store (scheduling point).
+                    pub fn store(&self, v: $ty, _o: Ordering) {
+                        point();
+                        self.0.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic swap (scheduling point).
+                    pub fn swap(&self, v: $ty, _o: Ordering) -> $ty {
+                        point();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Atomic compare-exchange (scheduling point).
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $ty,
+                        new: $ty,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        point();
+                        self.0
+                            .compare_exchange(cur, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+                }
+            )+};
+        }
+
+        atomics! {
+            AtomicBool(AtomicBool, bool);
+            AtomicU32(AtomicU32, u32);
+            AtomicU64(AtomicU64, u64);
+            AtomicUsize(AtomicUsize, usize);
+        }
+
+        macro_rules! fetch_ops {
+            ($($name:ident: $ty:ty;)+) => {$(
+                impl $name {
+                    /// Atomic add returning the previous value
+                    /// (scheduling point).
+                    pub fn fetch_add(&self, v: $ty, _o: Ordering) -> $ty {
+                        point();
+                        self.0.fetch_add(v, Ordering::SeqCst)
+                    }
+                }
+            )+};
+        }
+
+        fetch_ops! {
+            AtomicU32: u32;
+            AtomicU64: u64;
+            AtomicUsize: usize;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+    use super::thread;
+
+    #[test]
+    fn explores_both_orders_of_two_writers() {
+        // Record which thread wrote last across executions: with two
+        // unsynchronized writers both final values must be observed.
+        use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+        use std::sync::Arc as StdArc;
+        let seen = StdArc::new(StdAtomicUsize::new(0));
+        let seen2 = StdArc::clone(&seen);
+        super::model(move || {
+            let v = Arc::new(Mutex::new(0usize));
+            let v2 = Arc::clone(&v);
+            let t = thread::spawn(move || {
+                *v2.lock().unwrap() = 1;
+            });
+            *v.lock().unwrap() = 2;
+            t.join().unwrap();
+            let last = *v.lock().unwrap();
+            seen2.fetch_or(1 << last, StdOrdering::SeqCst);
+        });
+        assert_eq!(
+            seen.load(StdOrdering::SeqCst),
+            0b110,
+            "both final values must be explored"
+        );
+    }
+
+    #[test]
+    fn finds_unsynchronized_check_then_act() {
+        // The classic lost-update: two threads read-modify-write through
+        // an atomic without a CAS loop. Some interleaving loses one
+        // increment; the model must find it.
+        let found = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let n = Arc::new(AtomicUsize::new(0));
+                let n2 = Arc::clone(&n);
+                let t = thread::spawn(move || {
+                    let v = n2.load(Ordering::SeqCst);
+                    n2.store(v + 1, Ordering::SeqCst);
+                });
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+                t.join().unwrap();
+                assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(found.is_err(), "model missed the lost-update interleaving");
+    }
+
+    #[test]
+    fn condvar_wakeup_is_not_lost() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut ready = m.lock().unwrap();
+                *ready = true;
+                cv.notify_one();
+                drop(ready);
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let r = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+                drop((_ga, _gb));
+                t.join().unwrap();
+            });
+        });
+        let msg = r.expect_err("AB/BA locking must deadlock on some schedule");
+        let msg = msg.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+}

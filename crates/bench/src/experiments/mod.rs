@@ -14,6 +14,8 @@ pub mod fig8;
 pub mod hashsweep;
 pub mod incremental;
 pub mod loadgen;
+pub mod planner;
+pub mod planner_calibrate;
 pub mod profile;
 pub mod quality;
 pub mod relabel;
@@ -24,7 +26,8 @@ pub mod table1;
 pub mod variance;
 
 use crate::suite::{build_suite, SuiteEntry};
-use gcol_core::{BackendKind, ColorOptions, ExchangeKind, Scheme};
+use gcol_core::{BackendKind, ColorOptions, ExchangeKind, Scheme, SchemeChoice};
+use gcol_plan::Slo;
 use gcol_simt::{Device, ExecMode};
 use serde::Serialize;
 
@@ -62,6 +65,14 @@ pub struct ExpConfig {
     /// per (scheme, graph, shards) run, for diffing against the
     /// checked-in expected-findings baseline.
     pub sanitize_json: Option<String>,
+    /// Scheme selection (`--scheme`): a fixed scheme, or `auto` to let
+    /// the planner pick per graph. `None` keeps each experiment's own
+    /// default set. Only `profile` honors this today.
+    pub scheme: Option<SchemeChoice>,
+    /// Planner objective (`--slo`) used wherever `--scheme auto` (or the
+    /// planner experiment) resolves a plan. `None` means the planner
+    /// default for `profile`, and "report every SLO" for `planner`.
+    pub slo: Option<Slo>,
 }
 
 impl Default for ExpConfig {
@@ -77,6 +88,8 @@ impl Default for ExpConfig {
             graph: None,
             json: None,
             sanitize_json: None,
+            scheme: None,
+            slo: None,
         }
     }
 }

@@ -1,0 +1,336 @@
+//! Planner A/B — the regret experiment behind `scheme: "auto"`.
+//!
+//! For every suite graph (or a `--graph` file), measures each candidate
+//! scheme of the checked-in decision table on modeled simt times, then
+//! asks the planner what it *would* run under each SLO and executes the
+//! resolved plan. Regret is the ratio of the plan's time to the
+//! per-graph best under `FastestWall`, and the color overhead over the
+//! per-graph fewest under `FewestColors`.
+//!
+//! `--smoke` is the tier-1 CI gate: three small generators, modeled
+//! (deterministic) simt times only — no wall-clock flakiness — with the
+//! bounds of the acceptance criteria: wall regret ≤ 1.10 under
+//! `FastestWall`, at most +1 color under `FewestColors`.
+
+use super::ExpConfig;
+use crate::report::{f, maybe_write_json, Table};
+use crate::suite::SuiteEntry;
+use gcol_core::{BackendKind, ColorOptions, Scheme};
+use gcol_graph::GraphProfile;
+use gcol_plan::{Plan, Planner, Resources, Slo};
+use gcol_simt::Device;
+use serde::Serialize;
+
+/// Wall-regret bound of the CI gate (`FastestWall`).
+pub const SMOKE_WALL_REGRET: f64 = 1.10;
+/// Color-overhead bound of the CI gate (`FewestColors`).
+pub const SMOKE_COLOR_OVERHEAD: i64 = 1;
+/// The three small generators the smoke gate runs on.
+pub const SMOKE_GRAPHS: [&str; 3] = ["rmat-er", "rmat-g", "G3_circuit"];
+
+/// One candidate's predicted and measured outcome on one graph.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CandidateRow {
+    /// The candidate scheme.
+    pub scheme: Scheme,
+    /// Model-predicted modeled milliseconds.
+    pub predicted_ms: f64,
+    /// Model-predicted colors.
+    pub predicted_colors: f64,
+    /// Measured modeled milliseconds.
+    pub ms: f64,
+    /// Measured colors.
+    pub colors: usize,
+}
+
+/// The planner's choice under one SLO, with its regret.
+#[derive(Debug, Clone, Serialize)]
+pub struct SloDecision {
+    /// SLO name.
+    pub slo: String,
+    /// The scheme the planner chose.
+    pub chosen: Scheme,
+    /// Measured time of the resolved plan.
+    pub chosen_ms: f64,
+    /// Measured colors of the resolved plan.
+    pub chosen_colors: usize,
+    /// Fastest candidate on this graph.
+    pub best_wall_scheme: Scheme,
+    /// Its measured time.
+    pub best_ms: f64,
+    /// Fewest-colors candidate on this graph.
+    pub best_colors_scheme: Scheme,
+    /// Its measured colors.
+    pub best_colors: usize,
+    /// `chosen_ms / best_ms`.
+    pub wall_regret: f64,
+    /// `chosen_colors − best_colors`.
+    pub color_overhead: i64,
+}
+
+/// Everything recorded per graph: profile, the full decision table, the
+/// per-SLO choices.
+#[derive(Debug, Clone, Serialize)]
+pub struct GraphDecision {
+    /// Graph name.
+    pub graph: String,
+    /// The single-pass profile the planner saw.
+    pub profile: GraphProfile,
+    /// Predicted + measured outcome per candidate.
+    pub candidates: Vec<CandidateRow>,
+    /// Choice and regret per SLO.
+    pub decisions: Vec<SloDecision>,
+}
+
+/// Measures every candidate scheme on one graph and scores them with the
+/// model — the raw decision table.
+pub fn candidate_table(
+    entry: &SuiteEntry,
+    dev: &Device,
+    opts: &ColorOptions,
+    planner: &Planner,
+) -> (GraphProfile, Vec<CandidateRow>) {
+    let profile = entry.profile();
+    let preds = planner.score(&profile);
+    let rows = preds
+        .iter()
+        .filter_map(|p| {
+            let r = match p.scheme.try_color(&entry.graph, dev, opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("warning: {} on {} skipped: {e}", p.scheme, entry.name);
+                    return None;
+                }
+            };
+            gcol_core::verify_coloring(&entry.graph, &r.colors)
+                .unwrap_or_else(|e| panic!("{} invalid on {}: {e}", p.scheme, entry.name));
+            Some(CandidateRow {
+                scheme: p.scheme,
+                predicted_ms: p.predicted_ms,
+                predicted_colors: p.predicted_colors,
+                ms: r.total_ms(),
+                colors: r.num_colors,
+            })
+        })
+        .collect();
+    (profile, rows)
+}
+
+fn decide(
+    entry: &SuiteEntry,
+    dev: &Device,
+    opts: &ColorOptions,
+    planner: &Planner,
+    profile: &GraphProfile,
+    candidates: &[CandidateRow],
+    slo: Slo,
+) -> (SloDecision, Plan) {
+    let plan = planner.plan(profile, slo, &Resources::from_options(opts));
+    let spec = plan.spec(opts);
+    let chosen = spec
+        .scheme
+        .try_color(&entry.graph, dev, &spec.opts)
+        .unwrap_or_else(|e| panic!("resolved plan {:?} failed on {}: {e}", plan, entry.name));
+    gcol_core::verify_coloring(&entry.graph, &chosen.colors)
+        .unwrap_or_else(|e| panic!("plan {:?} invalid on {}: {e}", plan, entry.name));
+
+    let best_wall = candidates
+        .iter()
+        .min_by(|a, b| a.ms.partial_cmp(&b.ms).unwrap())
+        .expect("no candidates");
+    let best_colors = candidates
+        .iter()
+        .min_by_key(|c| c.colors)
+        .expect("no candidates");
+    (
+        SloDecision {
+            slo: slo.name().to_string(),
+            chosen: plan.scheme,
+            chosen_ms: chosen.total_ms(),
+            chosen_colors: chosen.num_colors,
+            best_wall_scheme: best_wall.scheme,
+            best_ms: best_wall.ms,
+            best_colors_scheme: best_colors.scheme,
+            best_colors: best_colors.colors,
+            wall_regret: chosen.total_ms() / best_wall.ms,
+            color_overhead: chosen.num_colors as i64 - best_colors.colors as i64,
+        },
+        plan,
+    )
+}
+
+/// Runs the planner A/B. With `--smoke`, runs the CI gate instead:
+/// three small generators, modeled simt times, regret bounds asserted.
+pub fn run(cfg: &ExpConfig) -> String {
+    let dev = Device::k20c();
+    let planner = Planner::new();
+
+    // The gate runs on modeled (deterministic) simt times at one shard —
+    // never on wall clock — so it cannot flake in CI.
+    let mut opts = cfg.color_options();
+    if cfg.smoke {
+        opts.backend = BackendKind::Simt;
+        opts.num_shards = 1;
+    }
+
+    let suite: Vec<SuiteEntry> = if cfg.smoke && cfg.graph.is_none() {
+        crate::suite::build_suite(cfg.scale)
+            .into_iter()
+            .filter(|e| SMOKE_GRAPHS.contains(&e.name.as_str()))
+            .collect()
+    } else {
+        cfg.suite()
+    };
+
+    let slos: Vec<Slo> = match cfg.slo {
+        Some(slo) => vec![slo],
+        None => vec![Slo::FastestWall, Slo::FewestColors, Slo::balanced()],
+    };
+
+    let mut rows: Vec<GraphDecision> = Vec::new();
+    for entry in &suite {
+        let (profile, candidates) = candidate_table(entry, &dev, &opts, &planner);
+        let decisions = slos
+            .iter()
+            .map(|&slo| decide(entry, &dev, &opts, &planner, &profile, &candidates, slo).0)
+            .collect();
+        rows.push(GraphDecision {
+            graph: entry.name.clone(),
+            profile,
+            candidates,
+            decisions,
+        });
+    }
+    maybe_write_json(cfg.json.as_deref(), &rows).expect("json write");
+
+    let mut out = format!(
+        "planner A/B — auto vs per-graph best over {} candidates, scale {}\n\
+         (modeled {} times; regret = auto ms / best ms, overhead = auto colors − fewest)\n",
+        planner.candidates().len(),
+        cfg.scale,
+        match opts.backend {
+            BackendKind::Native => "native wall-clock",
+            _ => "simt",
+        },
+    );
+
+    for slo in &slos {
+        let mut table = Table::new(vec![
+            "graph",
+            "cv",
+            "auto choice",
+            "auto ms",
+            "best scheme",
+            "best ms",
+            "regret",
+            "auto colors",
+            "fewest",
+            "+colors",
+        ]);
+        let mut regrets = Vec::new();
+        for row in &rows {
+            let d = row
+                .decisions
+                .iter()
+                .find(|d| d.slo == slo.name())
+                .expect("decision recorded");
+            regrets.push(d.wall_regret);
+            table.row(vec![
+                row.graph.clone(),
+                f(row.profile.degree_cv(), 2),
+                d.chosen.to_string(),
+                f(d.chosen_ms, 4),
+                d.best_wall_scheme.to_string(),
+                f(d.best_ms, 4),
+                f(d.wall_regret, 3),
+                d.chosen_colors.to_string(),
+                format!("{} ({})", d.best_colors, d.best_colors_scheme),
+                format!("{:+}", d.color_overhead),
+            ]);
+        }
+        out.push_str(&format!(
+            "\nSLO {} — geomean wall regret {:.3}\n{}",
+            slo.name(),
+            super::geomean(regrets),
+            table.render()
+        ));
+    }
+
+    // The acceptance gates. Under --smoke a violation panics (the CI
+    // signal); the full report prints the verdict per graph.
+    let mut violations = Vec::new();
+    for row in &rows {
+        for d in &row.decisions {
+            if d.slo == Slo::FastestWall.name() && d.wall_regret > SMOKE_WALL_REGRET {
+                violations.push(format!(
+                    "{}: fastest-wall regret {:.3} > {SMOKE_WALL_REGRET} \
+                     (auto {} {:.4} ms vs best {} {:.4} ms)",
+                    row.graph, d.wall_regret, d.chosen, d.chosen_ms, d.best_wall_scheme, d.best_ms
+                ));
+            }
+            if d.slo == Slo::FewestColors.name() && d.color_overhead > SMOKE_COLOR_OVERHEAD {
+                violations.push(format!(
+                    "{}: fewest-colors overhead {:+} > +{SMOKE_COLOR_OVERHEAD} \
+                     (auto {} {} colors vs fewest {} {})",
+                    row.graph,
+                    d.color_overhead,
+                    d.chosen,
+                    d.chosen_colors,
+                    d.best_colors_scheme,
+                    d.best_colors
+                ));
+            }
+        }
+    }
+    if violations.is_empty() {
+        out.push_str("\nregret gates: PASS (fastest-wall ≤ 1.10x, fewest-colors ≤ +1)\n");
+    } else {
+        out.push_str(&format!(
+            "\nregret gates: FAIL\n  {}\n",
+            violations.join("\n  ")
+        ));
+        if cfg.smoke {
+            panic!(
+                "planner --smoke regret gate failed:\n  {}",
+                violations.join("\n  ")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_gate_passes_on_small_generators() {
+        let cfg = ExpConfig {
+            scale: 10,
+            smoke: true,
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.contains("regret gates: PASS"), "{out}");
+        for g in SMOKE_GRAPHS {
+            assert!(out.contains(g), "missing {g}:\n{out}");
+        }
+        // Smoke runs exactly the three generators, all three SLOs.
+        assert!(out.contains("SLO fastest-wall"));
+        assert!(out.contains("SLO fewest-colors"));
+        assert!(out.contains("SLO balanced"));
+    }
+
+    #[test]
+    fn single_slo_flag_restricts_the_report() {
+        let cfg = ExpConfig {
+            scale: 10,
+            smoke: true,
+            slo: Some(Slo::FastestWall),
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(out.contains("SLO fastest-wall"));
+        assert!(!out.contains("SLO fewest-colors"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Fits the planner's decision table offline and prints it as Rust.
+//!
+//! Runs every candidate scheme over the generated Table I suite at
+//! several scales (modeled simt times, deterministic), builds one
+//! regression sample per (scheme, graph, scale) — the planner's feature
+//! vector against `ln(ms)` and `ln(colors)` — and solves a small ridge
+//! least-squares system per scheme. The output is a pasteable `MODELS`
+//! block for `crates/plan/src/model.rs`; there is **no runtime fitting**
+//! anywhere — this experiment is the only place coefficients come from.
+
+use super::ExpConfig;
+use crate::report::{f, maybe_write_json, Table};
+use gcol_core::Scheme;
+use gcol_plan::model::NUM_FEATURES;
+use gcol_plan::{features, Planner};
+use gcol_simt::Device;
+use serde::Serialize;
+
+/// Ridge regularizer: tiny, just enough to keep the normal equations
+/// well-conditioned when a feature column is (near-)constant over the
+/// small generated suite.
+const RIDGE_LAMBDA: f64 = 1e-4;
+
+/// Scales sampled up to the requested `--scale` so the size features
+/// carry signal (a single scale would make `n`/`m` collinear with bias)
+/// and the fit brackets the launch-overhead → throughput crossover the
+/// quadratic edge feature models.
+const SCALE_STEPS: [u32; 6] = [5, 4, 3, 2, 1, 0];
+
+/// Floor for measured values before the log transform.
+const LOG_FLOOR: f64 = 1e-9;
+
+/// One fitted row, serialized for `--json` alongside its fit quality.
+#[derive(Debug, Clone, Serialize)]
+pub struct FittedScheme {
+    /// The scheme this row scores.
+    pub scheme: Scheme,
+    /// Fitted `ln(ms)` coefficients.
+    pub time_w: Vec<f64>,
+    /// Fitted `ln(colors)` coefficients.
+    pub color_w: Vec<f64>,
+    /// RMS error of `ln(ms)` over the training samples.
+    pub time_rms: f64,
+    /// RMS error of `ln(colors)` over the training samples.
+    pub color_rms: f64,
+    /// Number of (graph, scale) samples behind the fit.
+    pub samples: usize,
+}
+
+/// Solves `(XᵀX + λI) w = Xᵀy` by Gaussian elimination with partial
+/// pivoting. The system is `NUM_FEATURES × NUM_FEATURES` — tiny.
+fn ridge_solve(xs: &[[f64; NUM_FEATURES]], ys: &[f64]) -> [f64; NUM_FEATURES] {
+    let k = NUM_FEATURES;
+    let mut a = [[0.0f64; NUM_FEATURES + 1]; NUM_FEATURES];
+    for (x, &y) in xs.iter().zip(ys) {
+        for i in 0..k {
+            for j in 0..k {
+                a[i][j] += x[i] * x[j];
+            }
+            a[i][k] += x[i] * y;
+        }
+    }
+    for (i, row) in a.iter_mut().enumerate() {
+        row[i] += RIDGE_LAMBDA;
+    }
+    for col in 0..k {
+        let pivot = (col..k)
+            .max_by(|&r, &s| a[r][col].abs().partial_cmp(&a[s][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        let p = a[col][col];
+        assert!(p.abs() > 0.0, "singular normal equations despite ridge");
+        for v in a[col].iter_mut().skip(col) {
+            *v /= p;
+        }
+        let pivot_row = a[col];
+        for (r, row) in a.iter_mut().enumerate() {
+            if r != col && row[col] != 0.0 {
+                let factor = row[col];
+                for (v, pv) in row.iter_mut().zip(&pivot_row).skip(col) {
+                    *v -= factor * pv;
+                }
+            }
+        }
+    }
+    let mut w = [0.0; NUM_FEATURES];
+    for i in 0..k {
+        w[i] = a[i][k];
+    }
+    w
+}
+
+fn rms(xs: &[[f64; NUM_FEATURES]], ys: &[f64], w: &[f64; NUM_FEATURES]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let se: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, &y)| {
+            let pred: f64 = x.iter().zip(w).map(|(a, b)| a * b).sum();
+            (pred - y) * (pred - y)
+        })
+        .sum();
+    (se / xs.len() as f64).sqrt()
+}
+
+fn fmt_weights(w: &[f64]) -> String {
+    let cells: Vec<String> = w.iter().map(|v| format!("{v:.6}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// Collects training samples and fits both predictors for every
+/// candidate scheme. Public so the experiment is testable end to end.
+pub fn fit(cfg: &ExpConfig) -> Vec<FittedScheme> {
+    let dev = Device::k20c();
+    let opts = cfg.color_options();
+    let schemes: Vec<Scheme> = Planner::new().candidates().to_vec();
+
+    // sample matrix per scheme: features + the two log targets
+    let mut xs: Vec<Vec<[f64; NUM_FEATURES]>> = vec![Vec::new(); schemes.len()];
+    let mut y_ms: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    let mut y_colors: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+
+    for step in SCALE_STEPS {
+        let scale = cfg.scale.saturating_sub(step).max(8);
+        for entry in crate::suite::build_suite(scale) {
+            let feat = features(&entry.profile());
+            for (si, &scheme) in schemes.iter().enumerate() {
+                let r = match scheme.try_color(&entry.graph, &dev, &opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("warning: {scheme} on {} s{scale} skipped: {e}", entry.name);
+                        continue;
+                    }
+                };
+                xs[si].push(feat);
+                y_ms[si].push(r.total_ms().max(LOG_FLOOR).ln());
+                y_colors[si].push((r.num_colors as f64).max(1.0).ln());
+            }
+        }
+    }
+
+    schemes
+        .iter()
+        .enumerate()
+        .map(|(si, &scheme)| {
+            let time_w = ridge_solve(&xs[si], &y_ms[si]);
+            let color_w = ridge_solve(&xs[si], &y_colors[si]);
+            FittedScheme {
+                scheme,
+                time_rms: rms(&xs[si], &y_ms[si], &time_w),
+                color_rms: rms(&xs[si], &y_colors[si], &color_w),
+                samples: xs[si].len(),
+                time_w: time_w.to_vec(),
+                color_w: color_w.to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// Renders one fitted row as the `SchemeModel` literal to paste into
+/// `model.rs`.
+fn render_model(fitted: &FittedScheme) -> String {
+    format!(
+        "    SchemeModel {{\n        scheme: Scheme::{:?},\n        time_w: {},\n        color_w: {},\n    }},",
+        fitted.scheme,
+        fmt_weights(&fitted.time_w),
+        fmt_weights(&fitted.color_w),
+    )
+}
+
+/// Runs the calibration and prints the pasteable table plus fit quality.
+pub fn run(cfg: &ExpConfig) -> String {
+    let fitted = fit(cfg);
+    maybe_write_json(cfg.json.as_deref(), &fitted).expect("json write");
+
+    let mut quality = Table::new(vec!["scheme", "samples", "ln(ms) rms", "ln(colors) rms"]);
+    for row in &fitted {
+        quality.row(vec![
+            row.scheme.to_string(),
+            row.samples.to_string(),
+            f(row.time_rms, 4),
+            f(row.color_rms, 4),
+        ]);
+    }
+
+    let scales: Vec<String> = SCALE_STEPS
+        .iter()
+        .map(|s| format!("s{}", cfg.scale.saturating_sub(*s).max(8)))
+        .collect();
+    let mut out = format!(
+        "planner-calibrate — ridge fit (λ = {RIDGE_LAMBDA}) over the generated suite at {}\n\n{}\n",
+        scales.join(", "),
+        quality.render()
+    );
+    out.push_str(
+        "\npaste the block below over `MODELS` in crates/plan/src/model.rs:\n\n\
+         pub static MODELS: [SchemeModel; ",
+    );
+    out.push_str(&format!("{}] = [\n", fitted.len()));
+    for row in &fitted {
+        out.push_str(&render_model(row));
+        out.push('\n');
+    }
+    out.push_str("];\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_recovers_a_planted_linear_model() {
+        // y = 2 + 3·f1 − 1·f2 exactly; the solver must recover it.
+        let truth = [2.0, 3.0, -1.0, 0.5, 0.0, 0.0, 0.0];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40u32 {
+            let mut x = [1.0; NUM_FEATURES];
+            for (j, slot) in x.iter_mut().enumerate().skip(1) {
+                // Deterministic, full-rank-ish spread of feature values.
+                *slot = (((i as usize * 7 + j * 13) % 29) as f64) / 7.0;
+            }
+            xs.push(x);
+            ys.push(x.iter().zip(&truth).map(|(a, b)| a * b).sum());
+        }
+        let w = ridge_solve(&xs, &ys);
+        for (got, want) in w.iter().zip(&truth) {
+            assert!((got - want).abs() < 1e-3, "{w:?} vs {truth:?}");
+        }
+    }
+
+    #[test]
+    fn fit_produces_finite_models_for_every_candidate() {
+        let cfg = ExpConfig {
+            scale: 9,
+            ..ExpConfig::default()
+        };
+        let fitted = fit(&cfg);
+        assert_eq!(fitted.len(), Planner::new().candidates().len());
+        for row in &fitted {
+            assert!(row.samples >= 6, "{}: too few samples", row.scheme);
+            for w in row.time_w.iter().chain(&row.color_w) {
+                assert!(w.is_finite(), "{}: non-finite weight", row.scheme);
+            }
+            assert!(row.time_rms.is_finite() && row.color_rms.is_finite());
+        }
+        // Output embeds a pasteable Rust block.
+        let out = run(&cfg);
+        assert!(out.contains("pub static MODELS"), "{out}");
+        assert!(out.contains("SchemeModel {"), "{out}");
+    }
+}

@@ -6,7 +6,9 @@
 use super::ExpConfig;
 use crate::report::{f, Table};
 use crate::suite::build_graph;
-use gcol_core::Scheme;
+use gcol_core::{Scheme, SchemeChoice};
+use gcol_graph::GraphProfile;
+use gcol_plan::{Planner, Resources};
 use gcol_simt::{Device, Phase};
 
 /// Parses a scheme by its paper name (case-insensitive; see
@@ -17,16 +19,44 @@ pub fn parse_scheme(name: &str) -> Option<Scheme> {
         .find(|s| s.name().eq_ignore_ascii_case(name))
 }
 
+/// Parses a scheme name or the literal `auto` (planner-resolved).
+pub fn parse_choice(name: &str) -> Option<SchemeChoice> {
+    name.parse().ok()
+}
+
 /// Runs the profiler for `(graph, scheme)`. A `--graph` file overrides
-/// the suite-graph name.
-pub fn run(cfg: &ExpConfig, graph: &str, scheme: Scheme) -> String {
+/// the suite-graph name; `--scheme auto` resolves the scheme (and
+/// backend/shards) through the planner and reports the plan it picked.
+pub fn run(cfg: &ExpConfig, graph: &str, choice: SchemeChoice) -> String {
     let (graph, g) = match cfg.graph_override() {
         Some(e) => (e.name, e.graph),
         None => (graph.to_string(), build_graph(graph, cfg.scale)),
     };
     let graph = graph.as_str();
     let dev = Device::k20c();
-    let r = scheme.color(&g, &dev, &cfg.color_options());
+    let mut opts = cfg.color_options();
+    let mut plan_line = String::new();
+    let scheme = match choice.fixed() {
+        Some(scheme) => scheme,
+        None => {
+            let profile = GraphProfile::extract(&g);
+            let slo = cfg.slo.unwrap_or_default();
+            let plan = Planner::new().plan(&profile, slo, &Resources::from_options(&opts));
+            plan.apply(&mut opts);
+            plan_line = format!(
+                "auto plan (slo {}): scheme {}, backend {:?}, {} shard(s) — \
+                 predicted {:.3} ms, {:.1} colors\n",
+                slo,
+                plan.scheme,
+                plan.backend,
+                plan.num_shards,
+                plan.predicted_ms,
+                plan.predicted_colors
+            );
+            plan.scheme
+        }
+    };
+    let r = scheme.color(&g, &dev, &opts);
     gcol_core::verify_coloring(&g, &r.colors).expect("invalid coloring");
 
     let mut table = Table::new(vec![
@@ -106,8 +136,9 @@ pub fn run(cfg: &ExpConfig, graph: &str, scheme: Scheme) -> String {
         }
     }
     format!(
-        "profile: {} on {} (scale {}) — {} colors, {} iterations, \
+        "{}profile: {} on {} (scale {}) — {} colors, {} iterations, \
          total {:.3} ms\n\n{}",
+        plan_line,
         scheme,
         graph,
         cfg.scale,
@@ -127,6 +158,12 @@ mod tests {
         assert_eq!(parse_scheme("D-ldg"), Some(Scheme::DataLdg));
         assert_eq!(parse_scheme("csrcolor"), Some(Scheme::CsrColor));
         assert_eq!(parse_scheme("nope"), None);
+        assert_eq!(parse_choice("auto"), Some(SchemeChoice::Auto));
+        assert_eq!(
+            parse_choice("D-ldg"),
+            Some(SchemeChoice::Fixed(Scheme::DataLdg))
+        );
+        assert_eq!(parse_choice("nope"), None);
     }
 
     #[test]
@@ -135,8 +172,19 @@ mod tests {
             scale: 10,
             ..ExpConfig::default()
         };
-        let out = run(&cfg, "rmat-er", Scheme::DataBase);
+        let out = run(&cfg, "rmat-er", Scheme::DataBase.into());
         assert!(out.contains("data-color"));
         assert!(out.contains("detect-compact"));
+    }
+
+    #[test]
+    fn profiles_an_auto_plan() {
+        let cfg = ExpConfig {
+            scale: 10,
+            ..ExpConfig::default()
+        };
+        let out = run(&cfg, "rmat-g", SchemeChoice::Auto);
+        assert!(out.contains("auto plan (slo fastest-wall)"), "{out}");
+        assert!(out.contains("profile: "), "{out}");
     }
 }

@@ -2,8 +2,8 @@
 
 use gcol_bench::experiments::{
     self, ablation, archsweep, calibrate, convergence, fig1, fig3, fig6, fig7, fig8, hashsweep,
-    incremental, loadgen, profile, quality, relabel, sanitize, scaling, shardscale, table1,
-    variance, ExpConfig,
+    incremental, loadgen, planner, planner_calibrate, profile, quality, relabel, sanitize, scaling,
+    shardscale, table1, variance, ExpConfig,
 };
 use gcol_graph::gen::{self, RmatParams};
 use gcol_graph::Csr;
@@ -26,6 +26,20 @@ COMMANDS:
     fig8        Fig. 8   — thread-block-size sweep
     calibrate   CPU-cost-model sanity check
     profile G S nvprof-style timeline of scheme S on suite graph G
+                (S may be `auto`: the planner resolves the scheme from the
+                graph profile and --slo, and the plan is printed)
+    planner     scheme-auto A/B: measure every candidate scheme per suite
+                graph, resolve the planner's choice under each SLO, report
+                wall regret vs the per-graph best and color overhead vs the
+                per-graph fewest; --smoke runs the tier-1 CI gate (three
+                small generators, modeled simt times, fastest-wall regret
+                ≤ 1.10x, fewest-colors overhead ≤ +1)
+    planner-calibrate
+                fit the planner's log-linear decision table over the
+                generated suite at --scale and two smaller scales, and
+                print the `MODELS` block to paste into
+                crates/plan/src/model.rs (the only source of coefficients;
+                nothing is fitted at runtime)
     ablation    design-choice ablations (atomics, ldg, task mapping, balance)
     archsweep   Kepler vs Fermi: why __ldg is a Kepler-specific win
     hashsweep   csrcolor quality/speed trade vs hash count N
@@ -85,6 +99,12 @@ OPTIONS:
                   bitmask + changed colors, dense fallback). Default:
                   delta everywhere; shardscale sweeps both when the flag
                   is absent
+    --scheme S    scheme selection for `profile` (alternative to the
+                  positional): a paper scheme name, or `auto` to let the
+                  planner pick from the graph profile
+    --slo S       planner objective wherever a scheme is auto-resolved:
+                  fastest-wall (default), fewest-colors or balanced;
+                  `planner` reports all three unless --slo pins one
     --json PATH   also write the raw results as JSON
     --sanitize-json PATH
                   sanitize: also write the full structured findings report
@@ -169,6 +189,24 @@ fn main() {
                     args.get(i + 1)
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| die("--exchange needs 'dense' or 'delta'")),
+                );
+                i += 2;
+            }
+            "--scheme" => {
+                cfg.scheme = Some(
+                    args.get(i + 1)
+                        .and_then(|v| profile::parse_choice(v))
+                        .unwrap_or_else(|| die("--scheme needs a scheme name or 'auto'")),
+                );
+                i += 2;
+            }
+            "--slo" => {
+                cfg.slo = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| {
+                            die("--slo needs fastest-wall, fewest-colors or balanced")
+                        }),
                 );
                 i += 2;
             }
@@ -275,6 +313,8 @@ fn main() {
         "variance" => println!("{}", variance::run(&cfg)),
         "loadgen" => println!("{}", loadgen::run(&cfg, &lg)),
         "serve" => run_serve(&lg, listen.as_deref()),
+        "planner" => println!("{}", planner::run(&cfg)),
+        "planner-calibrate" => println!("{}", planner_calibrate::run(&cfg)),
         "profile" => {
             // With --graph the file is the subject, so the only
             // positional is the scheme: `profile --graph g.mtx D-ldg`.
@@ -287,11 +327,16 @@ fn main() {
                     .unwrap_or_else(|| die("profile needs: profile <graph> <scheme>"));
                 (name, 1)
             };
-            let scheme = positional
-                .get(scheme_at)
-                .and_then(|s| profile::parse_scheme(s))
-                .unwrap_or_else(|| die("profile needs a valid scheme name"));
-            println!("{}", profile::run(&cfg, &graph, scheme));
+            // The positional scheme (which may itself be `auto`) wins
+            // over --scheme; either may supply it.
+            let choice = match positional.get(scheme_at) {
+                Some(s) => profile::parse_choice(s)
+                    .unwrap_or_else(|| die("profile needs a valid scheme name or 'auto'")),
+                None => cfg
+                    .scheme
+                    .unwrap_or_else(|| die("profile needs a scheme name or 'auto'")),
+            };
+            println!("{}", profile::run(&cfg, &graph, choice));
         }
         "all" => {
             println!("{}", table1::run(&cfg));

@@ -12,7 +12,7 @@
 //! tractable on modest hosts while preserving every qualitative shape.
 
 use gcol_graph::gen;
-use gcol_graph::stats::DegreeStats;
+use gcol_graph::stats::{DegreeStats, GraphProfile};
 use gcol_graph::Csr;
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +38,25 @@ pub struct PaperRow {
     pub domain: &'static str,
 }
 
+impl PaperRow {
+    /// A row built from a graph's own measured statistics — the shape
+    /// used for user-supplied `--graph` files, where the "paper" columns
+    /// are the file itself. Single source: [`DegreeStats::compute`], the
+    /// same implementation `table1` and the planner profile run on.
+    pub fn measured(s: &DegreeStats) -> Self {
+        Self {
+            vertices: s.num_vertices,
+            edges: s.num_edges,
+            min_deg: s.min_degree,
+            max_deg: s.max_degree,
+            avg_deg: s.avg_degree,
+            variance: s.variance,
+            spd: false,
+            domain: "user file",
+        }
+    }
+}
+
 /// One suite entry: name, the paper's row, and the graph. Entries come
 /// from the generated Table I suite ([`build_suite`]) or from a real
 /// graph file on disk ([`load_entry`], the `--graph` path).
@@ -55,6 +74,11 @@ impl SuiteEntry {
     /// Degree statistics of the generated graph.
     pub fn stats(&self) -> DegreeStats {
         DegreeStats::compute(&self.graph)
+    }
+
+    /// The planner's single-pass feature vector for this graph.
+    pub fn profile(&self) -> GraphProfile {
+        GraphProfile::extract(&self.graph)
     }
 }
 
@@ -215,16 +239,7 @@ pub fn load_entry(
             .and_then(|s| s.to_str())
             .unwrap_or("file")
             .to_string(),
-        paper: PaperRow {
-            vertices: s.num_vertices,
-            edges: s.num_edges,
-            min_deg: s.min_degree,
-            max_deg: s.max_degree,
-            avg_deg: s.avg_degree,
-            variance: s.variance,
-            spd: false,
-            domain: "user file",
-        },
+        paper: PaperRow::measured(&s),
         graph,
     })
 }
@@ -287,6 +302,55 @@ mod tests {
         assert!(hamrle.variance > atmos.variance);
         assert!(hamrle.variance > g3.variance);
         assert!(hamrle.variance > thermal.variance);
+    }
+
+    #[test]
+    fn table1_standin_rows_are_pinned() {
+        // Exact statistics of the generated Table I stand-ins at scale 10,
+        // computed by the shared `gcol-graph::stats` single-pass
+        // implementation (the same one `table1`, `load_entry` and the
+        // planner profile use). Any change to the generators or to the
+        // moment accumulation shows up here first.
+        #[rustfmt::skip]
+        let expected: [(&str, usize, usize, usize, usize, f64, f64); 6] = [
+            ("rmat-er",    1024, 20278, 8,  36, 19.8027, 19.7169),
+            ("rmat-g",     1024, 18744, 1, 102, 18.3047, 144.1357),
+            ("thermal2",   1225,  6962, 2,  11,  5.6833,  1.3185),
+            ("atmosmodd",  1331,  7260, 3,   6,  5.4545,  0.4463),
+            ("Hamrle3",    1413, 10560, 3,  14,  7.4735,  2.1927),
+            ("G3_circuit", 1521,  5928, 2,   4,  3.8974,  0.0973),
+        ];
+        let suite = build_suite(10);
+        for (name, n, m, min, max, avg, var) in expected {
+            let e = suite.iter().find(|e| e.name == name).unwrap();
+            let s = e.stats();
+            let p = e.profile();
+            assert_eq!(s.num_vertices, n, "{name} vertices");
+            assert_eq!(s.num_edges, m, "{name} edges");
+            assert_eq!(s.min_degree, min, "{name} min degree");
+            assert_eq!(s.max_degree, max, "{name} max degree");
+            assert!(
+                (s.avg_degree - avg).abs() < 1e-4,
+                "{name} avg {}",
+                s.avg_degree
+            );
+            assert!((s.variance - var).abs() < 1e-4, "{name} var {}", s.variance);
+            // The profile is the same pass: identical moments, plus the
+            // planner-only columns populated and finite.
+            assert_eq!(p.num_vertices, s.num_vertices, "{name}");
+            assert_eq!(p.num_edges, s.num_edges, "{name}");
+            assert_eq!(p.min_degree, s.min_degree, "{name}");
+            assert_eq!(p.max_degree, s.max_degree, "{name}");
+            assert!((p.avg_degree - s.avg_degree).abs() < 1e-12, "{name}");
+            assert!((p.variance - s.variance).abs() < 1e-12, "{name}");
+            assert!(p.density > 0.0 && p.density.is_finite(), "{name}");
+            assert!(p.skew.is_finite(), "{name}");
+        }
+        // The skew column orders the suite the way Table I's variance
+        // does: rmat-g is by far the most skewed graph.
+        let skew_of = |n: &str| suite.iter().find(|e| e.name == n).unwrap().profile().skew;
+        assert!(skew_of("rmat-g") > skew_of("rmat-er"));
+        assert!(skew_of("rmat-g") > skew_of("G3_circuit"));
     }
 
     #[test]

@@ -549,6 +549,68 @@ impl std::str::FromStr for Scheme {
     }
 }
 
+/// A scheme selection as requested by a front end: either a concrete
+/// [`Scheme`] or `Auto`, meaning "let the planner decide". `Auto` is a
+/// *request-time* notion only — by the time a job is fingerprinted,
+/// cached or executed it has been resolved to a concrete scheme (the
+/// `gcol-plan` crate owns that resolution), so cache keys always name
+/// the plan that actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeChoice {
+    /// Resolve the scheme (and backend/shards/exchange) via the planner.
+    Auto,
+    /// Run exactly this scheme.
+    Fixed(Scheme),
+}
+
+impl SchemeChoice {
+    /// Display name: `"auto"` or the fixed scheme's paper-legend name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeChoice::Auto => "auto",
+            SchemeChoice::Fixed(s) => s.name(),
+        }
+    }
+
+    /// The concrete scheme, if this choice is already resolved.
+    pub fn fixed(&self) -> Option<Scheme> {
+        match self {
+            SchemeChoice::Auto => None,
+            SchemeChoice::Fixed(s) => Some(*s),
+        }
+    }
+}
+
+impl From<Scheme> for SchemeChoice {
+    fn from(s: Scheme) -> Self {
+        SchemeChoice::Fixed(s)
+    }
+}
+
+impl std::fmt::Display for SchemeChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SchemeChoice {
+    type Err = String;
+
+    /// `"auto"` (case-insensitive) or any [`Scheme`] display name.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(SchemeChoice::Auto);
+        }
+        s.parse::<Scheme>().map(SchemeChoice::Fixed).map_err(|_| {
+            let known: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
+            format!(
+                "unknown scheme {s:?} (expected \"auto\" or one of: {})",
+                known.join(", ")
+            )
+        })
+    }
+}
+
 /// Object-safe interface for coloring algorithms, so downstream users can
 /// plug their own schemes into harnesses written against the built-in
 /// ones. Every [`Scheme`] implements it by dispatching to itself.
@@ -677,5 +739,22 @@ mod tests {
         let r = Scheme::Sequential.color(&g, &dev, &ColorOptions::default());
         let expect = CpuModel::xeon_e5_2670().greedy_sweep_ms(500, g.num_edges());
         assert!((r.total_ms() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheme_choice_parses_auto_and_every_scheme_name() {
+        assert_eq!("auto".parse::<SchemeChoice>(), Ok(SchemeChoice::Auto));
+        assert_eq!("AUTO".parse::<SchemeChoice>(), Ok(SchemeChoice::Auto));
+        assert_eq!(SchemeChoice::Auto.name(), "auto");
+        assert_eq!(SchemeChoice::Auto.fixed(), None);
+        for s in Scheme::ALL {
+            let c: SchemeChoice = s.name().parse().unwrap();
+            assert_eq!(c, SchemeChoice::from(s));
+            assert_eq!(c.fixed(), Some(s));
+            assert_eq!(c.to_string(), s.name());
+        }
+        let err = "warp-speed".parse::<SchemeChoice>().unwrap_err();
+        assert!(err.contains("auto"), "{err}");
+        assert!(err.contains("csrcolor"), "{err}");
     }
 }

@@ -14,7 +14,9 @@
 //!   `.col`, METIS and plain edge lists (plus matching writers), with
 //!   typed line-accurate errors, so real SuiteSparse/DIMACS files can be
 //!   dropped in.
-//! * [`stats`] — the degree statistics reported in Table I.
+//! * [`stats`] — the degree statistics reported in Table I, plus the
+//!   single-pass [`GraphProfile`] feature vector the `gcol-plan`
+//!   planner conditions on.
 //! * [`ordering`] — vertex ordering heuristics (first-fit order, largest
 //!   degree first, smallest degree last, random).
 //! * [`partition`] — the block partitioning + boundary-vertex detection used
@@ -47,4 +49,4 @@ pub use builder::CsrBuilder;
 pub use check::{verify_coloring, Color, ColoringViolation};
 pub use csr::{Csr, VertexId};
 pub use edit::{EdgeEdit, EditError};
-pub use stats::DegreeStats;
+pub use stats::{DegreeStats, GraphProfile};

@@ -1,0 +1,56 @@
+//! Pins the planner-profile hot-path claim: [`GraphProfile::extract`] is
+//! one serial pass over the CSR row offsets with **zero** heap
+//! allocations, no matter the graph size. A profiler that materializes a
+//! degree vector (the old `DegreeStats` shape) fails this immediately.
+//!
+//! This file holds a single test: the counting global allocator is
+//! process-wide state, and a second concurrently-running test would
+//! perturb the count (same discipline as `ingest_alloc.rs`).
+
+use gcol_graph::GraphProfile;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocations.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn profile_extraction_allocates_nothing() {
+    // Build the graphs BEFORE counting starts.
+    let small = gcol_graph::gen::simple::erdos_renyi(500, 2_000, 7);
+    let large = gcol_graph::gen::simple::erdos_renyi(20_000, 120_000, 11);
+
+    for g in [&small, &large] {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let p = GraphProfile::extract(g);
+        let spent = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(
+            spent, 0,
+            "GraphProfile::extract allocated {spent} times on a {}-vertex graph",
+            p.num_vertices
+        );
+        assert_eq!(p.num_vertices, g.num_vertices());
+        assert!(p.avg_degree > 0.0);
+    }
+}

@@ -17,6 +17,7 @@
 //! | `readonly-ldg` | a buffer field annotated `/// gcol-lint: readonly` is only ever passed to `ldg` |
 //! | `hot-path` | a module tagged `//! gcol::hot_path` contains no `std::time`, randomness, or heap allocation |
 //! | `io-error-line` | every variant of an `*Error` enum under `crates/graph/src/io/` carries a line number (struct variants need a `line` field; tuple variants must be `Io`/`TooLarge` or delegate to another `*Error` type) |
+//! | `planner-model` | under `crates/plan/src/`, every decision constant lives in `model.rs`: any numeric literal other than the structural `0`/`1` (and `0.0`/`1.0`) elsewhere in the crate is an inline magic number |
 //!
 //! ## Pragmas
 //!
@@ -359,8 +360,12 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
     if view.hot_path {
         rule_hot_path(path, &view, &mut diags);
     }
-    if path.replace('\\', "/").contains("graph/src/io") {
+    let norm = path.replace('\\', "/");
+    if norm.contains("graph/src/io") {
         rule_io_error_line(path, &view, &mut diags);
+    }
+    if norm.contains("plan/src") && !norm.ends_with("model.rs") {
+        rule_planner_model(path, &view, &mut diags);
     }
     diags.retain(|d| !view.allowed(d.line, d.rule));
     diags.sort_by_key(|d| d.line);
@@ -652,6 +657,73 @@ fn rule_io_error_line(path: &str, view: &FileView, diags: &mut Vec<Diagnostic>) 
     }
 }
 
+/// `planner-model`: outside `model.rs`, the plan crate may use only the
+/// structural literals `0`/`1` (`0.0`/`1.0`) — defaults, identities,
+/// "one shard". Anything else is a decision threshold or coefficient
+/// that belongs in the checked-in table, where `planner-calibrate`
+/// refreshes it and reviewers can see every number the planner
+/// conditions on in one place.
+fn rule_planner_model(path: &str, view: &FileView, diags: &mut Vec<Diagnostic>) {
+    let code = &view.code;
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        // Token start only: skip digits inside identifiers (`f64`,
+        // `x2`) and tuple/float tails (`pair.0`, handled via `.`).
+        if i > 0 && (is_ident(code[i - 1]) || code[i - 1] == b'.') {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < code.len() && (code[i].is_ascii_digit() || code[i] == b'_') {
+            i += 1;
+        }
+        // Fractional part: consume `.` only when a digit follows, so a
+        // method call on an integer literal (`2.pow(…)`) stops cleanly.
+        if code.get(i) == Some(&b'.') && code.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+            while i < code.len() && (code[i].is_ascii_digit() || code[i] == b'_') {
+                i += 1;
+            }
+        }
+        // Exponent.
+        if matches!(code.get(i), Some(&b'e') | Some(&b'E')) {
+            let mut j = i + 1;
+            if matches!(code.get(j), Some(&b'+') | Some(&b'-')) {
+                j += 1;
+            }
+            if code.get(j).is_some_and(u8::is_ascii_digit) {
+                i = j;
+                while i < code.len() && code[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+        }
+        let literal: String = String::from_utf8_lossy(&code[start..i]).replace('_', "");
+        // Type suffix (`u32`, `f64`, `usize`) — part of the token, not
+        // of the value.
+        while i < code.len() && is_ident(code[i]) {
+            i += 1;
+        }
+        let value = literal.parse::<f64>();
+        if !matches!(value, Ok(v) if v == 0.0 || v == 1.0) {
+            diags.push(Diagnostic {
+                file: path.to_string(),
+                line: view.line_of(start),
+                rule: "planner-model",
+                message: format!(
+                    "inline numeric literal `{literal}` in planner logic; every \
+                     decision constant belongs in crates/plan/src/model.rs \
+                     (only the structural 0/1 are allowed elsewhere)"
+                ),
+            });
+        }
+    }
+}
+
 fn struct_body_has_line_field(body: &[u8]) -> bool {
     let mut from = 0;
     while let Some(p) = find(body, b"line", from) {
@@ -715,5 +787,62 @@ mod tests {
     fn cfg_test_mods_are_skipped() {
         let src = "fn k(t: &mut impl KernelCtx) { t.ld(b, 0); }\n#[cfg(test)]\nmod tests {\n    fn k2(t: &mut impl KernelCtx) { let x = a[0]; }\n}\n";
         assert!(lint_file("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn planner_model_flags_seeded_magic_numbers() {
+        // A seeded violation of each literal shape the rule must catch:
+        // integer, float, underscored, exponent, suffixed.
+        let src = "\
+fn plan() {\n\
+    let a = 3;\n\
+    let b = 0.25;\n\
+    let c = 1_000_000;\n\
+    let d = 1e3;\n\
+    let e = 42u32;\n\
+}\n";
+        let diags = lint_file("crates/plan/src/lib.rs", src);
+        let lines: Vec<usize> = diags.iter().map(|d| d.line).collect();
+        assert_eq!(lines, vec![2, 3, 4, 5, 6], "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == "planner-model"));
+        assert!(diags[1].message.contains("0.25"), "{}", diags[1].message);
+        assert!(
+            diags[2].message.contains("1000000"),
+            "underscores are stripped from the reported literal: {}",
+            diags[2].message
+        );
+    }
+
+    #[test]
+    fn planner_model_allows_structural_literals_and_exempt_files() {
+        // 0/1 in all spellings, tuple access, digits in identifiers,
+        // numbers inside strings/comments/tests: all fine.
+        let src = "\
+fn plan(xs: &[f64]) -> f64 {\n\
+    let zero = 0;\n\
+    let one = 1.0;\n\
+    let z2 = 0.0_f64;\n\
+    let first = (xs[0], 1u32);\n\
+    let t = first.0; // threshold 0.75 lives in model.rs\n\
+    let s = \"cap 64.0\";\n\
+    t + xs.len() as f64\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn t() { assert_eq!(super::plan(&[2.5]) as u32, 99); }\n\
+}\n";
+        assert!(lint_file("crates/plan/src/lib.rs", src).is_empty());
+        // model.rs is the one place magic numbers belong.
+        let table = "pub const CAP: f64 = 64.0;\npub const LAMBDA: f64 = 1e-4;\n";
+        assert!(lint_file("crates/plan/src/model.rs", table).is_empty());
+        // …and the rule only applies under plan/src at all.
+        assert!(lint_file("crates/core/src/lib.rs", "const N: usize = 37;\n").is_empty());
+    }
+
+    #[test]
+    fn planner_model_respects_allow_pragma() {
+        let src = "// gcol-lint: allow(planner-model) protocol version, not a decision\n\
+const WIRE_VERSION: u32 = 2;\n";
+        assert!(lint_file("crates/plan/src/lib.rs", src).is_empty());
     }
 }

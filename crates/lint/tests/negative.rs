@@ -192,3 +192,33 @@ mod tests {
 ";
     assert!(lint_file("seed/blanked.rs", src).is_empty());
 }
+
+/// planner-model: a decision threshold inlined in plan logic is
+/// rejected at its line; the same file using only structural 0/1
+/// literals is clean, and the same source under model.rs (or outside
+/// the plan crate entirely) is exempt.
+#[test]
+fn planner_model_rejects_inline_decision_constants() {
+    let bad = "\
+pub fn choose(ms: f64, colors: f64) -> bool {
+    let one = 1.0;
+    ms < 0.75 * colors + one
+}
+";
+    let diags = lint_file("crates/plan/src/lib.rs", bad);
+    assert_eq!(diags.len(), 1, "exactly the 0.75 fires: {diags:?}");
+    assert_eq!(diags[0].rule, "planner-model");
+    assert_eq!(diags[0].line, 3, "diagnostic anchors to the magic number");
+    assert!(diags[0].message.contains("0.75"), "{}", diags[0].message);
+
+    // The decision table itself is where such constants belong…
+    assert!(
+        lint_file("crates/plan/src/model.rs", bad).is_empty(),
+        "model.rs is exempt"
+    );
+    // …and the rule is scoped to the plan crate.
+    assert!(
+        lint_file("crates/core/src/lib.rs", bad).is_empty(),
+        "planner-model is scoped to plan/src"
+    );
+}

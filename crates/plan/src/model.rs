@@ -1,0 +1,246 @@
+//! The planner's decision table — **every number the planner conditions
+//! on lives in this file**, enforced by the `planner-model` lint rule
+//! (no inline magic thresholds in `plan()` logic).
+//!
+//! The per-scheme coefficient rows are *fitted offline* by the
+//! `gcol-bench planner-calibrate` experiment (ridge least squares over
+//! the generated Table I suite at several scales, modeled simt times)
+//! and checked in here as data: there is no runtime fitting. To refresh
+//! after changing a kernel or the suite, run
+//!
+//! ```text
+//! cargo run --release -p gcol-bench -- planner-calibrate --scale 13
+//! ```
+//!
+//! and paste the printed `MODELS` block over the one below.
+//!
+//! ## Model shape
+//!
+//! Both predictors are log-linear in the [`crate::features`] vector
+//! `f(profile)` (a `1` bias, `ln(1+x)` transforms of size, mean degree,
+//! degree CV and max-degree ratio, a *signed* `ln(1+|x|)` of skew, and a
+//! squared edge-count term — the curvature that captures the crossover
+//! from the launch-overhead regime, where the sequential baseline wins,
+//! to the throughput regime, where the GPU schemes do):
+//!
+//! * `predicted_ms     = exp(time_w · f)`
+//! * `predicted_colors = exp(color_w · f)`
+//!
+//! Interpretability is the point: each row reads as "this scheme's cost
+//! grows with edges at weight `w_m`, is penalized by degree spread at
+//! weight `w_cv`, …" — and the fitted signs line up with the paper's
+//! narrative (csrcolor pays per sweep on skewed graphs, data-driven
+//! schemes shrug off tails, sequential is linear and color-optimal-ish).
+
+use gcol_core::{BackendKind, ExchangeKind, Scheme};
+
+/// Number of entries in the feature vector (see [`crate::features`]).
+pub const NUM_FEATURES: usize = 8;
+
+/// Vertex/edge counts are scaled to thousands before the `ln(1+x)`
+/// transform so the size features carry O(1)–O(10) values over the
+/// calibration scales and the fitted coefficients stay small.
+pub const SIZE_SCALE: f64 = 1e3;
+
+/// Upper bound on any single feature value — keeps dot products finite
+/// for absurd (e.g. `IngestLimits`-sized, or proptest-generated) inputs.
+pub const FEATURE_CAP: f64 = 64.0;
+
+/// Clamp on the log-space prediction before `exp` — predictions saturate
+/// instead of overflowing to infinity.
+pub const EXP_CAP: f64 = 60.0;
+
+/// Default color slack for [`crate::Slo::Balanced`]: accept up to
+/// (1 + slack) × the fewest predicted colors, then take the fastest.
+pub const BALANCED_DEFAULT_SLACK: f64 = 0.25;
+
+/// Sharding beyond this device count has never paid off in the
+/// `shardscale` A/B (PR 6): exchange rounds start to dominate.
+pub const MAX_USEFUL_SHARDS: usize = 4;
+
+/// Below this stored-edge count a graph fits one device comfortably and
+/// exchange overhead swamps any compute win; the planner never shards.
+pub const SHARD_MIN_EDGES: usize = 1_000_000;
+
+/// Backend preference under every SLO, filtered by the resource
+/// envelope: native wall clock beats the modeled simulator when the
+/// embedder allows it, and the sanitizer is a diagnostic backend of last
+/// resort (identical results, strictly slower).
+pub const BACKEND_PREFERENCE: [BackendKind; 3] = [
+    BackendKind::Native,
+    BackendKind::Simt,
+    BackendKind::Sanitize,
+];
+
+/// Wire encoding for sharded plans: the delta codec won the PR 6 A/B on
+/// every graph/scheme pair.
+pub const PLAN_EXCHANGE: ExchangeKind = ExchangeKind::Delta;
+
+/// Scheme returned when the model table is empty or no candidate scores
+/// finite — the one scheme that can never be misconfigured.
+pub const FALLBACK_SCHEME: Scheme = Scheme::Sequential;
+
+/// Protocol/CLI names of the [`crate::Slo`] variants.
+pub const SLO_NAMES: [&str; 3] = ["fastest-wall", "fewest-colors", "balanced"];
+
+/// One row of the decision table: a scheme and its two fitted
+/// log-linear coefficient vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemeModel {
+    /// The candidate scheme this row scores.
+    pub scheme: Scheme,
+    /// Coefficients of `ln(predicted_ms)` over the feature vector.
+    pub time_w: [f64; NUM_FEATURES],
+    /// Coefficients of `ln(predicted_colors)` over the feature vector.
+    pub color_w: [f64; NUM_FEATURES],
+}
+
+/// Measured P=4 speedup factors from the PR 6 `shardscale` A/B, per
+/// backend. A factor ≤ 1 means sharding loses on that backend and the
+/// planner keeps the job on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardGain {
+    /// The GPU-resident scheme.
+    pub scheme: Scheme,
+    /// P=4 vs P=1 speedup on the modeled simt backend (rmat-er s15).
+    pub simt: f64,
+    /// P=4 vs P=1 wall-clock speedup on the native backend (rmat-er s17).
+    pub native: f64,
+}
+
+/// P=4 gains recorded in BENCH_simt.json `sharded_scaling` (PR 6):
+/// `speedup_p4_delta` from the simt modeled A/B at scale 15 and
+/// `speedup_p4` from the native wall-clock table at scale 17.
+pub static SHARD_GAINS: [ShardGain; 8] = [
+    ShardGain {
+        scheme: Scheme::ThreeStepGm,
+        simt: 5.61,
+        native: 2.01,
+    },
+    ShardGain {
+        scheme: Scheme::TopoBase,
+        simt: 0.80,
+        native: 2.07,
+    },
+    ShardGain {
+        scheme: Scheme::TopoLdg,
+        simt: 0.63,
+        native: 1.75,
+    },
+    ShardGain {
+        scheme: Scheme::DataBase,
+        simt: 0.66,
+        native: 1.22,
+    },
+    ShardGain {
+        scheme: Scheme::DataLdg,
+        simt: 0.56,
+        native: 1.16,
+    },
+    ShardGain {
+        scheme: Scheme::CsrColor,
+        simt: 1.74,
+        native: 10.37,
+    },
+    ShardGain {
+        scheme: Scheme::DataAtomic,
+        simt: 0.65,
+        native: 1.10,
+    },
+    ShardGain {
+        scheme: Scheme::TopoEdge,
+        simt: 1.07,
+        native: 2.63,
+    },
+];
+
+/// The fitted decision table: the eight GPU-resident schemes plus the
+/// sequential baseline. CPU-rayon context schemes are excluded on
+/// purpose — their cost is host wall clock, which is nondeterministic,
+/// and the planner's regret gate runs on modeled times only.
+///
+/// Generated by `gcol-bench planner-calibrate` (see module docs); do not
+/// hand-tune individual weights.
+pub static MODELS: [SchemeModel; 9] = [
+    SchemeModel {
+        scheme: Scheme::Sequential,
+        time_w: [
+            -5.531746, -0.009671, 1.123517, -0.134800, -0.159711, 0.071301, -0.030404, -0.011352,
+        ],
+        color_w: [
+            -0.730543, 0.201562, -0.069863, 0.987736, -1.045196, 0.436959, 0.313556, -0.011793,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::ThreeStepGm,
+        time_w: [
+            -3.834532, 2.024811, -1.233622, 1.723259, 2.225492, -0.575414, 0.054024, 0.024623,
+        ],
+        color_w: [
+            0.819144, 0.047632, -0.016521, 0.459465, 1.552917, -0.017427, 0.015748, -0.002376,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::TopoBase,
+        time_w: [
+            -1.463998, 2.490163, -2.065775, 1.601186, 5.426386, -0.914560, 0.052895, 0.000949,
+        ],
+        color_w: [
+            0.666264, 0.172558, -0.081193, 0.568284, 1.717468, -0.049994, 0.015400, -0.007246,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::TopoLdg,
+        time_w: [
+            -1.228929, 2.380299, -1.941329, 1.366946, 5.587104, -0.955899, 0.069854, -0.002910,
+        ],
+        color_w: [
+            0.666264, 0.172558, -0.081193, 0.568284, 1.717468, -0.049994, 0.015400, -0.007246,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::DataBase,
+        time_w: [
+            -1.721451, 0.605171, -0.349613, 0.108268, 2.905273, 0.356821, -0.154466, -0.016252,
+        ],
+        color_w: [
+            0.767036, 0.135451, -0.053481, 0.525841, 1.985423, -0.151250, 0.010667, -0.005255,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::DataLdg,
+        time_w: [
+            -1.522257, 0.443360, -0.218381, -0.111956, 2.907674, 0.342035, -0.152773, -0.014619,
+        ],
+        color_w: [
+            0.767036, 0.135451, -0.053481, 0.525841, 1.985423, -0.151250, 0.010667, -0.005255,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::CsrColor,
+        time_w: [
+            -6.035389, 1.636816, -1.289358, 2.613373, 1.406641, 0.335238, -0.127127, -0.006623,
+        ],
+        color_w: [
+            0.520975, -0.015307, 0.099859, 0.797730, 0.379706, 0.316991, -0.084156, -0.003719,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::DataAtomic,
+        time_w: [
+            -1.507641, 0.635604, -0.377963, 0.068937, 3.183393, 0.264604, -0.135704, -0.015603,
+        ],
+        color_w: [
+            0.767036, 0.135451, -0.053481, 0.525841, 1.985423, -0.151250, 0.010667, -0.005255,
+        ],
+    },
+    SchemeModel {
+        scheme: Scheme::TopoEdge,
+        time_w: [
+            -0.454798, 2.063495, -1.795140, 0.798371, 5.561929, -1.179797, 0.075908, 0.041904,
+        ],
+        color_w: [
+            0.666264, 0.172558, -0.081193, 0.568284, 1.717468, -0.049994, 0.015400, -0.007246,
+        ],
+    },
+];

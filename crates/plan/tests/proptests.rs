@@ -1,0 +1,161 @@
+//! Robustness coverage for the planner: `Planner::plan` must be *total*
+//! — any profile (arbitrary bit patterns in every float column,
+//! degenerate graphs, header-only `IngestLimits`-sized estimates), any
+//! SLO and any resource envelope yields a valid plan without panicking.
+
+use gcol_core::{BackendKind, Scheme};
+use gcol_graph::builder::from_undirected_edges;
+use gcol_graph::io::IngestLimits;
+use gcol_graph::GraphProfile;
+use gcol_plan::{Plan, Planner, Resources, Slo};
+use proptest::prelude::*;
+
+fn slo_from(idx: u8, slack_bits: u64) -> Slo {
+    match idx % 3 {
+        0 => Slo::FastestWall,
+        1 => Slo::FewestColors,
+        _ => Slo::Balanced {
+            // Arbitrary bit pattern: slack can be NaN, ±inf, negative…
+            color_slack: f64::from_bits(slack_bits),
+        },
+    }
+}
+
+fn backends_from(mask: u8) -> Vec<BackendKind> {
+    let all = [
+        BackendKind::Simt,
+        BackendKind::Native,
+        BackendKind::Sanitize,
+    ];
+    all.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, b)| *b)
+        .collect()
+}
+
+/// Every invariant a plan must satisfy, whatever went in.
+fn assert_valid(plan: &Plan, planner: &Planner, res: &Resources) {
+    let candidates = planner.candidates();
+    assert!(
+        candidates.contains(&plan.scheme) || plan.scheme == gcol_plan::model::FALLBACK_SCHEME,
+        "scheme {:?} not a candidate",
+        plan.scheme
+    );
+    assert!(
+        Scheme::ALL.contains(&plan.scheme),
+        "scheme {:?} not in Scheme::ALL",
+        plan.scheme
+    );
+    assert!(plan.num_shards >= 1, "zero shards");
+    assert!(
+        plan.num_shards <= res.max_shards.max(1),
+        "shards {} over budget {}",
+        plan.num_shards,
+        res.max_shards
+    );
+    if res.backends.is_empty() {
+        assert_eq!(plan.backend, BackendKind::default());
+    } else {
+        assert!(res.backends.contains(&plan.backend));
+    }
+    assert!(plan.predicted_ms.is_finite(), "ms {}", plan.predicted_ms);
+    assert!(plan.predicted_ms >= 0.0);
+    assert!(plan.predicted_colors >= 1.0);
+}
+
+proptest! {
+    /// Arbitrary bit patterns in every float column, arbitrary sizes,
+    /// SLOs and envelopes: plan() is total and its output valid.
+    #[test]
+    fn plan_is_total_over_arbitrary_profiles(
+        n in any::<u32>(),
+        m in any::<u64>(),
+        min_deg in any::<u32>(),
+        max_deg in any::<u32>(),
+        density_bits in any::<u64>(),
+        avg_bits in any::<u64>(),
+        var_bits in any::<u64>(),
+        skew_bits in any::<u64>(),
+        slo_idx in 0u8..3,
+        slack_bits in any::<u64>(),
+        backend_mask in 0u8..8,
+        budget in 0usize..9,
+    ) {
+        let profile = GraphProfile {
+            num_vertices: n as usize,
+            num_edges: m as usize,
+            density: f64::from_bits(density_bits),
+            min_degree: min_deg as usize,
+            max_degree: max_deg as usize,
+            avg_degree: f64::from_bits(avg_bits),
+            variance: f64::from_bits(var_bits),
+            skew: f64::from_bits(skew_bits),
+        };
+        let res = Resources { backends: backends_from(backend_mask), max_shards: budget };
+        let planner = Planner::new();
+        let plan = planner.plan(&profile, slo_from(slo_idx, slack_bits), &res);
+        assert_valid(&plan, &planner, &res);
+    }
+}
+
+#[test]
+fn plan_handles_degenerate_graphs() {
+    let empty = gcol_graph::Csr::empty(0);
+    let single = gcol_graph::Csr::empty(1);
+    let star = from_undirected_edges(16, (1u32..16).map(|v| (0, v)));
+    let clique = from_undirected_edges(6, (0u32..6).flat_map(|u| (u + 1..6).map(move |v| (u, v))));
+
+    let planner = Planner::new();
+    for (name, g) in [
+        ("empty", &empty),
+        ("single-vertex", &single),
+        ("star", &star),
+        ("clique", &clique),
+    ] {
+        let profile = GraphProfile::extract(g);
+        for slo in [Slo::FastestWall, Slo::FewestColors, Slo::balanced()] {
+            for res in [
+                Resources::default(),
+                Resources::single(BackendKind::Native, 4),
+                Resources {
+                    backends: vec![],
+                    max_shards: 0,
+                },
+            ] {
+                let plan = planner.plan(&profile, slo, &res);
+                assert_valid(&plan, &planner, &res);
+                // Degenerate graphs are all far below the shard floor.
+                assert_eq!(plan.num_shards, 1, "{name} sharded under {slo}");
+            }
+        }
+    }
+}
+
+/// When ingest refuses to materialize a graph (an `IngestLimits`-sized
+/// input), the planner still plans from the header-only coarse profile:
+/// the limits themselves bound what the profile can claim.
+#[test]
+fn plan_falls_back_to_coarse_profile_at_ingest_limits() {
+    let limits = IngestLimits {
+        max_vertices: Some(u32::MAX as usize),
+        max_edges: Some(4_000_000_000),
+    };
+    // A declared size right at (and beyond) the admission bound — the
+    // parser would reject the body, so only the header numbers exist.
+    for (n, m) in [
+        (limits.max_vertices.unwrap(), limits.max_edges.unwrap()),
+        (usize::MAX, usize::MAX),
+        (0, 0),
+    ] {
+        let profile = GraphProfile::coarse(n, m);
+        assert!(profile.avg_degree.is_finite());
+        assert!(profile.density.is_finite());
+        let planner = Planner::new();
+        for slo in [Slo::FastestWall, Slo::FewestColors, Slo::balanced()] {
+            let res = Resources::single(BackendKind::Native, 4);
+            let plan = planner.plan(&profile, slo, &res);
+            assert_valid(&plan, &planner, &res);
+        }
+    }
+}

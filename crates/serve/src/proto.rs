@@ -31,6 +31,22 @@
 //! resolves the Table I suite names), keeping this crate free of
 //! generator policy.
 //!
+//! `"scheme":"auto"` hands scheme/backend/shard/exchange selection to
+//! the [`gcol_plan`] planner, optionally steered by
+//! `"slo":"fastest-wall"|"fewest-colors"|"balanced"` (`slo` with a
+//! fixed scheme is a parse error). The request's `backend` field then
+//! names the *only* backend the planner may use and `shards` caps the
+//! device budget. The server resolves the plan once the graph is known
+//! and submits the concrete job — cache keys and coalescing behave
+//! exactly as if the client had sent the resolved fields — and the
+//! response carries a `"plan"` object echoing the decision:
+//!
+//! ```text
+//! {"id":9,"ok":true,"plan":{"slo":"fastest-wall","scheme":"csrcolor",
+//!  "backend":"simt","shards":1,"exchange":"delta",
+//!  "predicted_ms":3.1,"predicted_colors":9.2}, …}
+//! ```
+//!
 //! `mutate`/`recolor` are the incremental pair: `mutate` loads (or
 //! edits) the connection's **session graph** — `edits` is an ordered
 //! batch of `["+"|"-", u, v]` undirected edge inserts/deletes — and
@@ -64,10 +80,13 @@
 
 use crate::json::{self, obj, Json};
 use crate::service::{JobResponse, Rejection, ServeError, ServiceStats};
-use gcol_core::{BackendKind, ColorOptions, Coloring, ExchangeKind, Fingerprint, JobSpec, Scheme};
+use gcol_core::{
+    BackendKind, ColorOptions, Coloring, ExchangeKind, Fingerprint, JobSpec, Scheme, SchemeChoice,
+};
 use gcol_graph::edit::EdgeEdit;
 use gcol_graph::io::GraphFormat;
 use gcol_graph::Csr;
+use gcol_plan::{Plan, Slo};
 use gcol_simt::ExecMode;
 
 /// A parsed request line.
@@ -79,8 +98,8 @@ pub enum Request {
         id: Option<u64>,
         /// The graph, inline or by name.
         graph: GraphSpec,
-        /// Scheme + options to run.
-        spec: JobSpec,
+        /// Scheme choice (possibly `"auto"`) + options to run.
+        spec: SpecRequest,
         /// Optional deadline in milliseconds.
         deadline_ms: Option<u64>,
         /// Include the per-vertex color array in the response.
@@ -112,8 +131,9 @@ pub enum Request {
     Recolor {
         /// Correlation id.
         id: Option<u64>,
-        /// Scheme + options to run.
-        spec: JobSpec,
+        /// Scheme + options to run (`"auto"` is rejected by the server:
+        /// the incremental path repairs a fixed baseline spec).
+        spec: SpecRequest,
         /// Include the per-vertex color array in the response.
         assignment: bool,
     },
@@ -212,11 +232,51 @@ impl Request {
     }
 }
 
+/// The scheme + option fields of a `color`/`recolor` request, before the
+/// server resolves `"auto"` against the actual graph. Under a fixed
+/// scheme this is a [`JobSpec`] waiting to happen; under `"auto"` the
+/// `opts` carry the request's *resource envelope* — the `backend` field
+/// is the only backend the planner may use and `shards` is the device
+/// budget — and the planner fills in scheme/backend/shards/exchange once
+/// the graph (and so its profile) is known.
+#[derive(Debug, Clone)]
+pub struct SpecRequest {
+    /// Fixed scheme, or `Auto` for planner resolution.
+    pub choice: SchemeChoice,
+    /// Planner objective; only meaningful (and only accepted) with
+    /// `"scheme":"auto"`. `None` means [`Slo::default`].
+    pub slo: Option<Slo>,
+    /// Parsed options — the concrete options under a fixed scheme, the
+    /// resource envelope under `auto`.
+    pub opts: ColorOptions,
+}
+
+impl SpecRequest {
+    /// The job spec, when the scheme is fixed.
+    pub fn fixed(&self) -> Option<JobSpec> {
+        self.choice.fixed().map(|scheme| JobSpec {
+            scheme,
+            opts: self.opts.clone(),
+        })
+    }
+}
+
 /// Parses the scheme + option fields shared by `color` and `recolor`.
-fn parse_spec(v: &Json) -> Result<JobSpec, String> {
-    let scheme = match v.get("scheme").and_then(Json::as_str) {
-        None => Scheme::TopoBase,
-        Some(name) => Scheme::from_name(name).ok_or_else(|| format!("unknown scheme {name:?}"))?,
+fn parse_spec(v: &Json) -> Result<SpecRequest, String> {
+    let choice = match v.get("scheme").and_then(Json::as_str) {
+        None => SchemeChoice::Fixed(Scheme::TopoBase),
+        Some(name) => name
+            .parse::<SchemeChoice>()
+            .map_err(|_| format!("unknown scheme {name:?}"))?,
+    };
+    let slo = match v.get("slo").and_then(Json::as_str) {
+        None => None,
+        Some(name) => {
+            if choice != SchemeChoice::Auto {
+                return Err("\"slo\" requires \"scheme\":\"auto\"".into());
+            }
+            Some(name.parse::<Slo>()?)
+        }
     };
     let mut opts = ColorOptions::default();
     if let Some(b) = v.get("backend").and_then(Json::as_str) {
@@ -249,7 +309,7 @@ fn parse_spec(v: &Json) -> Result<JobSpec, String> {
     if let Some(x) = v.get("exchange").and_then(Json::as_str) {
         opts.exchange = x.parse::<ExchangeKind>()?;
     }
-    Ok(JobSpec { scheme, opts })
+    Ok(SpecRequest { choice, slo, opts })
 }
 
 /// Parses the `"edits"` array: ordered `["+"|"-", u, v]` triples.
@@ -318,8 +378,30 @@ fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
     Err("\"graph\" needs inline {\"r\":…,\"c\":…}, {\"gen\":…} or \"session\"".into())
 }
 
-/// Renders the success response for a resolved job.
-pub fn ok_response(id: Option<u64>, r: &JobResponse, assignment: bool) -> String {
+/// Renders the `"plan"` object echoed in responses to `"scheme":"auto"`
+/// requests: the concrete plan the planner resolved to, plus its model
+/// predictions — the client-visible proof of what actually ran (and the
+/// exact fields to resend for a byte-identical explicit request).
+pub fn plan_json(slo: Slo, plan: &Plan) -> Json {
+    obj([
+        ("slo", Json::Str(slo.name().into())),
+        ("scheme", Json::Str(plan.scheme.name().into())),
+        ("backend", Json::Str(plan.backend.name().into())),
+        ("shards", Json::Num(plan.num_shards as f64)),
+        ("exchange", Json::Str(plan.exchange.name().into())),
+        ("predicted_ms", Json::Num(plan.predicted_ms)),
+        ("predicted_colors", Json::Num(plan.predicted_colors)),
+    ])
+}
+
+/// Renders the success response for a resolved job. `plan` is present
+/// exactly when the request said `"scheme":"auto"`.
+pub fn ok_response(
+    id: Option<u64>,
+    r: &JobResponse,
+    assignment: bool,
+    plan: Option<(Slo, &Plan)>,
+) -> String {
     let coloring: &Coloring = &r.coloring;
     let mut o = obj([
         ("ok", Json::Bool(true)),
@@ -334,6 +416,9 @@ pub fn ok_response(id: Option<u64>, r: &JobResponse, assignment: bool) -> String
         ("total_ms", Json::Num(r.total_ms)),
     ]);
     with_id(&mut o, id);
+    if let (Json::Obj(m), Some((slo, plan))) = (&mut o, plan) {
+        m.insert("plan".into(), plan_json(slo, plan));
+    }
     if assignment {
         if let Json::Obj(m) = &mut o {
             m.insert(
@@ -489,6 +574,7 @@ pub fn stats_response(id: Option<u64>, s: &ServiceStats) -> String {
         ("executions", Json::Num(s.executions as f64)),
         ("cache_hits", Json::Num(s.cache_hits as f64)),
         ("coalesced", Json::Num(s.coalesced as f64)),
+        ("auto_planned", Json::Num(s.auto_planned as f64)),
         (
             "rejected_queue_full",
             Json::Num(s.rejected_queue_full as f64),
@@ -533,7 +619,8 @@ mod tests {
             } => {
                 assert_eq!(id, Some(7));
                 assert_eq!(g.num_vertices(), 2);
-                assert_eq!(spec.scheme, Scheme::DataBase);
+                assert_eq!(spec.choice, SchemeChoice::Fixed(Scheme::DataBase));
+                assert_eq!(spec.fixed().map(|j| j.scheme), Some(Scheme::DataBase));
                 assert_eq!(spec.opts.backend, BackendKind::Native);
                 assert_eq!(spec.opts.seed, 3);
                 assert_eq!(deadline_ms, Some(100));
@@ -555,7 +642,7 @@ mod tests {
             } => {
                 assert_eq!(id, None);
                 assert_eq!((name.as_str(), scale, seed), ("rmat-er", 10, 5));
-                assert_eq!(spec.scheme, Scheme::TopoBase);
+                assert_eq!(spec.choice, SchemeChoice::Fixed(Scheme::TopoBase));
                 assert_eq!(spec.opts.backend, BackendKind::Simt);
             }
             other => panic!("wrong parse: {other:?}"),
@@ -578,6 +665,62 @@ mod tests {
             Request::parse(r#"{"graph":{"r":[0,0],"c":[]},"exchange":"sparse"}"#).is_err(),
             "unknown exchange kinds must be rejected"
         );
+    }
+
+    #[test]
+    fn parses_auto_scheme_and_slo() {
+        let r = Request::parse(
+            r#"{"graph":{"r":[0,2,4],"c":[1,0,0,1]},"scheme":"auto","slo":"fewest-colors","backend":"native","shards":2}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Color { spec, .. } => {
+                assert_eq!(spec.choice, SchemeChoice::Auto);
+                assert!(spec.fixed().is_none(), "auto has no fixed JobSpec");
+                assert_eq!(spec.slo, Some(Slo::FewestColors));
+                // The envelope fields still parse: backend is the only
+                // allowed backend, shards the budget.
+                assert_eq!(spec.opts.backend, BackendKind::Native);
+                assert_eq!(spec.opts.num_shards, 2);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // "slo" defaults to None (server applies Slo::default()).
+        match Request::parse(r#"{"graph":{"r":[0,0],"c":[]},"scheme":"auto"}"#).unwrap() {
+            Request::Color { spec, .. } => {
+                assert_eq!(spec.choice, SchemeChoice::Auto);
+                assert_eq!(spec.slo, None);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        for bad in [
+            // "slo" is meaningless without "scheme":"auto" — reject it
+            // rather than silently ignoring a client intent.
+            r#"{"graph":{"r":[0,0],"c":[]},"slo":"fastest-wall"}"#,
+            r#"{"graph":{"r":[0,0],"c":[]},"scheme":"T-base","slo":"balanced"}"#,
+            r#"{"graph":{"r":[0,0],"c":[]},"scheme":"auto","slo":"quickest"}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn renders_the_plan_object() {
+        let plan = Plan {
+            scheme: Scheme::CsrColor,
+            backend: BackendKind::Simt,
+            num_shards: 2,
+            exchange: ExchangeKind::Delta,
+            predicted_ms: 12.5,
+            predicted_colors: 9.3,
+        };
+        let v = plan_json(Slo::FastestWall, &plan);
+        assert_eq!(v.get("slo").and_then(Json::as_str), Some("fastest-wall"));
+        assert_eq!(v.get("scheme").and_then(Json::as_str), Some("csrcolor"));
+        assert_eq!(v.get("backend").and_then(Json::as_str), Some("simt"));
+        assert_eq!(v.get("shards").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("exchange").and_then(Json::as_str), Some("delta"));
+        assert!(v.get("predicted_ms").is_some() && v.get("predicted_colors").is_some());
     }
 
     #[test]
@@ -621,7 +764,7 @@ mod tests {
                 assignment,
             } => {
                 assert_eq!(id, Some(2));
-                assert_eq!(spec.scheme, Scheme::DataLdg);
+                assert_eq!(spec.choice, SchemeChoice::Fixed(Scheme::DataLdg));
                 assert_eq!(spec.opts.backend, BackendKind::Native);
                 assert!(assignment);
             }
@@ -666,7 +809,7 @@ mod tests {
         match Request::parse(r#"{"op":"color","graph":"session","scheme":"D-base"}"#).unwrap() {
             Request::Color { graph, spec, .. } => {
                 assert!(matches!(graph, GraphSpec::Session));
-                assert_eq!(spec.scheme, Scheme::DataBase);
+                assert_eq!(spec.choice, SchemeChoice::Fixed(Scheme::DataBase));
             }
             other => panic!("wrong parse: {other:?}"),
         }

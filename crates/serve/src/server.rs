@@ -29,6 +29,7 @@ use crate::sync::{thread, Arc, Mutex};
 use gcol_core::{recolor_delta, Coloring, JobSpec};
 use gcol_graph::io::{GraphFormat, GraphSource, IngestLimits};
 use gcol_graph::{Csr, VertexId};
+use gcol_plan::AutoColorer;
 use std::collections::{BTreeSet, HashMap};
 use std::io::{BufRead, Write};
 use std::time::Duration;
@@ -266,6 +267,21 @@ where
                 spec,
                 assignment,
             } => {
+                // The incremental path repairs a *fixed* baseline spec;
+                // letting the planner swap schemes between repairs would
+                // silently discard the baseline it exists to reuse.
+                let Some(spec) = spec.fixed() else {
+                    write_line(
+                        &writer,
+                        proto::error_response(
+                            id,
+                            "bad-request",
+                            "\"scheme\":\"auto\" is not supported by recolor: \
+                             pick a fixed scheme for the incremental baseline",
+                        ),
+                    )?;
+                    continue;
+                };
                 let Some(sess) = session.as_mut() else {
                     write_line(
                         &writer,
@@ -353,6 +369,21 @@ where
                         }
                     },
                 };
+                // `"scheme":"auto"` resolves here — after the graph is
+                // known, so the profile is the real graph's — and the
+                // *resolved* spec is submitted: the job is keyed, cached
+                // and coalesced exactly as if the client had asked for
+                // the plan's fields explicitly.
+                let (spec, plan) = match spec.fixed() {
+                    Some(job) => (job, None),
+                    None => {
+                        let slo = spec.slo.unwrap_or_default();
+                        let plan = AutoColorer::new(slo).plan_for(&graph, &spec.opts);
+                        let job = plan.spec(&spec.opts);
+                        service.note_auto_planned();
+                        (job, Some((slo, plan)))
+                    }
+                };
                 let req = crate::service::JobRequest {
                     graph,
                     spec,
@@ -367,7 +398,12 @@ where
                         let writer = Arc::clone(&writer);
                         responders.push(thread::spawn(move || {
                             let line = match handle.wait() {
-                                Ok(r) => proto::ok_response(id, &r, assignment),
+                                Ok(r) => proto::ok_response(
+                                    id,
+                                    &r,
+                                    assignment,
+                                    plan.as_ref().map(|(slo, p)| (*slo, p)),
+                                ),
                                 Err(e) => proto::error_response(
                                     id,
                                     proto::serve_error_code(&e),

@@ -281,6 +281,7 @@ struct Counters {
     rejected_shutdown: u64,
     cache_hits: u64,
     coalesced: u64,
+    auto_planned: u64,
     executions: u64,
     skipped_executions: u64,
     completed_ok: u64,
@@ -508,6 +509,14 @@ impl Service {
         &self.inner.config
     }
 
+    /// Records one `"scheme":"auto"` request the planner resolved to a
+    /// concrete plan. Counted by the protocol server *before* `submit`
+    /// so the submitted job itself stays indistinguishable from an
+    /// explicit one — same fingerprint, same cache key.
+    pub fn note_auto_planned(&self) {
+        self.inner.state.lock().unwrap().counters.auto_planned += 1;
+    }
+
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
         let st = self.inner.state.lock().unwrap();
@@ -530,6 +539,7 @@ impl Service {
             rejected_shutdown: c.rejected_shutdown,
             cache_hits: c.cache_hits,
             coalesced: c.coalesced,
+            auto_planned: c.auto_planned,
             executions: c.executions,
             skipped_executions: c.skipped_executions,
             completed_ok: c.completed_ok,
@@ -720,6 +730,8 @@ pub struct ServiceStats {
     pub cache_hits: u64,
     /// Jobs attached to an identical in-flight execution.
     pub coalesced: u64,
+    /// `"scheme":"auto"` requests resolved by the planner.
+    pub auto_planned: u64,
     /// Executions actually run by workers.
     pub executions: u64,
     /// Executions skipped because every waiter's deadline had passed.
@@ -754,8 +766,13 @@ impl std::fmt::Display for ServiceStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "jobs: {} submitted, {} accepted ({} cold runs, {} cache hits, {} coalesced)",
-            self.submitted, self.accepted, self.executions, self.cache_hits, self.coalesced
+            "jobs: {} submitted, {} accepted ({} cold runs, {} cache hits, {} coalesced); {} auto-planned",
+            self.submitted,
+            self.accepted,
+            self.executions,
+            self.cache_hits,
+            self.coalesced,
+            self.auto_planned
         )?;
         writeln!(
             f,

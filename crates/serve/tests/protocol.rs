@@ -660,3 +660,128 @@ fn upload_in_progress_when_drain_fires_resolves_typed() {
     assert_eq!(stats.accepted, 0, "the dropped upload never became a job");
     gcol_serve::sync::lock_order::assert_acyclic();
 }
+
+/// `"scheme":"auto"` end to end: the response echoes the resolved plan
+/// (shape pinned here — this is the wire contract), identical auto
+/// requests key to one execution (cache hit or coalesced, never two
+/// cold runs), the `stats` op reports `auto_planned`, and fixed-scheme
+/// responses carry no `"plan"` key.
+#[test]
+fn auto_requests_echo_the_plan_and_share_one_execution() {
+    let input = concat!(
+        r#"{"id":1,"op":"color","graph":{"gen":"rmat","scale":8,"seed":3},"scheme":"auto","slo":"fastest-wall"}"#,
+        "\n",
+        r#"{"id":2,"op":"color","graph":{"gen":"rmat","scale":8,"seed":3},"scheme":"auto","slo":"fastest-wall"}"#,
+        "\n",
+        r#"{"id":3,"op":"color","graph":{"gen":"rmat","scale":8,"seed":3},"scheme":"T-base"}"#,
+        "\n",
+        r#"{"id":4,"op":"stats"}"#,
+        "\n",
+    );
+    let (lines, stats) = run_session(input);
+    let resp = by_id(&lines);
+
+    let r1 = resp[&1];
+    assert_eq!(r1.get("ok").and_then(Json::as_bool), Some(true));
+    let plan = r1.get("plan").expect("auto responses echo the plan");
+    assert_eq!(plan.get("slo").and_then(Json::as_str), Some("fastest-wall"));
+    let planned_scheme = plan
+        .get("scheme")
+        .and_then(Json::as_str)
+        .expect("plan.scheme");
+    assert_eq!(
+        plan.get("backend").and_then(Json::as_str),
+        Some("simt"),
+        "the request's backend field is the auto envelope"
+    );
+    assert!(plan.get("shards").and_then(Json::as_u64).unwrap() >= 1);
+    assert!(plan.get("exchange").and_then(Json::as_str).is_some());
+    assert!(plan
+        .get("predicted_ms")
+        .and_then(Json::as_f64)
+        .unwrap()
+        .is_finite());
+    assert!(plan
+        .get("predicted_colors")
+        .and_then(Json::as_f64)
+        .unwrap()
+        .is_finite());
+    assert_eq!(
+        r1.get("scheme").and_then(Json::as_str),
+        Some(planned_scheme),
+        "the job that ran is the one the plan named"
+    );
+
+    // The identical auto request resolves to the identical plan and the
+    // identical job: same fingerprint, exactly one cold run between them.
+    let r2 = resp[&2];
+    assert_eq!(r2.get("plan"), r1.get("plan"));
+    assert_eq!(r2.get("fingerprint"), r1.get("fingerprint"));
+    let sources: Vec<&str> = [r1, r2]
+        .iter()
+        .map(|r| r.get("source").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        sources.iter().filter(|s| **s == "cold").count(),
+        1,
+        "identical auto requests must share one execution: {sources:?}"
+    );
+
+    // Fixed-scheme responses have no plan object.
+    assert!(resp[&3].get("plan").is_none());
+
+    // Observability: both wire stats and the final snapshot count them.
+    assert_eq!(resp[&4].get("auto_planned").and_then(Json::as_u64), Some(2));
+    assert_eq!(stats.auto_planned, 2);
+}
+
+/// The auto differential: a `"scheme":"auto"` request is
+/// indistinguishable from explicitly sending the fields its echoed plan
+/// names — same fingerprint, bit-identical assignment, and the exact
+/// same cache key (the auto twin of an explicit job never runs cold).
+#[test]
+fn auto_is_bit_identical_to_its_resolved_explicit_request() {
+    let auto_line = r#"{"id":1,"op":"color","graph":{"gen":"rmat","scale":8,"seed":3},"scheme":"auto","seed":7,"assignment":true}"#;
+    let auto_line_12 = auto_line.replace(r#""id":1,"#, r#""id":12,"#);
+
+    // Session A: run auto once and read back the resolved plan.
+    let (lines, _) = run_session(&format!("{auto_line}\n"));
+    let resp = by_id(&lines);
+    let a1 = resp[&1];
+    assert_eq!(a1.get("ok").and_then(Json::as_bool), Some(true));
+    let plan = a1.get("plan").expect("auto responses echo the plan");
+    let explicit_line = format!(
+        r#"{{"id":1,"op":"color","graph":{{"gen":"rmat","scale":8,"seed":3}},"scheme":"{}","backend":"{}","shards":{},"exchange":"{}","seed":7,"assignment":true}}"#,
+        plan.get("scheme").and_then(Json::as_str).unwrap(),
+        plan.get("backend").and_then(Json::as_str).unwrap(),
+        plan.get("shards").and_then(Json::as_u64).unwrap(),
+        plan.get("exchange").and_then(Json::as_str).unwrap(),
+    );
+
+    // Session B (fresh cache): the explicit job first, then the auto
+    // request — which must key to the explicit job's cache entry.
+    let (lines, stats) = run_session(&format!("{explicit_line}\n{auto_line_12}\n"));
+    let resp = by_id(&lines);
+    let (b1, b2) = (resp[&1], resp[&12]);
+    for r in [b1, b2] {
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            r.get("fingerprint"),
+            a1.get("fingerprint"),
+            "all three requests name the same job"
+        );
+        assert_eq!(
+            r.get("assignment"),
+            a1.get("assignment"),
+            "served colorings are bit-identical across sessions"
+        );
+    }
+    assert_eq!(b2.get("plan"), a1.get("plan"), "planning is deterministic");
+    assert!(b1.get("plan").is_none());
+    assert_ne!(
+        b2.get("source").and_then(Json::as_str),
+        Some("cold"),
+        "the auto twin of an explicit job shares its execution"
+    );
+    assert_eq!(stats.executions, 1, "one cold run served both requests");
+}
